@@ -1,0 +1,334 @@
+(* pasched — command-line interface to the power-aware scheduling library.
+
+   dune exec bin/pasched.exe -- <command> [options]
+
+   Commands: frontier, laptop, server, flow, multi, simulate, workload,
+   deadline.  Instances are given inline ("r:w,r:w,...") or as a file of
+   "release work" lines. *)
+
+open Cmdliner
+
+(* ---------- shared argument parsing ---------- *)
+
+let parse_jobs_spec spec =
+  spec
+  |> String.split_on_char ','
+  |> List.map (fun part ->
+         match String.split_on_char ':' (String.trim part) with
+         | [ r; w ] -> (float_of_string r, float_of_string w)
+         | _ -> failwith (Printf.sprintf "bad job %S, expected release:work" part))
+
+let parse_jobs_file path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ r; w ] -> go ((float_of_string r, float_of_string w) :: acc)
+        | _ -> failwith (Printf.sprintf "bad line %S, expected: release work" line)
+      end
+  in
+  go []
+
+let instance_term =
+  let jobs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jobs" ] ~docv:"SPEC" ~doc:"Inline instance: comma-separated release:work pairs.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Instance file: one 'release work' pair per line.")
+  in
+  let build jobs file =
+    match (jobs, file) with
+    | Some spec, None -> `Ok (Instance.of_pairs (parse_jobs_spec spec))
+    | None, Some path -> `Ok (Instance.of_pairs (parse_jobs_file path))
+    | None, None -> `Ok Instance.figure1
+    | Some _, Some _ -> `Error (false, "give either --jobs or --file, not both")
+  in
+  Term.(ret (const build $ jobs $ file))
+
+let alpha_term =
+  Arg.(value & opt float 3.0 & info [ "alpha" ] ~docv:"A" ~doc:"Power exponent: power = speed^A.")
+
+let model_of_alpha a = Power_model.alpha a
+
+let energy_term =
+  Arg.(value & opt float 12.0 & info [ "energy"; "e" ] ~docv:"E" ~doc:"Energy budget.")
+
+let gantt_flag =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
+
+let print_schedule model ~gantt schedule =
+  if gantt then print_string (Render.gantt schedule);
+  print_string (Render.entries_tsv schedule);
+  print_endline (Render.summary model schedule)
+
+(* ---------- commands ---------- *)
+
+let frontier_cmd =
+  let run alpha inst points =
+    let model = model_of_alpha alpha in
+    let f = Frontier.build model inst in
+    Printf.printf "# breakpoints: %s\n"
+      (String.concat ", " (List.map (Printf.sprintf "%g") (Frontier.breakpoints f)));
+    let bps = Frontier.breakpoints f in
+    let lo = match bps with b :: _ -> b *. 0.75 | [] -> 1.0 in
+    let hi = (match List.rev bps with b :: _ -> b *. 1.25 | [] -> 10.0) in
+    print_string (Render.series_tsv ~header:("energy", "makespan") (Frontier.sample f ~lo ~hi ~n:points))
+  in
+  let points =
+    Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc:"Number of curve samples.")
+  in
+  Cmd.v
+    (Cmd.info "frontier" ~doc:"All non-dominated energy/makespan points (paper Figure 1).")
+    Term.(const run $ alpha_term $ instance_term $ points)
+
+let laptop_cmd =
+  let run alpha inst energy gantt =
+    let model = model_of_alpha alpha in
+    print_schedule model ~gantt (Incmerge.solve model ~energy inst)
+  in
+  Cmd.v
+    (Cmd.info "laptop" ~doc:"Minimize makespan within an energy budget (IncMerge).")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+
+let server_cmd =
+  let run alpha inst makespan gantt =
+    let model = model_of_alpha alpha in
+    let e = Server.min_energy model ~makespan inst in
+    Printf.printf "# minimum energy for makespan %g: %.8g\n" makespan e;
+    print_schedule model ~gantt (Server.solve model ~makespan inst)
+  in
+  let makespan =
+    Arg.(value & opt float 8.0 & info [ "makespan"; "m" ] ~docv:"T" ~doc:"Makespan target.")
+  in
+  Cmd.v
+    (Cmd.info "server" ~doc:"Minimize energy for a makespan target.")
+    Term.(const run $ alpha_term $ instance_term $ makespan $ gantt_flag)
+
+let flow_cmd =
+  let run alpha inst energy gantt =
+    let model = model_of_alpha alpha in
+    let sol = Flow.solve_budget ~alpha ~energy inst in
+    Printf.printf "# total flow %.8g with energy %.8g (last speed %.8g)\n" sol.Flow.flow
+      sol.Flow.energy sol.Flow.last_speed;
+    print_schedule model ~gantt (Flow.schedule inst sol)
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Minimize total flow within an energy budget (equal-work jobs).")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+
+let multi_cmd =
+  let run alpha inst energy m use_flow gantt =
+    let model = model_of_alpha alpha in
+    if use_flow then begin
+      let sol = Multi_flow.solve_budget ~alpha ~m ~energy inst in
+      Printf.printf "# total flow %.8g on %d processors\n" sol.Multi_flow.flow m;
+      print_schedule model ~gantt (Multi_flow.schedule ~m inst sol)
+    end
+    else begin
+      let schedule = Multi.solve model ~m ~energy inst in
+      Printf.printf "# makespan %.8g on %d processors\n" (Metrics.makespan schedule) m;
+      print_schedule model ~gantt schedule
+    end
+  in
+  let m = Arg.(value & opt int 2 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
+  let use_flow = Arg.(value & flag & info [ "flow" ] ~doc:"Optimize total flow instead of makespan.") in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"Multiprocessor scheduling for equal-work jobs (cyclic, Theorem 10).")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag)
+
+let simulate_cmd =
+  let run alpha inst energy levels switch_time switch_energy =
+    let model = model_of_alpha alpha in
+    let plan = Incmerge.solve model ~energy inst in
+    let config =
+      {
+        Sim.levels =
+          (match levels with
+          | None -> None
+          | Some spec ->
+            Some (Discrete_levels.create (List.map float_of_string (String.split_on_char ',' spec))));
+        switch_time;
+        switch_energy;
+      }
+    in
+    let r = Sim.run ~config model inst plan in
+    Printf.printf "plan:      makespan %.6g energy %.6g\n" (Metrics.makespan plan)
+      (Schedule.energy model plan);
+    Printf.printf "simulated: makespan %.6g energy %.6g switches %d\n" r.Sim.makespan r.Sim.energy
+      r.Sim.switches;
+    List.iter
+      (fun res ->
+        Printf.printf "job %d: start %.6g done %.6g\n" res.Sim.job.Job.id res.Sim.start
+          res.Sim.completion)
+      r.Sim.results
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "levels" ] ~docv:"S1,S2,.." ~doc:"Discrete speed levels (two-level emulation).")
+  in
+  let switch_time =
+    Arg.(value & opt float 0.0 & info [ "switch-time" ] ~docv:"T" ~doc:"Stall per speed change.")
+  in
+  let switch_energy =
+    Arg.(value & opt float 0.0 & info [ "switch-energy" ] ~docv:"E" ~doc:"Energy per speed change.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Replay the optimal plan on a simulated DVFS processor.")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ levels $ switch_time $ switch_energy)
+
+let workload_cmd =
+  let run kind n seed work span rate =
+    let arrival =
+      match kind with
+      | "immediate" -> Workload.Immediate
+      | "poisson" -> Workload.Poisson rate
+      | "uniform" -> Workload.Uniform_span span
+      | "bursty" -> Workload.Bursty { bursts = 3; span; jitter = span /. 20.0 }
+      | "staircase" -> Workload.Staircase (span /. float_of_int (Stdlib.max n 1))
+      | other -> failwith (Printf.sprintf "unknown arrival kind %S" other)
+    in
+    let inst = Workload.equal_work ~seed ~n ~work arrival in
+    Printf.printf "# %s workload, n=%d seed=%d\n" kind n seed;
+    Array.iter (fun (j : Job.t) -> Printf.printf "%g %g\n" j.Job.release j.Job.work) (Instance.jobs inst)
+  in
+  let kind =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"immediate | poisson | uniform | bursty | staircase.")
+  in
+  let n = Arg.(value & opt int 16 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let work = Arg.(value & opt float 1.0 & info [ "work" ] ~docv:"W" ~doc:"Work per job.") in
+  let span = Arg.(value & opt float 10.0 & info [ "span" ] ~docv:"T" ~doc:"Arrival span.") in
+  let rate = Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"R" ~doc:"Poisson rate.") in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a synthetic instance (stdout, '--file' format).")
+    Term.(const run $ kind $ n $ seed $ work $ span $ rate)
+
+let deadline_cmd =
+  let run alpha n seed =
+    let model = model_of_alpha alpha in
+    let jobs =
+      Djob.of_triples
+        (Workload.deadline_jobs ~seed ~n ~work:(0.5, 3.0) ~slack:(0.5, 4.0) (Workload.Poisson 1.0))
+    in
+    let yds = Yds.solve model jobs in
+    let avr = Avr.run model jobs in
+    let oa = Optimal_available.run model jobs in
+    Printf.printf "n=%d deadline jobs (seed %d)\n" n seed;
+    Printf.printf "YDS (offline optimal) energy: %.6g\n" yds.Yds.energy;
+    Printf.printf "AVR energy: %.6g (ratio %.4f, bound %g)\n" avr.Avr.energy
+      (avr.Avr.energy /. yds.Yds.energy)
+      (Compete.avr_bound ~alpha);
+    Printf.printf "OA  energy: %.6g (ratio %.4f, bound %g)\n" oa.Optimal_available.energy
+      (oa.Optimal_available.energy /. yds.Yds.energy)
+      (Compete.oa_bound ~alpha)
+  in
+  let n = Arg.(value & opt int 12 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "deadline" ~doc:"Deadline scheduling: YDS vs the online AVR / OA algorithms.")
+    Term.(const run $ alpha_term $ n $ seed)
+
+let maxflow_cmd =
+  let run alpha inst energy m gantt =
+    let model = model_of_alpha alpha in
+    let f, schedule =
+      if m <= 1 then Max_flow.solve model ~energy inst else Max_flow.solve_multi model ~m ~energy inst
+    in
+    Printf.printf "# minimum worst-case flow: %.8g\n" f;
+    print_schedule model ~gantt schedule
+  in
+  let m = Arg.(value & opt int 1 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
+  Cmd.v
+    (Cmd.info "maxflow" ~doc:"Minimize the worst response time within an energy budget (YDS duality).")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag)
+
+let discrete_cmd =
+  let run alpha inst energy levels =
+    let model = model_of_alpha alpha in
+    let levels =
+      Discrete_levels.create (List.map float_of_string (String.split_on_char ',' levels))
+    in
+    let d = Discrete_makespan.solve model levels ~energy inst in
+    Printf.printf "# makespan %.8g using energy %.8g (budget %g)\n" d.Discrete_makespan.makespan
+      d.Discrete_makespan.energy energy;
+    Printf.printf "# continuous relaxation: %.8g\n" (Incmerge.makespan model ~energy inst);
+    List.iter
+      (fun p ->
+        Printf.printf "job %d:" p.Discrete_makespan.job.Job.id;
+        List.iter
+          (fun (s : Speed_profile.segment) ->
+            Printf.printf " [%g,%g]@%g" s.Speed_profile.t0 s.Speed_profile.t1 s.Speed_profile.speed)
+          p.Discrete_makespan.segments;
+        print_newline ())
+      d.Discrete_makespan.plans
+  in
+  let levels =
+    Arg.(
+      value & opt string "0.8,1.8,2.0"
+      & info [ "levels" ] ~docv:"S1,S2,.." ~doc:"Discrete speed levels (default: Athlon 64).")
+  in
+  Cmd.v
+    (Cmd.info "discrete" ~doc:"Laptop problem on a processor with discrete speed levels.")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ levels)
+
+let precedence_cmd =
+  let run alpha energy m n seed layers prob =
+    let dag = Dag.random ~seed ~n ~layers ~edge_prob:prob ~work_range:(0.5, 2.5) in
+    Printf.printf "random DAG: n=%d total work %.2f critical path %.2f\n" n (Dag.total_work dag)
+      (Dag.critical_path_work dag);
+    let u = Precedence.uniform ~alpha ~m ~energy dag in
+    let b = Precedence.critical_boost ~alpha ~m ~energy dag in
+    Printf.printf "uniform makespan:  %.6g\n" u.Precedence.makespan;
+    Printf.printf "boosted makespan:  %.6g\n" b.Precedence.makespan;
+    Printf.printf "lower bound:       %.6g\n" (Precedence.lower_bound ~alpha ~m ~energy dag)
+  in
+  let m = Arg.(value & opt int 3 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
+  let n = Arg.(value & opt int 16 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of tasks.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let layers = Arg.(value & opt int 4 & info [ "layers" ] ~docv:"L" ~doc:"DAG layers.") in
+  let prob = Arg.(value & opt float 0.4 & info [ "edge-prob" ] ~docv:"P" ~doc:"Edge probability.") in
+  Cmd.v
+    (Cmd.info "precedence" ~doc:"Power-aware makespan with precedence constraints (heuristics + bounds).")
+    Term.(const run $ alpha_term $ energy_term $ m $ n $ seed $ layers $ prob)
+
+let thermal_cmd =
+  let run alpha inst energy heating cooling =
+    let model = model_of_alpha alpha in
+    let plan = Incmerge.solve model ~energy inst in
+    let profile = Schedule.profile_of_proc plan 0 in
+    Printf.printf "# peak temperature %.6g (heating %g, cooling %g)\n"
+      (Thermal.max_temperature model ~heating ~cooling profile)
+      heating cooling;
+    List.iter
+      (fun s -> Printf.printf "%g\t%g\n" s.Thermal.time s.Thermal.temperature)
+      (Thermal.trace model ~heating ~cooling profile)
+  in
+  let heating = Arg.(value & opt float 1.0 & info [ "heating" ] ~docv:"A" ~doc:"Heating coefficient.") in
+  let cooling = Arg.(value & opt float 0.5 & info [ "cooling" ] ~docv:"B" ~doc:"Cooling coefficient.") in
+  Cmd.v
+    (Cmd.info "thermal" ~doc:"Temperature trace of the optimal plan (Newton cooling).")
+    Term.(const run $ alpha_term $ instance_term $ energy_term $ heating $ cooling)
+
+let () =
+  let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
+  let info = Cmd.info "pasched" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd; workload_cmd;
+      deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd ]))

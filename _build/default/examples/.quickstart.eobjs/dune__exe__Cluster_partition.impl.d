@@ -1,0 +1,1 @@
+examples/cluster_partition.ml: Array Hardness Instance Job List Load_balance Metrics Multi Partition_solver Power_model Printf Render String Workload

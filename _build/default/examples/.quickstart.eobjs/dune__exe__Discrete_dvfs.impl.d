@@ -1,0 +1,1 @@
+examples/discrete_dvfs.ml: Array Bounded_speed Discrete_levels Incmerge List Metrics Power_model Printf Render Sim String Workload

@@ -1,0 +1,1 @@
+examples/flow_tradeoff.ml: Array Flow Flow_frontier Instance List Multi_flow Printf Render Workload

@@ -1,0 +1,1 @@
+examples/laptop_server.ml: Frontier Instance List Power_model Printf Render Server Workload

@@ -1,0 +1,1 @@
+examples/laptop_server.mli:

@@ -1,0 +1,1 @@
+examples/latency_slo.ml: Dag Flow Incmerge List Max_flow Power_model Precedence Printf Render Schedule Thermal Weighted_flow Workload

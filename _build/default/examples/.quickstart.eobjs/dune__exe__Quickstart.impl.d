@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Frontier Incmerge Instance List Power_model Printf Render Server Sim String

@@ -1,0 +1,1 @@
+examples/trace_savings.ml: Array Float Instance Job List Power_model Printf Server Workload

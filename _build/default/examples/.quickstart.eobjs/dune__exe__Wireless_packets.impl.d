@@ -1,0 +1,1 @@
+examples/wireless_packets.ml: Incmerge Instance List Power_model Printf Render Schedule Workload

@@ -1,0 +1,67 @@
+(* Multiprocessor scheduling: where it is easy and where it is NP-hard.
+
+   Equal-work jobs: the cyclic distribution is provably optimal
+   (Theorem 10) and the whole problem collapses to coupled uniprocessor
+   solves.  Unequal work: Theorem 11 (reduction from Partition) says
+   exact optimization is hopeless, so we climb the heuristic ladder —
+   LPT, local search, Karmarkar-Karp — and measure how close they get.
+
+     dune exec examples/cluster_partition.exe *)
+
+let () =
+  let model = Power_model.cube in
+
+  (* --- the easy case: equal work --- *)
+  let inst = Workload.equal_work ~seed:5 ~n:12 ~work:1.0 (Workload.Poisson 0.9) in
+  Printf.printf "equal-work batch (n=12) on m=3 processors, energy 24:\n";
+  let schedule = Multi.solve model ~m:3 ~energy:24.0 inst in
+  print_string (Render.gantt schedule);
+  print_endline (Render.summary model schedule);
+  let split = Multi.energy_split model ~m:3 ~energy:24.0 inst in
+  Printf.printf "energy split across processors: %s\n"
+    (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.3f") split)));
+  Printf.printf "every processor finishes at %.4f (paper observation 1)\n"
+    (Metrics.makespan schedule);
+
+  (* --- the hard case: unequal work, common release --- *)
+  let works = [ 9.0; 8.0; 7.0; 6.0; 6.0; 5.0; 4.0; 4.0; 3.0; 2.0; 2.0; 1.0 ] in
+  let hard = Instance.of_works works in
+  Printf.printf "\nunequal works %s on m=3, energy 60:\n"
+    (String.concat "," (List.map (Printf.sprintf "%g") works));
+  let lb_makespan = Load_balance.makespan ~alpha:3.0 ~m:3 ~energy:60.0 hard in
+  let exact_assignment = Load_balance.exact ~alpha:3.0 ~m:3 works in
+  let loads = Array.make 3 0.0 in
+  List.iteri (fun i w -> loads.(exact_assignment.(i)) <- loads.(exact_assignment.(i)) +. w) works;
+  let exact_makespan = Load_balance.makespan_of_loads ~alpha:3.0 ~energy:60.0 loads in
+  Printf.printf "LPT+local-search makespan: %.6f\n" lb_makespan;
+  Printf.printf "exact (exhaustive) makespan: %.6f  (gap %.3f%%)\n" exact_makespan
+    (100.0 *. ((lb_makespan /. exact_makespan) -. 1.0));
+  let s = Load_balance.solve ~alpha:3.0 ~m:3 ~energy:60.0 hard in
+  print_string (Render.gantt s);
+
+  (* --- the reduction that proves hardness --- *)
+  Printf.printf "\nTheorem 11 in action: Partition instances as scheduling problems\n";
+  List.iter
+    (fun values ->
+      let answer = Partition_solver.exists values in
+      let via_sched = Hardness.decide_via_scheduling model values in
+      Printf.printf "  [%s]: partition %b, 2-proc schedule meets B/2 at E=B: %b\n"
+        (String.concat ";" (List.map string_of_int values))
+        answer via_sched;
+      if answer then begin
+        match Partition_solver.find values with
+        | Some side ->
+          let sched = Hardness.schedule_of_partition values side in
+          print_string (Render.gantt ~width:48 sched)
+        | None -> ()
+      end)
+    [ [ 4; 5; 6; 7; 8 ]; [ 2; 3; 4; 5; 7 ] ];
+
+  (* at scale, the DP still answers exactly while brute force cannot *)
+  let big = Workload.partition_style ~seed:11 ~n:64 ~max_value:300 in
+  let values =
+    Array.to_list (Array.map (fun (j : Job.t) -> int_of_float j.Job.work) (Instance.jobs big))
+  in
+  Printf.printf "\nn=64 random instance: exact partition exists: %b, KK difference: %d\n"
+    (Partition_solver.exists values)
+    (Partition_solver.karmarkar_karp values)

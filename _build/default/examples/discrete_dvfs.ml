@@ -1,0 +1,63 @@
+(* From the idealized model to a real processor.
+
+   The paper's §6 lists the ways real DVFS hardware differs from the
+   continuous model: discrete speed levels (the AMD Athlon 64's
+   2.0/1.8/0.8 GHz table cited in its introduction), and a stall +
+   energy cost on every speed switch.  This example quantizes a
+   continuous-optimal plan onto level sets of varying granularity and
+   replays it in the simulator with switching costs.
+
+     dune exec examples/discrete_dvfs.exe *)
+
+let () =
+  let model = Power_model.cube in
+  let inst = Workload.uniform_work ~seed:77 ~n:10 ~lo:0.4 ~hi:2.0 (Workload.Poisson 0.8) in
+  let energy = 18.0 in
+  let plan = Incmerge.solve model ~energy inst in
+  Printf.printf "continuous-optimal plan:\n";
+  print_string (Render.gantt plan);
+  print_endline (Render.summary model plan);
+
+  (* the Athlon 64 table from the paper, in GHz *)
+  Printf.printf "\nAthlon 64 levels: %s GHz\n"
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%g") (Discrete_levels.levels Discrete_levels.athlon64))));
+  let r = Sim.run ~config:{ Sim.default_config with Sim.levels = Some Discrete_levels.athlon64 } model inst plan in
+  Printf.printf "replayed on athlon64 levels: makespan %.4f (plan %.4f), energy %.4f (plan %.4f)\n"
+    r.Sim.makespan (Metrics.makespan plan) r.Sim.energy energy;
+
+  (* two-level emulation of one segment, in detail *)
+  (match Discrete_levels.two_level_split Discrete_levels.athlon64 ~work:1.5 ~duration:1.0 with
+  | Some split ->
+    Printf.printf
+      "\nemulating speed 1.5 for 1s: %.3fs at %.1f + %.3fs at %.1f (energy %.4f vs continuous %.4f)\n"
+      split.Discrete_levels.low_time split.Discrete_levels.low_speed split.Discrete_levels.high_time
+      split.Discrete_levels.high_speed
+      (Discrete_levels.split_energy model split)
+      (Power_model.energy_in_time model ~work:1.5 ~duration:1.0)
+  | None -> ());
+
+  (* energy overhead of quantization shrinks quadratically with level density *)
+  Printf.printf "\nquantization overhead vs level-set granularity:\n";
+  Printf.printf "%-10s %-14s\n" "levels" "extra energy";
+  List.iter
+    (fun k ->
+      let levels =
+        Discrete_levels.create (List.init k (fun i -> 4.0 *. float_of_int (i + 1) /. float_of_int k))
+      in
+      let r = Sim.run ~config:{ Sim.default_config with Sim.levels = Some levels } model inst plan in
+      Printf.printf "%-10d %+.3f%%\n" k (100.0 *. (r.Sim.energy -. energy) /. energy))
+    [ 3; 6; 12; 24; 48; 96 ];
+
+  (* switching costs discourage many-block schedules *)
+  Printf.printf "\nswitch overhead (0.02 J + 20 ms per transition):\n";
+  let cfg = { Sim.default_config with Sim.switch_time = 0.02; switch_energy = 0.02 } in
+  let r = Sim.run ~config:cfg model inst plan in
+  Printf.printf "switches: %d, makespan %.4f -> %.4f, energy %.4f -> %.4f\n" r.Sim.switches
+    (Metrics.makespan plan) r.Sim.makespan energy r.Sim.energy;
+
+  (* a speed cap (the top level) can be folded into the solver itself *)
+  let capped = Bounded_speed.solve model ~energy ~cap:2.0 inst in
+  Printf.printf "\nsolver-side speed cap at 2.0: makespan %.4f (uncapped %.4f), cap binds: %b\n"
+    (Metrics.makespan capped) (Metrics.makespan plan)
+    (Bounded_speed.cap_binds model ~energy ~cap:2.0 inst)

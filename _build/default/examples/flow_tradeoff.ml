@@ -1,0 +1,66 @@
+(* Interactive-latency tuning: the energy/flow trade-off.
+
+   Total flow (sum of response times) is the latency metric for
+   interactive systems.  The paper shows the optimal energy/flow curve
+   has no closed form (Theorem 8), but its parametric family — indexed
+   by the last job's speed — is cheap to walk.  This example traces the
+   curve for a request burst, shows the three configuration regimes of
+   the Theorem 8 instance, and runs the same trade-off on multiple
+   cores.
+
+     dune exec examples/flow_tradeoff.exe *)
+
+let () =
+  let alpha = 3.0 in
+
+  (* a burst of 12 equal requests *)
+  let inst = Workload.equal_work ~seed:31 ~n:12 ~work:1.0 (Workload.Poisson 2.0) in
+  Printf.printf "12 equal requests, Poisson arrivals\n\n";
+
+  Printf.printf "energy/flow frontier (parametric sweep, no root finding):\n";
+  Printf.printf "%-12s %-12s %-12s\n" "last-speed" "energy" "flow";
+  List.iter
+    (fun p ->
+      Printf.printf "%-12.4f %-12.4f %-12.4f\n" p.Flow_frontier.last_speed p.Flow_frontier.energy
+        p.Flow_frontier.flow)
+    (Flow_frontier.sweep ~alpha inst ~s_lo:0.4 ~s_hi:4.0 ~n:12);
+
+  (* laptop and server versions *)
+  let budget = 30.0 in
+  let sol = Flow.solve_budget ~alpha ~energy:budget inst in
+  Printf.printf "\nwith %.0f J the best total flow is %.4f (mean response %.4f)\n" budget
+    sol.Flow.flow
+    (sol.Flow.flow /. float_of_int (Instance.n inst));
+  let target = sol.Flow.flow *. 1.25 in
+  let relaxed = Flow.solve_flow_target ~alpha ~flow:target inst in
+  Printf.printf "accepting 25%% worse latency (%.4f) cuts energy to %.4f (-%.1f%%)\n" target
+    relaxed.Flow.energy
+    (100.0 *. (budget -. relaxed.Flow.energy) /. budget);
+
+  print_newline ();
+  print_string (Render.gantt (Flow.schedule inst sol));
+
+  (* the three regimes of the Theorem 8 instance *)
+  Printf.printf "\nTheorem 8 instance (J1,J2 at t=0, J3 at t=1): C2 vs energy\n";
+  Printf.printf "%-10s %-12s %-30s\n" "energy" "C2" "configuration";
+  List.iter
+    (fun e ->
+      let s = Flow.solve_budget ~alpha ~energy:e Instance.theorem8 in
+      let c2 = s.Flow.completions.(1) in
+      let regime =
+        if c2 > 1.0 +. 1e-9 then "all-busy (case 2)"
+        else if c2 < 1.0 -. 1e-9 then "gap (case 1)"
+        else "boundary (case 3: the hard one)"
+      in
+      Printf.printf "%-10.2f %-12.6f %-30s\n" e c2 regime)
+    [ 9.0; 10.0; 10.5; 11.0; 11.5; 12.0; 13.0 ];
+
+  (* multicore: cyclic distribution, shared budget *)
+  Printf.printf "\nsame burst on m cores (energy 30):\n";
+  Printf.printf "%-6s %-12s %-14s\n" "m" "flow" "mean response";
+  List.iter
+    (fun m ->
+      let s = Multi_flow.solve_budget ~alpha ~m ~energy:30.0 inst in
+      Printf.printf "%-6d %-12.4f %-14.4f\n" m s.Multi_flow.flow
+        (s.Multi_flow.flow /. float_of_int (Instance.n inst)))
+    [ 1; 2; 3; 4 ]

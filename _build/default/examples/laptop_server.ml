@@ -1,0 +1,57 @@
+(* Server-farm energy budgeting.
+
+   A cluster operator has a nightly batch of jobs with known arrival
+   times and a service-level objective on the finish time.  The same
+   frontier answers both operational questions:
+
+     - laptop: "we bought E joules; how early can the batch finish?"
+     - server: "we promised to finish by T; how few joules suffice?"
+
+     dune exec examples/laptop_server.exe *)
+
+let () =
+  let model = Power_model.alpha 2.5 in
+  (* a bursty arrival pattern: two waves of work *)
+  let inst =
+    Workload.uniform_work ~seed:2024 ~n:24 ~lo:0.5 ~hi:3.0
+      (Workload.Bursty { bursts = 2; span = 12.0; jitter = 0.8 })
+  in
+  Printf.printf "batch of %d jobs, total work %.1f, releases %.2f..%.2f\n" (Instance.n inst)
+    (Instance.total_work inst) (Instance.first_release inst) (Instance.last_release inst);
+
+  let frontier = Frontier.build model inst in
+
+  Printf.printf "\nLaptop problem (fixed energy -> best makespan):\n";
+  Printf.printf "%-12s %-12s\n" "energy" "makespan";
+  List.iter
+    (fun e -> Printf.printf "%-12.1f %-12.4f\n" e (Frontier.makespan_at frontier e))
+    [ 20.0; 40.0; 80.0; 160.0; 320.0 ];
+
+  Printf.printf "\nServer problem (fixed deadline -> least energy):\n";
+  Printf.printf "%-12s %-12s\n" "makespan" "energy";
+  List.iter
+    (fun t -> Printf.printf "%-12.1f %-12.4f\n" t (Frontier.energy_for_makespan frontier t))
+    [ 40.0; 30.0; 25.0; 20.0; 16.0 ];
+
+  (* marginal cost of tightening the SLO: read it off the derivative *)
+  Printf.printf "\nmarginal energy per unit of makespan (dE/dM = 1 / (dM/dE)):\n";
+  Printf.printf "%-12s %-14s\n" "energy" "dE/dM";
+  List.iter
+    (fun e -> Printf.printf "%-12.1f %-14.4f\n" e (1.0 /. Frontier.deriv1_at frontier e))
+    [ 40.0; 80.0; 160.0 ];
+
+  (* how much does the energy budget shrink if we relax the SLO by 10%? *)
+  let tight = 20.0 in
+  let relaxed = tight *. 1.1 in
+  let e_tight = Frontier.energy_for_makespan frontier tight in
+  let e_relaxed = Frontier.energy_for_makespan frontier relaxed in
+  Printf.printf "\nrelaxing the deadline %.0f -> %.0f saves %.1f%% energy (%.2f -> %.2f)\n" tight
+    relaxed
+    (100.0 *. (e_tight -. e_relaxed) /. e_tight)
+    e_tight e_relaxed;
+
+  (* the schedule that meets the tight SLO *)
+  let schedule = Server.solve model ~makespan:tight inst in
+  print_newline ();
+  print_string (Render.gantt schedule);
+  print_endline (Render.summary model schedule)

@@ -1,0 +1,67 @@
+(* Tail latency, heat, and pipelines: the extension modules together.
+
+   A latency-sensitive service cares about the WORST response time (max
+   flow), not the average; the chassis cares about peak temperature; and
+   batch pipelines have precedence structure.  All three metrics ride on
+   the same speed-scaling machinery:
+
+     - max flow is symmetric and non-decreasing, so the paper's
+       Theorem 10 applies to it, and it dualizes to deadline scheduling
+       (every job must finish within F of its release = YDS);
+     - peak temperature distinguishes schedules that energy alone cannot
+       (racing and smoothing can use the same energy);
+     - precedence-constrained makespan is where the related work goes
+       next, and the power-equality intuition shows up as speed boosts
+       on the critical path.
+
+     dune exec examples/latency_slo.exe *)
+
+let () =
+  let model = Power_model.cube in
+  let inst = Workload.equal_work ~seed:12 ~n:10 ~work:1.0 (Workload.Poisson 0.7) in
+
+  (* --- tail latency: minimize the worst response time --- *)
+  Printf.printf "max-flow (tail latency) vs energy:\n";
+  Printf.printf "%-10s %-14s %-14s\n" "energy" "worst flow" "total flow";
+  List.iter
+    (fun e ->
+      let f, _ = Max_flow.solve model ~energy:e inst in
+      let tf = (Flow.solve_budget ~alpha:3.0 ~energy:e inst).Flow.flow in
+      Printf.printf "%-10.1f %-14.4f %-14.4f\n" e f tf)
+    [ 5.0; 10.0; 20.0; 40.0 ];
+
+  (* SLO form: "no request waits more than 1.5s" *)
+  let slo = 1.5 in
+  Printf.printf "\nenergy to honor a %.1fs worst-case SLO: %.4f J\n" slo
+    (Max_flow.energy_for_max_flow model ~max_flow:slo inst);
+  let f2, sched2 = Max_flow.solve_multi model ~m:2 ~energy:10.0 inst in
+  Printf.printf "two cores at 10 J bring the worst case to %.4f s\n" f2;
+  print_string (Render.gantt sched2);
+
+  (* --- heat: same energy, different peaks --- *)
+  let f1, sched1 = Max_flow.solve model ~energy:10.0 inst in
+  ignore f1;
+  let profile = Schedule.profile_of_proc sched1 0 in
+  Printf.printf "\npeak temperature of the max-flow schedule: %.3f\n"
+    (Thermal.max_temperature model ~heating:1.0 ~cooling:0.5 profile);
+  let lazy_sched = Incmerge.solve model ~energy:10.0 inst in
+  Printf.printf "peak temperature of the makespan-optimal schedule: %.3f\n"
+    (Thermal.max_temperature model ~heating:1.0 ~cooling:0.5 (Schedule.profile_of_proc lazy_sched 0));
+
+  (* --- pipelines: precedence-constrained stages --- *)
+  Printf.printf "\nbuild-pipeline DAG on 3 workers (energy 40):\n";
+  let dag = Dag.random ~seed:5 ~n:16 ~layers:4 ~edge_prob:0.45 ~work_range:(0.5, 2.5) in
+  Printf.printf "total work %.1f, critical path %.1f\n" (Dag.total_work dag)
+    (Dag.critical_path_work dag);
+  let u = Precedence.uniform ~alpha:3.0 ~m:3 ~energy:40.0 dag in
+  let b = Precedence.critical_boost ~alpha:3.0 ~m:3 ~energy:40.0 dag in
+  Printf.printf "uniform speed:      makespan %.4f\n" u.Precedence.makespan;
+  Printf.printf "critical boost:     makespan %.4f\n" b.Precedence.makespan;
+  Printf.printf "lower bound:        %.4f\n" (Precedence.lower_bound ~alpha:3.0 ~m:3 ~energy:40.0 dag);
+
+  (* --- weighted flow: why Theorem 10 needs symmetry --- *)
+  let cyclic_lower, alternative = Weighted_flow.cyclic_suboptimal_example ~alpha:3.0 () in
+  Printf.printf
+    "\nweighted flow with release dates: every cyclic schedule >= %.2f, but another\n\
+     assignment achieves %.2f — the cyclic theorem really needs symmetric metrics\n"
+    cyclic_lower alternative

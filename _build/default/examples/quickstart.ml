@@ -1,0 +1,42 @@
+(* Quickstart: the five-minute tour from the README.
+
+   Build the paper's running instance, solve the laptop problem at a few
+   budgets, draw the schedules, and walk the energy/makespan frontier.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* power = speed^3, the model used throughout the paper's figures *)
+  let model = Power_model.cube in
+
+  (* three jobs: (release, work) — this is the paper's Figure 1 instance *)
+  let inst = Instance.of_pairs [ (0.0, 5.0); (5.0, 2.0); (6.0, 1.0) ] in
+  Format.printf "instance: %a@." Instance.pp inst;
+
+  (* laptop problem: best makespan within an energy budget *)
+  List.iter
+    (fun energy ->
+      let schedule = Incmerge.solve model ~energy inst in
+      Printf.printf "\n-- energy budget %.1f --\n" energy;
+      print_string (Render.gantt schedule);
+      print_endline (Render.summary model schedule))
+    [ 6.0; 12.0; 21.0 ];
+
+  (* server problem: least energy for a makespan target *)
+  let target = 7.0 in
+  let e = Server.min_energy model ~makespan:target inst in
+  Printf.printf "\nserver problem: makespan <= %.1f needs energy %.4f\n" target e;
+
+  (* the full non-dominated frontier *)
+  let frontier = Frontier.build model inst in
+  Printf.printf "\nconfiguration changes at energies: %s\n"
+    (String.concat ", " (List.map (Printf.sprintf "%g") (Frontier.breakpoints frontier)));
+  print_newline ();
+  print_string
+    (Render.series_tsv ~header:("energy", "makespan") (Frontier.sample frontier ~lo:6.0 ~hi:21.0 ~n:16));
+
+  (* replay the plan on the simulated DVFS processor *)
+  let plan = Frontier.schedule_at frontier 12.0 in
+  let report = Sim.run model inst plan in
+  Printf.printf "\nsimulator agrees with the analytic plan: %b\n"
+    (Sim.agrees_with_plan report model plan)

@@ -1,0 +1,1 @@
+lib/core/block.ml: Float Format Instance Job List Power_model Schedule

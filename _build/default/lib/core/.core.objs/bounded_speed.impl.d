@@ -1,0 +1,1 @@
+lib/core/bounded_speed.ml: Array Block Float Incmerge Instance Job List Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/bounded_speed.mli: Instance Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/brute.mli: Block Instance Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/discrete_makespan.ml: Bounded_speed Discrete_levels Float Instance Job List Power_model Rootfind Schedule Speed_profile

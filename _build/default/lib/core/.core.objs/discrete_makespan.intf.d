@@ -1,0 +1,1 @@
+lib/core/discrete_makespan.mli: Discrete_levels Instance Job Power_model Speed_profile

@@ -1,0 +1,1 @@
+lib/core/dp_makespan.ml: Array Block Float Instance Job List Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/dp_makespan.mli: Instance Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Float Instance Job List Rootfind Schedule

@@ -1,0 +1,1 @@
+lib/core/flow_hardness.ml: Array Flow Instance List Poly_ring Qpoly Rat Rootfind Sturm

@@ -1,0 +1,1 @@
+lib/core/flow_spt.ml: Array Float Fun Instance Job Schedule

@@ -1,0 +1,1 @@
+lib/core/frontier.ml: Block Convex Float Incmerge Instance Job List Power_model Schedule

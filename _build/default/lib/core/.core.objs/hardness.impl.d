@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Instance Job List Multi Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/hardness.mli: Instance Power_model Schedule

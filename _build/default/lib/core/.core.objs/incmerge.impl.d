@@ -1,0 +1,1 @@
+lib/core/incmerge.ml: Block Float Instance Job List Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/incmerge.mli: Block Instance Power_model Schedule

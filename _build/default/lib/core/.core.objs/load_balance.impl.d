@@ -1,0 +1,1 @@
+lib/core/load_balance.ml: Array Float Instance Job List Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/core/max_flow.ml: Array Djob Float Hashtbl Instance Job List Multi Rootfind Schedule Speed_profile Yds

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Float Frontier Instance List Rootfind Schedule Stdlib

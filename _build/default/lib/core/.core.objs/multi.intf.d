@@ -1,0 +1,1 @@
+lib/core/multi.mli: Instance Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/multi_flow.ml: Array Float Flow Instance List Multi Rootfind Schedule Stdlib

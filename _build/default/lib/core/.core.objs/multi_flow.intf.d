@@ -1,0 +1,1 @@
+lib/core/multi_flow.mli: Flow Instance Schedule

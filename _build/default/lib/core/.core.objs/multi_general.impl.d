@@ -1,0 +1,1 @@
+lib/core/multi_general.ml: Array Frontier Instance Job List Multi Schedule

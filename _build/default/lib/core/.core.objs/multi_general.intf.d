@@ -1,0 +1,1 @@
+lib/core/multi_general.mli: Instance Power_model Schedule

@@ -1,0 +1,1 @@
+lib/core/online_makespan.ml: Float Incmerge Instance List Online_driver Power_model Printf

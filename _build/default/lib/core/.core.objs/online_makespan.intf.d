@@ -1,0 +1,1 @@
+lib/core/online_makespan.mli: Instance Online_driver Power_model

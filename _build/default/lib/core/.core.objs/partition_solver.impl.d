@@ -1,0 +1,1 @@
+lib/core/partition_solver.ml: Array Bytes List Set

@@ -1,0 +1,1 @@
+lib/core/precedence.ml: Array Dag Float Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/core/precedence.mli: Dag

@@ -1,0 +1,1 @@
+lib/core/server.ml: Frontier Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/weighted_flow.mli:

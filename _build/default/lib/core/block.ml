@@ -1,0 +1,36 @@
+type t = { first : int; last : int; work : float; start : float; speed : float }
+
+let window_speed ~work ~start ~next_release =
+  let dt = next_release -. start in
+  if dt <= 0.0 then Float.infinity else work /. dt
+
+let energy model b =
+  if Float.is_finite b.speed then Power_model.energy_run model ~work:b.work ~speed:b.speed
+  else Float.infinity
+
+let duration b = if Float.is_finite b.speed then b.work /. b.speed else 0.0
+let finish b = b.start +. duration b
+
+let entries inst proc b =
+  let rec go i t acc =
+    if i > b.last then List.rev acc
+    else begin
+      let j = Instance.job inst i in
+      let e = { Schedule.job = j; proc; start = t; speed = b.speed } in
+      go (i + 1) (t +. (j.Job.work /. b.speed)) (e :: acc)
+    end
+  in
+  go b.first b.start []
+
+let jobs_feasible inst b =
+  let rec go i t =
+    if i > b.last then true
+    else begin
+      let j = Instance.job inst i in
+      if t < j.Job.release -. 1e-9 then false else go (i + 1) (t +. (j.Job.work /. b.speed))
+    end
+  in
+  Float.is_finite b.speed && b.speed > 0.0 && go b.first b.start
+
+let pp fmt b =
+  Format.fprintf fmt "block[%d..%d] w=%g start=%g speed=%g" b.first b.last b.work b.start b.speed

@@ -1,0 +1,38 @@
+(** Blocks: maximal substrings of jobs where each job except the last
+    finishes after its successor's release (the paper's §3 definition).
+
+    Lemmas 4–5 make blocks the unit of optimal makespan schedules: a
+    block [(i, j)] starts at [r_i], every job in it runs at the block
+    speed, and — unless it is the last block — it completes exactly at
+    [r_(j+1)].  Hence a non-last block's speed is forced to
+    [work / (r_(j+1) − r_i)], while the last block's speed is whatever
+    exhausts the remaining energy budget. *)
+
+type t = {
+  first : int;  (** index of the first job (0-based, release order) *)
+  last : int;  (** index of the last job, inclusive *)
+  work : float;  (** total work of the jobs in the block *)
+  start : float;  (** the block's start time = release of its first job *)
+  speed : float;  (** running speed of every job in the block *)
+}
+
+val window_speed : work:float -> start:float -> next_release:float -> float
+(** The forced speed of a non-last block: [work / (next_release − start)];
+    [infinity] when the window is empty (equal releases), which only
+    occurs transiently inside IncMerge before a merge resolves it. *)
+
+val energy : Power_model.t -> t -> float
+(** Energy the block consumes ([infinity] for infinite speed). *)
+
+val duration : t -> float
+val finish : t -> float
+
+val entries : Instance.t -> int -> t -> Schedule.entry list
+(** Schedule entries of the block's jobs on the given processor, run
+    back-to-back at the block speed from the block start. *)
+
+val jobs_feasible : Instance.t -> t -> bool
+(** Every job in the block starts at or after its release when the jobs
+    run consecutively at the block speed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+let eps = 1e-9
+
+(* recompute the timeline for a list of blocks (possibly spilling past
+   releases): each block starts at the later of its first release and the
+   previous block's completion *)
+let timeline blocks =
+  let rec go cursor acc = function
+    | [] -> List.rev acc
+    | (b : Block.t) :: rest ->
+      let b = { b with Block.start = Float.max b.Block.start cursor } in
+      go (Block.finish b) (b :: acc) rest
+  in
+  go 0.0 [] blocks
+
+let spent model blocks = List.fold_left (fun acc b -> acc +. Block.energy model b) 0.0 blocks
+
+(* price the final block from the remaining budget, capped *)
+let reprice_final model ~energy ~cap blocks =
+  match List.rev blocks with
+  | [] -> []
+  | last :: prefix_rev ->
+    let used = spent model (List.rev prefix_rev) in
+    let remaining = energy -. used in
+    let speed =
+      if remaining <= 0.0 then Float.min cap last.Block.speed
+      else Float.min cap (Power_model.speed_for_energy model ~work:last.Block.work ~energy:remaining)
+    in
+    timeline (List.rev ({ last with Block.speed } :: prefix_rev))
+
+let clamp_pass model ~energy ~cap blocks =
+  let clamped = List.map (fun (b : Block.t) -> { b with Block.speed = Float.min b.Block.speed cap }) blocks in
+  reprice_final model ~energy ~cap clamped
+
+(* latest block that (a) runs below cap, (b) is chained busily to the end
+   of the schedule, and (c) can still be sped up before its completion
+   hits the next block's first release *)
+let find_candidate ~cap blocks =
+  let arr = Array.of_list blocks in
+  let n = Array.length arr in
+  let rec chained j =
+    (* blocks j..n-2 each complete exactly when the next starts *)
+    j >= n - 1 || (Float.abs (Block.finish arr.(j) -. arr.(j + 1).Block.start) <= eps && chained (j + 1))
+  in
+  let rec search k =
+    if k < 0 then None
+    else begin
+      let b = arr.(k) in
+      if k < n - 1 && b.Block.speed < cap -. eps && chained k then begin
+        let next_release = arr.(k + 1).Block.start in
+        (* next block's start currently equals our finish; its own first
+           release bounds how far it can move earlier *)
+        ignore next_release;
+        Some k
+      end
+      else search (k - 1)
+    end
+  in
+  search (n - 2)
+
+let release_bound_speed inst (b : Block.t) =
+  (* speed at which the block finishes exactly at the release of the next
+     job after it; +inf when the next job is released no later than the
+     block's start *)
+  let next = b.Block.last + 1 in
+  if next >= Instance.n inst then Float.infinity
+  else begin
+    let r = (Instance.job inst next).Job.release in
+    if r <= b.Block.start +. eps then Float.infinity else b.Block.work /. (r -. b.Block.start)
+  end
+
+let improve model ~energy ~cap inst blocks =
+  let rec loop blocks iter =
+    if iter <= 0 then blocks
+    else begin
+      let leftover = energy -. spent model blocks in
+      if leftover <= eps *. (1.0 +. energy) then blocks
+      else
+        match find_candidate ~cap blocks with
+        | None -> blocks
+        | Some k ->
+          let arr = Array.of_list blocks in
+          let b = arr.(k) in
+          let budget_speed =
+            Power_model.speed_for_energy model ~work:b.Block.work ~energy:(Block.energy model b +. leftover)
+          in
+          let s' = Float.min (Float.min cap budget_speed) (release_bound_speed inst b) in
+          if s' <= b.Block.speed +. eps then blocks
+          else begin
+            arr.(k) <- { b with Block.speed = s' };
+            loop (timeline (Array.to_list arr)) (iter - 1)
+          end
+    end
+  in
+  loop blocks (4 * List.length blocks)
+
+let capped_blocks model ~energy ~cap inst =
+  if cap <= 0.0 then invalid_arg "Bounded_speed: cap must be positive";
+  let unbounded = Incmerge.blocks model ~energy inst in
+  if List.for_all (fun b -> b.Block.speed <= cap +. eps) unbounded then unbounded
+  else improve model ~energy ~cap inst (clamp_pass model ~energy ~cap unbounded)
+
+let solve model ~energy ~cap inst =
+  Schedule.of_entries (List.concat_map (Block.entries inst 0) (capped_blocks model ~energy ~cap inst))
+
+let makespan model ~energy ~cap inst =
+  match List.rev (capped_blocks model ~energy ~cap inst) with
+  | [] -> 0.0
+  | last :: _ -> Block.finish last
+
+let cap_binds model ~energy ~cap inst =
+  List.exists (fun b -> b.Block.speed > cap +. eps) (Incmerge.blocks model ~energy inst)

@@ -1,0 +1,26 @@
+(** Maximum-speed extension (§6 future work).
+
+    Real processors have a top speed; the paper proposes minimum/maximum
+    speed bounds as a first step from the idealized continuous model
+    toward the discrete one.  This module solves the laptop problem
+    under a speed cap with a forward clamp-and-spill pass over the
+    IncMerge block structure: blocks whose forced speed exceeds the cap
+    run at the cap and spill past the next release, delaying successors;
+    leftover budget (when the cap binds the final block) is then used to
+    accelerate earlier blocks, latest first, since that is the only
+    remaining way to pull the capped tail earlier.
+
+    When the cap does not bind, the result is exactly {!Incmerge}'s
+    optimum.  When it binds, the schedule is a feasible upper bound
+    whose makespan is monotone in the cap; the repair pass makes it
+    exact on single-spill instances (tested), though we do not claim
+    optimality in general. *)
+
+val solve : Power_model.t -> energy:float -> cap:float -> Instance.t -> Schedule.t
+(** @raise Invalid_argument when [cap <= 0] or [energy <= 0] on a
+    non-empty instance. *)
+
+val makespan : Power_model.t -> energy:float -> cap:float -> Instance.t -> float
+
+val cap_binds : Power_model.t -> energy:float -> cap:float -> Instance.t -> bool
+(** Whether any job in the unbounded optimum exceeds the cap. *)

@@ -1,0 +1,89 @@
+let partitions n =
+  (* all lists of cut positions: a cut after index i means blocks split there *)
+  let rec go i acc =
+    if i >= n - 1 then [ acc ]
+    else go (i + 1) acc @ go (i + 1) (i :: acc)
+  in
+  if n = 0 then [] else List.map (fun cuts -> List.sort compare cuts) (go 0 [])
+
+let blocks_of_cuts model ~energy inst cuts =
+  let n = Instance.n inst in
+  let release i = (Instance.job inst i).Job.release in
+  let bounds =
+    (* block index ranges from the cut set *)
+    let rec go first cuts acc =
+      match cuts with
+      | [] -> List.rev ((first, n - 1) :: acc)
+      | c :: rest -> go (c + 1) rest ((first, c) :: acc)
+    in
+    go 0 cuts []
+  in
+  let rec price acc spent = function
+    | [] -> Some (List.rev acc)
+    | (first, last) :: rest ->
+      let w =
+        let acc = ref 0.0 in
+        for i = first to last do
+          acc := !acc +. (Instance.job inst i).Job.work
+        done;
+        !acc
+      in
+      let start = release first in
+      if last = n - 1 then begin
+        let remaining = energy -. spent in
+        if remaining <= 0.0 then None
+        else
+          match Power_model.speed_for_energy_opt model ~work:w ~energy:remaining with
+          | None -> None
+          | Some speed ->
+            let b = { Block.first; last; work = w; start; speed } in
+            if Block.jobs_feasible inst b then Some (List.rev (b :: acc)) else None
+      end
+      else begin
+        let speed = Block.window_speed ~work:w ~start ~next_release:(release (last + 1)) in
+        if not (Float.is_finite speed) then None
+        else begin
+          let b = { Block.first; last; work = w; start; speed } in
+          if Block.jobs_feasible inst b then
+            price (b :: acc) (spent +. Power_model.energy_run model ~work:w ~speed) rest
+          else None
+        end
+      end
+  in
+  price [] 0.0 bounds
+
+let all_feasible_partitions model ~energy inst =
+  let n = Instance.n inst in
+  if n = 0 then []
+  else begin
+    if n > 20 then invalid_arg "Brute: instance too large for exponential search";
+    if energy <= 0.0 then invalid_arg "Brute: energy budget must be positive";
+    List.filter_map
+      (fun cuts ->
+        match blocks_of_cuts model ~energy inst cuts with
+        | None -> None
+        | Some bs ->
+          let last = List.nth bs (List.length bs - 1) in
+          Some (bs, Block.finish last))
+      (partitions n)
+  end
+
+let best model ~energy inst =
+  match all_feasible_partitions model ~energy inst with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun (bb, bm) (bs, m) -> if m < bm then (bs, m) else (bb, bm)) first rest)
+
+let makespan model ~energy inst =
+  if Instance.is_empty inst then 0.0
+  else
+    match best model ~energy inst with
+    | None -> invalid_arg "Brute.makespan: no feasible partition"
+    | Some (_, m) -> m
+
+let solve model ~energy inst =
+  if Instance.is_empty inst then Schedule.of_entries []
+  else
+    match best model ~energy inst with
+    | None -> invalid_arg "Brute.solve: no feasible partition"
+    | Some (bs, _) -> Schedule.of_entries (List.concat_map (Block.entries inst 0) bs)

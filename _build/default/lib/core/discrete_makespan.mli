@@ -1,0 +1,42 @@
+(** The laptop problem on a processor with {e discrete} speed levels —
+    the §6 future-work direction the paper motivates with the AMD
+    Athlon 64's three-entry frequency table, and the setting Chen, Kuo
+    and Lu prove NP-hard for deadline energy minimization.
+
+    Structure: a constant-speed segment of average speed σ̄ is emulated
+    energy-optimally by the two adjacent levels bracketing σ̄ (the lower
+    convex envelope of the level set — idling is never better above the
+    bottom level since [P] is convex with [P(0) = 0]); below the bottom
+    level the optimum runs at that level and idles.  The block structure
+    is inherited from the continuous relaxation ({!Bounded_speed} with
+    the top level as cap), which is exact in the dense-level limit; the
+    energy accounting on that structure is exact.  The last block's
+    finish time is found by bisection on the piecewise-linear discrete
+    energy-of-duration function.
+
+    Discreteness introduces a second energy floor: work [w] can never be
+    done more cheaply than at the bottom level, [w·P(s_min)/s_min]. *)
+
+type segment_plan = { job : Job.t; segments : Speed_profile.segment list }
+
+type t = {
+  plans : segment_plan list;  (** in release order; per-job two-level traces *)
+  makespan : float;
+  energy : float;  (** actual energy used, at most the budget *)
+}
+
+val energy_of_duration : Power_model.t -> Discrete_levels.t -> work:float -> duration:float -> float option
+(** Minimum discrete-feasible energy to complete [work] within
+    [duration] ([None] when [work/duration] exceeds the top level).
+    Constant for durations past [work/s_min] (run at bottom, idle). *)
+
+val min_energy : Power_model.t -> Discrete_levels.t -> work:float -> float
+(** The discrete energy floor [w·P(s_min)/s_min]. *)
+
+val solve : Power_model.t -> Discrete_levels.t -> energy:float -> Instance.t -> t
+(** @raise Invalid_argument when the budget is below the discrete floor
+    of the whole instance, or when a forced release window needs more
+    than the top speed (with spilling this cannot happen — the window
+    stretches instead). *)
+
+val makespan : Power_model.t -> Discrete_levels.t -> energy:float -> Instance.t -> float

@@ -1,0 +1,183 @@
+type run = { first : int; last : int; pinned : bool; end_speed : float }
+
+type solution = {
+  last_speed : float;
+  runs : run list;
+  speeds : float array;
+  completions : float array;
+  flow : float;
+  energy : float;
+}
+
+let tol = 1e-12
+
+(* speed of job [k] inside a run ending at [last] with end speed [x]:
+   sigma_k^a = x^a + (last - k) s^a  (Theorem 1, case 2 chained) *)
+let job_speed ~alpha ~s x last k =
+  ((x ** alpha) +. (float_of_int (last - k) *. (s ** alpha))) ** (1.0 /. alpha)
+
+let solve_for_last_speed ~alpha inst s =
+  if alpha <= 1.0 then invalid_arg "Flow: need alpha > 1";
+  if s <= 0.0 || not (Float.is_finite s) then invalid_arg "Flow: last speed must be positive";
+  if not (Instance.is_equal_work inst) then
+    invalid_arg "Flow: Theorem 1 structure requires equal-work jobs";
+  let n = Instance.n inst in
+  if n = 0 then
+    { last_speed = s; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  else begin
+    let w = (Instance.job inst 0).Job.work in
+    let release i = (Instance.job inst i).Job.release in
+    let sa = s ** alpha in
+    (* harmonic-like partial sums: H.(l) = sum_{t=1..l} t^(-1/alpha),
+       so a free run of length l takes (w/s) * H.(l) time *)
+    let h = Array.make (n + 1) 0.0 in
+    for t = 1 to n do
+      h.(t) <- h.(t - 1) +. (float_of_int t ** (-1.0 /. alpha))
+    done;
+    let free_duration l = w /. s *. h.(l) in
+    (* pinned end speed: the x >= s at which the run exactly fills its
+       release window *)
+    let pinned_end_speed ~len ~window =
+      if window <= tol then Float.infinity
+      else begin
+        let dur x =
+          let acc = ref 0.0 in
+          for t = 0 to len - 1 do
+            acc := !acc +. (w /. (((x ** alpha) +. (float_of_int t *. sa)) ** (1.0 /. alpha)))
+          done;
+          !acc
+        in
+        let f x = dur x -. window in
+        if f s <= 0.0 then s
+        else begin
+          let hi = ref (Float.max (2.0 *. s) (2.0 *. float_of_int len *. w /. window)) in
+          let i = ref 0 in
+          while f !hi > 0.0 && !i < 200 do
+            hi := !hi *. 2.0;
+            incr i
+          done;
+          Rootfind.brent ~f ~lo:s ~hi:!hi ()
+        end
+      end
+    in
+    let make_run first last =
+      let len = last - first + 1 in
+      if last = n - 1 then { first; last; pinned = false; end_speed = s }
+      else begin
+        let window = release (last + 1) -. release first in
+        if free_duration len < window -. tol then { first; last; pinned = false; end_speed = s }
+        else { first; last; pinned = true; end_speed = pinned_end_speed ~len ~window }
+      end
+    in
+    let first_speed r =
+      if Float.is_finite r.end_speed then job_speed ~alpha ~s r.end_speed r.last r.first
+      else Float.infinity
+    in
+    (* forward pass with merging: a pinned run whose end speed exceeds
+       the Theorem 1 upper bound against its successor merges with it *)
+    let stack = ref [] in
+    for i = 0 to n - 1 do
+      let cur = ref (make_run i i) in
+      let merging = ref true in
+      while !merging do
+        match !stack with
+        | prev :: rest
+          when prev.pinned
+               && (prev.end_speed ** alpha) > (first_speed !cur ** alpha) +. sa +. (1e-9 *. sa) ->
+          stack := rest;
+          cur := make_run prev.first !cur.last
+        | _ -> merging := false
+      done;
+      stack := !cur :: !stack
+    done;
+    let runs = List.rev !stack in
+    (* materialize per-job speeds and completions *)
+    let speeds = Array.make n 0.0 in
+    let completions = Array.make n 0.0 in
+    List.iter
+      (fun r ->
+        let t = ref (release r.first) in
+        for k = r.first to r.last do
+          let sigma = job_speed ~alpha ~s r.end_speed r.last k in
+          speeds.(k) <- sigma;
+          t := !t +. (w /. sigma);
+          completions.(k) <- !t
+        done)
+      runs;
+    let flow = ref 0.0 and energy = ref 0.0 in
+    for k = 0 to n - 1 do
+      flow := !flow +. (completions.(k) -. release k);
+      energy := !energy +. (w *. (speeds.(k) ** (alpha -. 1.0)))
+    done;
+    { last_speed = s; runs; speeds; completions; flow = !flow; energy = !energy }
+  end
+
+let solve_budget ?(eps = 1e-12) ~alpha ~energy inst =
+  if energy <= 0.0 then invalid_arg "Flow.solve_budget: energy must be positive";
+  if Instance.n inst = 0 then
+    { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  else begin
+    let g s = (solve_for_last_speed ~alpha inst s).energy -. energy in
+    (* bracket: energy(s) is continuous and increasing with range (0, inf) *)
+    let lo = ref 1e-6 in
+    while g !lo > 0.0 && !lo > 1e-300 do
+      lo := !lo /. 16.0
+    done;
+    let hi = ref 1.0 in
+    while g !hi < 0.0 && !hi < 1e300 do
+      hi := !hi *. 2.0
+    done;
+    let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in
+    solve_for_last_speed ~alpha inst s
+  end
+
+let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
+  if flow <= 0.0 then invalid_arg "Flow.solve_flow_target: flow target must be positive";
+  if Instance.n inst = 0 then
+    { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  else begin
+    let g s = (solve_for_last_speed ~alpha inst s).flow -. flow in
+    (* flow(s) is decreasing: large s -> tiny flows *)
+    let lo = ref 1e-6 in
+    while g !lo < 0.0 && !lo > 1e-300 do
+      lo := !lo /. 16.0
+    done;
+    let hi = ref 1.0 in
+    while g !hi > 0.0 && !hi < 1e300 do
+      hi := !hi *. 2.0
+    done;
+    let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in
+    solve_for_last_speed ~alpha inst s
+  end
+
+let schedule inst sol =
+  let n = Instance.n inst in
+  let entries = ref [] in
+  for k = n - 1 downto 0 do
+    let j = Instance.job inst k in
+    let start = sol.completions.(k) -. (j.Job.work /. sol.speeds.(k)) in
+    entries := { Schedule.job = j; proc = 0; start; speed = sol.speeds.(k) } :: !entries
+  done;
+  Schedule.of_entries !entries
+
+let theorem1_holds ?(tol = 1e-6) ~alpha inst sol =
+  let n = Instance.n inst in
+  let s = sol.last_speed in
+  let sa = s ** alpha in
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    let r_next = (Instance.job inst (i + 1)).Job.release in
+    let ci = sol.completions.(i) in
+    let si_a = sol.speeds.(i) ** alpha in
+    let upper = (sol.speeds.(i + 1) ** alpha) +. sa in
+    let slack = tol *. (1.0 +. si_a) in
+    let case1 = ci < r_next -. tol && Float.abs (sol.speeds.(i) -. s) <= tol *. (1.0 +. s) in
+    let case2 = ci > r_next +. tol && Float.abs (si_a -. upper) <= slack in
+    let case3 =
+      Float.abs (ci -. r_next) <= tol *. (1.0 +. r_next)
+      && si_a >= sa -. slack
+      && si_a <= upper +. slack
+    in
+    if not (case1 || case2 || case3) then ok := false
+  done;
+  !ok

@@ -1,0 +1,22 @@
+(** The energy/flow trade-off curve for equal-work uniprocessor flow.
+
+    Unlike the makespan frontier (closed-form arcs, {!Frontier}),
+    Theorem 8 rules out exact representations here: the curve is traced
+    {e parametrically} in the last-job speed [s], which requires no root
+    finding at all — each [s] maps to one (energy, flow) point of the
+    optimal family.  This realizes the paper's remark that the PUW
+    approach can plot the tradeoff, with the boundary-configuration
+    stretches (where a job completes exactly at the next release) filled
+    by the same parametric machinery. *)
+
+type point = { last_speed : float; energy : float; flow : float }
+
+val sweep : alpha:float -> Instance.t -> s_lo:float -> s_hi:float -> n:int -> point list
+(** Sample the optimal family at [n] geometrically spaced speeds.
+    @raise Invalid_argument unless [0 < s_lo < s_hi] and [n >= 2]. *)
+
+val curve : alpha:float -> Instance.t -> e_lo:float -> e_hi:float -> n:int -> (float * float) list
+(** [(energy, flow)] points on an even energy grid (each solved by
+    bisection; use {!sweep} when the parametrization is acceptable). *)
+
+val flow_at : alpha:float -> energy:float -> Instance.t -> float

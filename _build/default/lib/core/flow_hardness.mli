@@ -1,0 +1,70 @@
+(** The machinery behind Theorem 8: flow cannot be minimized exactly.
+
+    The paper's argument: on the instance [J1, J2] at time 0 and [J3] at
+    time 1 (unit works, [power = speed³]), a boundary configuration has
+    [J2] finish exactly at time 1; eliminating σ1 and σ3 from the energy
+    equation, the completion equation [1/σ1 + 1/σ2 = 1] and the
+    Theorem 1 relation [σ1³ = σ2³ + σ3³] leaves a degree-12 polynomial
+    in σ2 whose Galois group GAP reports unsolvable — hence no
+    closed-form algorithm using arithmetic and roots.
+
+    GAP is not available here, so we reproduce every machine-checkable
+    part with exact rational arithmetic: the elimination itself (the
+    derived polynomial must equal the paper's, coefficient by
+    coefficient), Sturm-certified root isolation, and agreement between
+    the isolated root and the boundary configuration computed
+    numerically by {!Flow}.  Unsolvability of the Galois group is cited,
+    not recomputed.
+
+    One measured correction, recorded in EXPERIMENTS.md: the boundary
+    window for this instance is energies ≈(10.32, 11.54), not the
+    paper's "(≈8.43, ≈11.54)" — at E = 9 the true optimum has
+    [C2 ≈ 1.071 > 1] with strictly smaller flow (2.3613 vs 2.4948) than
+    the boundary stationary point, which our tests certify by brute
+    force.  The polynomial identity and the impossibility argument are
+    unaffected: inside the true window the boundary equations govern
+    the optimum and the same elimination applies at any energy. *)
+
+val paper_polynomial : Qpoly.t
+(** The degree-12 polynomial printed in the paper (energy budget 9):
+    [2σ₂¹² − 12σ₂¹¹ + 6σ₂¹⁰ + 108σ₂⁹ − 159σ₂⁸ − 738σ₂⁷ + 2415σ₂⁶ −
+    1026σ₂⁵ − 5940σ₂⁴ + 12150σ₂³ − 10449σ₂² + 4374σ₂ − 729]. *)
+
+val derived_polynomial : energy:Rat.t -> Qpoly.t
+(** Eliminate σ1 and σ3 symbolically for an arbitrary rational budget:
+    with [σ1 = x/(x−1)] and [σ3³ = σ1³ − x³],
+    [x⁶(1−(x−1)³)² − (E(x−1)² − x² − x²(x−1)²)³].  For [energy = 9] this
+    equals {!paper_polynomial} up to a constant factor. *)
+
+val derived_via_resultant : energy:Rat.t -> Qpoly.t
+(** The same elimination done by textbook elimination theory instead of
+    substitution: treat the optimality system as polynomials in the
+    tower Q[σ2][σ1][σ3] and take two Sylvester resultants
+    (first eliminating σ3 between the energy and Theorem 1 equations,
+    then σ1 against the completion equation).  Resultants may carry
+    extraneous factors, so the guarantee — checked in the tests — is
+    that {!derived_polynomial} {e divides} this one. *)
+
+val proportional : Qpoly.t -> Qpoly.t -> bool
+(** Equality up to a nonzero rational factor. *)
+
+val boundary_roots : energy:float -> float list
+(** Sturm-certified real roots of the derived polynomial inside the
+    feasible range [σ2 ∈ (1, 2)] (σ1 positive and no faster than ...
+    slower than σ2 would violate Theorem 1's monotone structure). *)
+
+val sigma2_numeric : energy:float -> float
+(** σ2 of the flow-optimal schedule at the given budget (computed by
+    {!Flow.solve_budget} on the Theorem 8 instance). *)
+
+val measured_window : ?tol:float -> unit -> float * float
+(** The energy interval on which the optimum of the Theorem 8 instance
+    has the boundary configuration ([C2 = 1]), located by bisection on
+    the solver's classification. *)
+
+val analytic_window : unit -> float * float
+(** Closed forms for the window endpoints:
+    lower = [(3^⅔+2^⅔+1)(3^{-⅓}+2^{-⅓})²] ≈ 10.3218 (the all-busy
+    configuration stops being consistent), upper =
+    [(2+2^⅔)(1+2^{-⅓})²] ≈ 11.5422 (the gap configuration takes over —
+    matching the paper's ≈11.54). *)

@@ -1,0 +1,88 @@
+type solution = {
+  order : int array;
+  speeds : float array;
+  completions : float array;
+  flow : float;
+  energy : float;
+}
+
+let validate ~energy works =
+  if energy <= 0.0 then invalid_arg "Flow_spt: energy must be positive";
+  Array.iter (fun w -> if w <= 0.0 then invalid_arg "Flow_spt: works must be positive") works
+
+(* optimal speeds for a fixed order: position p (0-indexed) delays
+   n - p completions, so sigma_p = c * (n - p)^(1/alpha); the scale c
+   exhausts the budget *)
+let solve_order ~alpha ~energy works order =
+  let n = Array.length order in
+  let coeff p = float_of_int (n - p) ** (1.0 /. alpha) in
+  (* energy = sum w_p (c k_p)^(alpha-1) -> c^(alpha-1) * sum w_p k_p^(alpha-1) *)
+  let s_sum = ref 0.0 in
+  for p = 0 to n - 1 do
+    s_sum := !s_sum +. (works.(order.(p)) *. (coeff p ** (alpha -. 1.0)))
+  done;
+  let c = (energy /. !s_sum) ** (1.0 /. (alpha -. 1.0)) in
+  let speeds = Array.init n (fun p -> c *. coeff p) in
+  let completions = Array.make n 0.0 in
+  let t = ref 0.0 in
+  for p = 0 to n - 1 do
+    t := !t +. (works.(order.(p)) /. speeds.(p));
+    completions.(p) <- !t
+  done;
+  let flow = Array.fold_left ( +. ) 0.0 completions in
+  { order = Array.copy order; speeds; completions; flow; energy }
+
+let solve ~alpha ~energy ~works =
+  validate ~energy works;
+  let n = Array.length works in
+  if n = 0 then { order = [||]; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  else begin
+    let order = Array.init n Fun.id in
+    (* SPT: shortest work first *)
+    Array.sort (fun a b -> compare (works.(a), a) (works.(b), b)) order;
+    solve_order ~alpha ~energy works order
+  end
+
+let solve_instance ~alpha ~energy inst =
+  if not (Instance.has_common_release inst) || (not (Instance.is_empty inst) && Instance.first_release inst <> 0.0)
+  then invalid_arg "Flow_spt: requires all releases at time 0";
+  let jobs = Instance.jobs inst in
+  let works = Array.map (fun (j : Job.t) -> j.Job.work) jobs in
+  let sol = solve ~alpha ~energy ~works in
+  let entries = ref [] in
+  let t = ref 0.0 in
+  Array.iteri
+    (fun p idx ->
+      let j = jobs.(idx) in
+      entries := { Schedule.job = j; proc = 0; start = !t; speed = sol.speeds.(p) } :: !entries;
+      t := !t +. (j.Job.work /. sol.speeds.(p)))
+    sol.order;
+  (sol, Schedule.of_entries !entries)
+
+let brute ~alpha ~energy ~works =
+  validate ~energy works;
+  let n = Array.length works in
+  if n > 8 then invalid_arg "Flow_spt.brute: too many jobs";
+  if n = 0 then 0.0
+  else begin
+    let best = ref Float.infinity in
+    let order = Array.init n Fun.id in
+    let rec permute k =
+      if k = n then begin
+        let s = solve_order ~alpha ~energy works order in
+        if s.flow < !best then best := s.flow
+      end
+      else
+        for i = k to n - 1 do
+          let t = order.(k) in
+          order.(k) <- order.(i);
+          order.(i) <- t;
+          permute (k + 1);
+          let t = order.(k) in
+          order.(k) <- order.(i);
+          order.(i) <- t
+        done
+    in
+    permute 0;
+    !best
+  end

@@ -1,0 +1,31 @@
+(** Total flow for {e unequal} works with a common release — the
+    companion case to {!Flow} (which handles equal works with release
+    dates).
+
+    With every job available at time 0 the problem is exactly solvable,
+    unlike Theorem 8's setting: the KKT conditions give position-only
+    speeds [σ_p^α ∝ (n − p)] (a job in position [p], 0-indexed, delays
+    [n − p] completions including its own), and with the speeds fixed by
+    position an exchange argument puts the jobs in SPT order (shortest
+    work first).  Scaling to the energy budget is explicit.  This is
+    another face of the paper's message: release dates, not work
+    inhomogeneity, are what make flow hard. *)
+
+type solution = {
+  order : int array;  (** job indices in execution order (SPT) *)
+  speeds : float array;  (** by execution position *)
+  completions : float array;
+  flow : float;
+  energy : float;
+}
+
+val solve : alpha:float -> energy:float -> works:float array -> solution
+(** @raise Invalid_argument on non-positive works or energy. *)
+
+val solve_instance : alpha:float -> energy:float -> Instance.t -> solution * Schedule.t
+(** Same, from an instance (must have common release 0); also returns
+    the concrete schedule. *)
+
+val brute : alpha:float -> energy:float -> works:float array -> float
+(** Best flow over all orders (each order gets its own optimal speeds).
+    @raise Invalid_argument when [n > 8]. *)

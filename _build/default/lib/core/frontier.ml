@@ -1,0 +1,194 @@
+type segment = {
+  prefix : Block.t list;
+  e_fixed : float;
+  last_first : int;
+  last_work : float;
+  last_start : float;
+  e_min : float;
+  e_max : float;
+}
+
+type t = { model : Power_model.t; inst : Instance.t; segs : segment list (* decreasing energy *) }
+
+let build model inst =
+  let n = Instance.n inst in
+  if n = 0 then { model; inst; segs = [] }
+  else begin
+    let release i = (Instance.job inst i).Job.release in
+    let work i = (Instance.job inst i).Job.work in
+    (* first configuration: window blocks for jobs 0..n-2 (in reverse,
+       top of stack first), last job alone as the varying block *)
+    let prefix_rev = ref (List.rev (Incmerge.window_blocks inst ~upto:(n - 2))) in
+    let e_fixed = ref 0.0 in
+    (* sum of finite prefix energies; infinite-speed blocks sit on top of
+       the stack and never appear in an emitted segment *)
+    List.iter
+      (fun b -> if Float.is_finite b.Block.speed then e_fixed := !e_fixed +. Block.energy model b)
+      !prefix_rev;
+    let last_first = ref (n - 1) in
+    let last_work = ref (work (n - 1)) in
+    let last_start = ref (release (n - 1)) in
+    let e_max = ref Float.infinity in
+    let segs = ref [] in
+    let emit e_min =
+      if e_min < !e_max then begin
+        segs :=
+          {
+            prefix = List.rev !prefix_rev;
+            e_fixed = !e_fixed;
+            last_first = !last_first;
+            last_work = !last_work;
+            last_start = !last_start;
+            e_min;
+            e_max = !e_max;
+          }
+          :: !segs;
+        e_max := e_min
+      end
+    in
+    let continue = ref true in
+    while !continue do
+      match !prefix_rev with
+      | [] ->
+        emit 0.0;
+        continue := false
+      | prev :: rest ->
+        let merge_energy =
+          if Float.is_finite prev.Block.speed then
+            !e_fixed +. Power_model.energy_run model ~work:!last_work ~speed:prev.Block.speed
+          else Float.infinity
+        in
+        emit merge_energy;
+        (* merge prev into the varying last block *)
+        prefix_rev := rest;
+        if Float.is_finite prev.Block.speed then e_fixed := !e_fixed -. Block.energy model prev;
+        last_first := prev.Block.first;
+        last_work := !last_work +. prev.Block.work;
+        last_start := prev.Block.start
+    done;
+    { model; inst; segs = List.rev !segs }
+  end
+
+let segments t = t.segs
+
+let breakpoints t =
+  t.segs
+  |> List.filter_map (fun s -> if s.e_min > 0.0 && Float.is_finite s.e_min then Some s.e_min else None)
+  |> List.sort compare
+
+let segment_at t e =
+  if t.segs = [] then invalid_arg "Frontier.segment_at: empty instance";
+  if e <= 0.0 then invalid_arg "Frontier.segment_at: energy must be positive";
+  let rec go = function
+    | [] -> invalid_arg "Frontier.segment_at: internal gap in segments"
+    | [ s ] -> s
+    | s :: rest -> if e > s.e_min then s else go rest
+  in
+  go t.segs
+
+let last_speed t s e = Power_model.speed_for_energy t.model ~work:s.last_work ~energy:(e -. s.e_fixed)
+
+let makespan_at t e =
+  let s = segment_at t e in
+  s.last_start +. (s.last_work /. last_speed t s e)
+
+let deriv1_at t e =
+  let s = segment_at t e in
+  match Power_model.alpha_exponent t.model with
+  | Some a ->
+    let beta = 1.0 /. (a -. 1.0) in
+    let x = e -. s.e_fixed in
+    -.beta *. (s.last_work ** (1.0 +. beta)) *. (x ** (-.beta -. 1.0))
+  | None ->
+    let h = 1e-6 *. (1.0 +. Float.abs e) in
+    (makespan_at t (e +. h) -. makespan_at t (e -. h)) /. (2.0 *. h)
+
+let deriv2_at t e =
+  let s = segment_at t e in
+  match Power_model.alpha_exponent t.model with
+  | Some a ->
+    let beta = 1.0 /. (a -. 1.0) in
+    let x = e -. s.e_fixed in
+    beta *. (beta +. 1.0) *. (s.last_work ** (1.0 +. beta)) *. (x ** (-.beta -. 2.0))
+  | None ->
+    let h = 1e-5 *. (1.0 +. Float.abs e) in
+    (makespan_at t (e +. h) -. (2.0 *. makespan_at t e) +. makespan_at t (e -. h)) /. (h *. h)
+
+let min_makespan_limit t =
+  match t.segs with
+  | [] -> 0.0
+  | first :: _ -> first.last_start
+
+let energy_for_makespan t m =
+  if t.segs = [] then 0.0
+  else begin
+    if m <= min_makespan_limit t then
+      invalid_arg "Frontier.energy_for_makespan: target below the achievable infimum";
+    (* segments in decreasing energy order = increasing makespan order *)
+    let rec go = function
+      | [] -> invalid_arg "Frontier.energy_for_makespan: no segment (unreachable)"
+      | [ s ] ->
+        let sigma = s.last_work /. (m -. s.last_start) in
+        s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
+      | s :: rest ->
+        (* the segment covers makespans in [M(e_max), M(e_min)) *)
+        let m_hi = s.last_start +. (s.last_work /. last_speed t s s.e_min) in
+        if m < m_hi then begin
+          let sigma = s.last_work /. (m -. s.last_start) in
+          s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
+        end
+        else go rest
+    in
+    go t.segs
+  end
+
+let schedule_at t e =
+  if t.segs = [] then Schedule.of_entries []
+  else begin
+    let s = segment_at t e in
+    let last_block =
+      {
+        Block.first = s.last_first;
+        last = Instance.n t.inst - 1;
+        work = s.last_work;
+        start = s.last_start;
+        speed = last_speed t s e;
+      }
+    in
+    Schedule.of_entries
+      (List.concat_map (Block.entries t.inst 0) (s.prefix @ [ last_block ]))
+  end
+
+let min_energy_delay ?(delay_exponent = 1.0) t =
+  if t.segs = [] then invalid_arg "Frontier.min_energy_delay: empty instance";
+  if delay_exponent <= 0.0 then invalid_arg "Frontier.min_energy_delay: exponent must be positive";
+  let objective ln_e =
+    let e = Float.exp ln_e in
+    ln_e +. (delay_exponent *. Float.log (makespan_at t e))
+  in
+  (* scale-aware bracket: around the total work at unit-ish speeds *)
+  let w = Instance.total_work t.inst in
+  let lo = Float.log (Float.max 1e-9 (w *. 1e-4)) and hi = Float.log (w *. 1e5) in
+  (* coarse scan to localize the optimum, then golden section *)
+  let grid = 256 in
+  let best = ref (objective lo) and best_ln = ref lo in
+  for i = 1 to grid do
+    let ln_e = lo +. ((hi -. lo) *. float_of_int i /. float_of_int grid) in
+    let v = objective ln_e in
+    if v < !best then begin
+      best := v;
+      best_ln := ln_e
+    end
+  done;
+  let step = (hi -. lo) /. float_of_int grid in
+  let ln_star =
+    Convex.golden_min ~f:objective ~lo:(!best_ln -. (2.0 *. step)) ~hi:(!best_ln +. (2.0 *. step)) ()
+  in
+  let e_star = Float.exp ln_star in
+  (e_star, e_star *. (makespan_at t e_star ** delay_exponent))
+
+let sample t ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Frontier.sample: need at least two points";
+  List.init n (fun i ->
+      let e = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+      (e, makespan_at t e))

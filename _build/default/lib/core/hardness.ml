@@ -1,0 +1,54 @@
+type reduced = {
+  instance : Instance.t;
+  makespan_target : float;
+  energy_budget : float;
+}
+
+let reduce model values =
+  List.iter (fun v -> if v <= 0 then invalid_arg "Hardness.reduce: values must be positive") values;
+  let b = List.fold_left ( + ) 0 values in
+  if b land 1 = 1 then invalid_arg "Hardness.reduce: odd total has no partition";
+  let instance = Instance.of_works (List.map float_of_int values) in
+  {
+    instance;
+    makespan_target = float_of_int b /. 2.0;
+    energy_budget = Power_model.energy_run model ~work:(float_of_int b) ~speed:1.0;
+  }
+
+let schedule_of_partition values side =
+  if List.length values <> List.length side then
+    invalid_arg "Hardness.schedule_of_partition: length mismatch";
+  let b = List.fold_left ( + ) 0 values in
+  let sum1 =
+    List.fold_left2 (fun acc v s -> if s then acc + v else acc) 0 values side
+  in
+  if 2 * sum1 <> b then invalid_arg "Hardness.schedule_of_partition: not a perfect partition";
+  let inst = Instance.of_works (List.map float_of_int values) in
+  (* jobs of Instance.of_works keep input order as ids 0..n-1 *)
+  let sides = Array.of_list side in
+  let cursor = [| 0.0; 0.0 |] in
+  let entries =
+    Array.to_list (Instance.jobs inst)
+    |> List.map (fun (j : Job.t) ->
+           let p = if sides.(j.Job.id) then 0 else 1 in
+           let start = cursor.(p) in
+           cursor.(p) <- start +. j.Job.work;
+           { Schedule.job = j; proc = p; start; speed = 1.0 })
+  in
+  Schedule.of_entries entries
+
+let partition_of_schedule sched =
+  Schedule.entries sched
+  |> List.sort (fun a b -> compare a.Schedule.job.Job.id b.Schedule.job.Job.id)
+  |> List.map (fun e -> e.Schedule.proc = 0)
+
+let decide_via_scheduling model values =
+  (* an odd total can never partition (the paper assumes even B;
+     deciding "no" directly keeps the oracle total) *)
+  if List.fold_left ( + ) 0 values land 1 = 1 then false
+  else begin
+  let r = reduce model values in
+  if Instance.n r.instance > 10 then invalid_arg "Hardness.decide_via_scheduling: too large";
+  let opt = Multi.brute_makespan model ~m:2 ~energy:r.energy_budget r.instance in
+  opt <= r.makespan_target +. (1e-6 *. (1.0 +. r.makespan_target))
+  end

@@ -1,0 +1,33 @@
+(** Theorem 11: nonpreemptive power-aware multiprocessor makespan is
+    NP-hard when jobs can require different amounts of work, even with
+    common release — by reduction from Partition.
+
+    Given a multiset [A] with sum [B], the reduction creates a job per
+    element ([r = 0], [w = aᵢ]) and asks for a 2-processor schedule with
+    makespan [B/2] under an energy budget that lets work [B] run at
+    speed 1 ([E = B] for the α-model, since convexity forces every job
+    to speed exactly 1 in a tight schedule).  A perfect partition and
+    such a schedule are then the same object. *)
+
+type reduced = {
+  instance : Instance.t;
+  makespan_target : float;  (** [B/2] *)
+  energy_budget : float;  (** energy for work [B] at speed 1 *)
+}
+
+val reduce : Power_model.t -> int list -> reduced
+(** @raise Invalid_argument on non-positive values or an odd sum. *)
+
+val schedule_of_partition : int list -> bool list -> Schedule.t
+(** The forward direction: a speed-1 two-processor schedule from a
+    perfect partition; meets the target exactly (for any power model —
+    speeds are all 1).
+    @raise Invalid_argument when the split is not perfect. *)
+
+val partition_of_schedule : Schedule.t -> bool list
+(** The backward direction: read the processor sides off a schedule. *)
+
+val decide_via_scheduling : Power_model.t -> int list -> bool
+(** Decide Partition by the (exponential) multiprocessor makespan oracle
+    on the reduced instance — demonstrates the reduction's correctness
+    on small inputs.  @raise Invalid_argument when [n > 10]. *)

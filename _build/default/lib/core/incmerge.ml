@@ -1,0 +1,121 @@
+(* Stack-based IncMerge.  Stack cells carry the block plus its energy so
+   the final block's remaining budget is maintained in O(1) per merge.
+
+   The block being built at the top of the stack is "open": its speed is
+   window-determined while more jobs remain, and budget-determined once
+   job n-1 has been absorbed.  An empty release window makes a transient
+   infinite-speed block; the next push always merges it away, so infinite
+   energies never reach the remaining-budget computation. *)
+
+type cell = { block : Block.t; energy : float; cum : float }
+(* [cum] is the total energy of this cell and everything below it on the
+   stack.  Using per-cell cumulative sums (instead of a mutable running
+   total) avoids catastrophic cancellation when a transient very fast
+   block with huge energy is pushed and popped. *)
+
+(* a remaining budget at or below the model's energy floor behaves like
+   speed 0: the block is "too slow", which forces a merge with its
+   predecessor (freeing that block's window energy) *)
+let final_speed model ~work ~remaining =
+  if remaining <= 0.0 then 0.0
+  else match Power_model.speed_for_energy_opt model ~work ~energy:remaining with
+    | Some s -> s
+    | None -> 0.0
+
+let blocks model ~energy inst =
+  let n = Instance.n inst in
+  if n = 0 then []
+  else begin
+    if energy <= 0.0 then invalid_arg "Incmerge.blocks: energy budget must be positive";
+    let release i = (Instance.job inst i).Job.release in
+    let work i = (Instance.job inst i).Job.work in
+    (* stack of settled cells, top first *)
+    let stack = ref [] in
+    let e_sum () = match !stack with [] -> 0.0 | c :: _ -> c.cum in
+    let push c = stack := { c with cum = e_sum () +. c.energy } :: !stack in
+    let pop () =
+      match !stack with
+      | [] -> invalid_arg "Incmerge: pop on empty stack"
+      | c :: rest ->
+        stack := rest;
+        c
+    in
+    (* speed/energy of a window block covering jobs [first..last] *)
+    let window_cell first last w =
+      let start = release first in
+      let speed = Block.window_speed ~work:w ~start ~next_release:(release (last + 1)) in
+      let block = { Block.first; last; work = w; start; speed } in
+      (* a transient infinite-speed block (empty release window) always
+         merges away on the next push, before any remaining-budget
+         computation, so its stored energy can safely be 0 — storing
+         [infinity] would corrupt the cumulative sums *)
+      { block; energy = (if Float.is_finite speed then Block.energy model block else 0.0); cum = 0.0 }
+    in
+    let budget_cell first last w =
+      let start = release first in
+      let remaining = energy -. e_sum () in
+      let speed = final_speed model ~work:w ~remaining in
+      let block = { Block.first; last; work = w; start; speed } in
+      { block; energy = Float.max remaining 0.0; cum = 0.0 }
+    in
+    for i = 0 to n - 1 do
+      let is_final = i = n - 1 in
+      let cell = ref (if is_final then budget_cell i i (work i) else window_cell i i (work i)) in
+      let merging = ref true in
+      while !merging do
+        match !stack with
+        | prev :: _ when !cell.block.Block.speed < prev.block.Block.speed ->
+          let prev = pop () in
+          let first = prev.block.Block.first in
+          let last = !cell.block.Block.last in
+          let w = prev.block.Block.work +. !cell.block.Block.work in
+          cell := if last = n - 1 then budget_cell first last w else window_cell first last w
+        | _ -> merging := false
+      done;
+      push !cell
+    done;
+    (match !stack with
+    | { block = { Block.speed; _ }; _ } :: _ when speed <= 0.0 ->
+      invalid_arg "Incmerge.blocks: budget below the power model's energy floor"
+    | _ -> ());
+    List.rev_map (fun c -> c.block) !stack
+  end
+
+let energy_used model bs = List.fold_left (fun acc b -> acc +. Block.energy model b) 0.0 bs
+
+let window_blocks inst ~upto =
+  let n = Instance.n inst in
+  if upto >= n - 1 || upto < -1 then invalid_arg "Incmerge.window_blocks: upto out of range";
+  let release i = (Instance.job inst i).Job.release in
+  let work i = (Instance.job inst i).Job.work in
+  let stack = ref [] in
+  for i = 0 to upto do
+    let cell = ref (let start = release i in
+                    let w = work i in
+                    { Block.first = i; last = i; work = w; start;
+                      speed = Block.window_speed ~work:w ~start ~next_release:(release (i + 1)) })
+    in
+    let merging = ref true in
+    while !merging do
+      match !stack with
+      | prev :: rest when !cell.Block.speed < prev.Block.speed ->
+        stack := rest;
+        let w = prev.Block.work +. !cell.Block.work in
+        let start = prev.Block.start in
+        cell :=
+          { Block.first = prev.Block.first; last = !cell.Block.last; work = w; start;
+            speed = Block.window_speed ~work:w ~start ~next_release:(release (!cell.Block.last + 1)) }
+      | _ -> merging := false
+    done;
+    stack := !cell :: !stack
+  done;
+  List.rev !stack
+
+let solve model ~energy inst =
+  let bs = blocks model ~energy inst in
+  Schedule.of_entries (List.concat_map (Block.entries inst 0) bs)
+
+let makespan model ~energy inst =
+  match List.rev (blocks model ~energy inst) with
+  | [] -> 0.0
+  | last :: _ -> Block.finish last

@@ -1,0 +1,33 @@
+(** IncMerge — the paper's linear-time algorithm for the uniprocessor
+    laptop problem (§3.1): given an energy budget, find the schedule of
+    minimum makespan.
+
+    Jobs are added in release order, each starting its own block; while
+    the last block runs slower than its predecessor the two are merged.
+    Non-last block speeds are forced by the release window (Lemma 4/5);
+    the last block's speed is chosen to exhaust the remaining budget.
+    Lemma 7 shows the unique schedule with the five structural
+    properties is optimal, so no search is needed. *)
+
+val blocks : Power_model.t -> energy:float -> Instance.t -> Block.t list
+(** The optimal block decomposition.  Runs in O(n) after sorting (the
+    [Instance] is already sorted).
+    @raise Invalid_argument when [energy <= 0] on a non-empty instance. *)
+
+val solve : Power_model.t -> energy:float -> Instance.t -> Schedule.t
+(** The optimal schedule itself (single processor, index 0). *)
+
+val makespan : Power_model.t -> energy:float -> Instance.t -> float
+(** Makespan of the optimal schedule; 0 for an empty instance. *)
+
+val energy_used : Power_model.t -> Block.t list -> float
+(** Total energy of a block decomposition — for a budget [E] this is
+    [E] up to rounding (the last block exhausts the budget). *)
+
+val window_blocks : Instance.t -> upto:int -> Block.t list
+(** The merge phase of IncMerge with window-determined speeds only, on
+    jobs [0..upto]: the block structure of the first configuration in
+    {!Frontier} (every block priced against the next job's release,
+    budget ignored).  The window of job [upto]'s block ends at release
+    [upto + 1], which must exist.
+    @raise Invalid_argument when [upto >= n - 1] or [upto < -1]. *)

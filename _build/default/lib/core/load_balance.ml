@@ -1,0 +1,141 @@
+let norm_alpha ~alpha loads = Array.fold_left (fun acc l -> acc +. (l ** alpha)) 0.0 loads
+
+let makespan_of_loads ~alpha ~energy loads =
+  if energy <= 0.0 then invalid_arg "Load_balance: energy must be positive";
+  (norm_alpha ~alpha loads /. energy) ** (1.0 /. (alpha -. 1.0))
+
+let loads_of_assignment ~m works assignment =
+  let loads = Array.make m 0.0 in
+  List.iteri (fun i w -> loads.(assignment.(i)) <- loads.(assignment.(i)) +. w) works;
+  loads
+
+let lpt ~m works =
+  if m <= 0 then invalid_arg "Load_balance.lpt: need m > 0";
+  let indexed = List.mapi (fun i w -> (i, w)) works in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) indexed in
+  let loads = Array.make m 0.0 in
+  let assignment = Array.make (List.length works) 0 in
+  List.iter
+    (fun (i, w) ->
+      (* with equal increments, minimizing the resulting alpha-norm is
+         minimizing the destination load *)
+      let p = ref 0 in
+      for q = 1 to m - 1 do
+        if loads.(q) < loads.(!p) then p := q
+      done;
+      assignment.(i) <- !p;
+      loads.(!p) <- loads.(!p) +. w)
+    sorted;
+  assignment
+
+let local_search ~alpha ~m works assignment =
+  let works_a = Array.of_list works in
+  let n = Array.length works_a in
+  let assignment = Array.copy assignment in
+  let loads = loads_of_assignment ~m works assignment in
+  let improved = ref true in
+  let iterations = ref 0 in
+  while !improved && !iterations < 10000 do
+    improved := false;
+    incr iterations;
+    (* single moves *)
+    for i = 0 to n - 1 do
+      let p = assignment.(i) in
+      for q = 0 to m - 1 do
+        if q <> p then begin
+          let before = (loads.(p) ** alpha) +. (loads.(q) ** alpha) in
+          let after = ((loads.(p) -. works_a.(i)) ** alpha) +. ((loads.(q) +. works_a.(i)) ** alpha) in
+          if after < before -. (1e-12 *. (1.0 +. before)) then begin
+            loads.(p) <- loads.(p) -. works_a.(i);
+            loads.(q) <- loads.(q) +. works_a.(i);
+            assignment.(i) <- q;
+            improved := true
+          end
+        end
+      done
+    done;
+    (* pairwise swaps *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let p = assignment.(i) and q = assignment.(j) in
+        if p <> q then begin
+          let d = works_a.(i) -. works_a.(j) in
+          let before = (loads.(p) ** alpha) +. (loads.(q) ** alpha) in
+          let after = ((loads.(p) -. d) ** alpha) +. ((loads.(q) +. d) ** alpha) in
+          if (loads.(p) -. d) >= 0.0 && (loads.(q) +. d) >= 0.0
+             && after < before -. (1e-12 *. (1.0 +. before))
+          then begin
+            loads.(p) <- loads.(p) -. d;
+            loads.(q) <- loads.(q) +. d;
+            assignment.(i) <- q;
+            assignment.(j) <- p;
+            improved := true
+          end
+        end
+      done
+    done
+  done;
+  assignment
+
+let exact ~alpha ~m works =
+  let works_a = Array.of_list works in
+  let n = Array.length works_a in
+  if n > 12 then invalid_arg "Load_balance.exact: too many jobs";
+  let best = ref Float.infinity in
+  let best_assignment = ref (Array.make n 0) in
+  let assignment = Array.make n 0 in
+  let rec go i used =
+    if i = n then begin
+      let norm = norm_alpha ~alpha (loads_of_assignment ~m works assignment) in
+      if norm < !best then begin
+        best := norm;
+        best_assignment := Array.copy assignment
+      end
+    end
+    else
+      for p = 0 to Stdlib.min (m - 1) used do
+        assignment.(i) <- p;
+        go (i + 1) (Stdlib.max used (p + 1))
+      done
+  in
+  go 0 0;
+  !best_assignment
+
+let check_common_release inst =
+  if not (Instance.has_common_release inst) || (not (Instance.is_empty inst) && Instance.first_release inst <> 0.0)
+  then invalid_arg "Load_balance: requires all releases at time 0"
+
+let best_assignment ~alpha ~m inst =
+  let works = Array.to_list (Array.map (fun (j : Job.t) -> j.Job.work) (Instance.jobs inst)) in
+  local_search ~alpha ~m works (lpt ~m works)
+
+let makespan ~alpha ~m ~energy inst =
+  check_common_release inst;
+  if Instance.is_empty inst then 0.0
+  else begin
+    let works = Array.to_list (Array.map (fun (j : Job.t) -> j.Job.work) (Instance.jobs inst)) in
+    let a = best_assignment ~alpha ~m inst in
+    makespan_of_loads ~alpha ~energy (loads_of_assignment ~m works a)
+  end
+
+let solve ~alpha ~m ~energy inst =
+  check_common_release inst;
+  if Instance.is_empty inst then Schedule.of_entries []
+  else begin
+    let jobs = Instance.jobs inst in
+    let works = Array.to_list (Array.map (fun (j : Job.t) -> j.Job.work) jobs) in
+    let a = best_assignment ~alpha ~m inst in
+    let loads = loads_of_assignment ~m works a in
+    let mk = makespan_of_loads ~alpha ~energy loads in
+    let cursor = Array.make m 0.0 in
+    let entries =
+      Array.to_list jobs
+      |> List.mapi (fun i (j : Job.t) ->
+             let p = a.(i) in
+             let speed = loads.(p) /. mk in
+             let start = cursor.(p) in
+             cursor.(p) <- start +. (j.Job.work /. speed);
+             { Schedule.job = j; proc = p; start; speed })
+    in
+    Schedule.of_entries entries
+  end

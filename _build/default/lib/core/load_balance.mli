@@ -1,0 +1,39 @@
+(** Multiprocessor makespan with common release and unequal works.
+
+    Theorem 11 makes this NP-hard, but the paper notes (after Pruhs,
+    van Stee and Uthaisombut) that the immediate-release case reduces
+    to minimizing the L_α norm of processor loads, for which Alon et
+    al.'s PTAS applies: with every job available at time 0, each
+    processor in a non-dominated schedule runs at one constant speed and
+    finishes at the common makespan [M], so the energy is
+    [M^(1−α) · Σ_p L_p^α] — minimizing makespan for a budget is exactly
+    minimizing [Σ_p L_p^α] over assignments.
+
+    We implement the practical ladder: LPT greedy on the norm, move/swap
+    local search on top of it, and exact search for small instances; the
+    test suite measures the heuristics' gap against exact. *)
+
+val norm_alpha : alpha:float -> float array -> float
+(** [Σ_p L_p^α]. *)
+
+val makespan_of_loads : alpha:float -> energy:float -> float array -> float
+(** [(Σ L_p^α / E)^(1/(α−1))] — the optimal common finish time for the
+    given loads and budget. *)
+
+val lpt : m:int -> float list -> int array
+(** Largest-first greedy: place each job on the least-loaded processor —
+    by convexity this also minimizes the resulting norm for every
+    [α > 1].  Returns the processor index per job (input order). *)
+
+val local_search : alpha:float -> m:int -> float list -> int array -> int array
+(** Improve an assignment by single-job moves and pairwise swaps until a
+    local optimum of the norm. *)
+
+val exact : alpha:float -> m:int -> float list -> int array
+(** Exhaustive assignment search.  @raise Invalid_argument when [n > 12]. *)
+
+val solve : alpha:float -> m:int -> energy:float -> Instance.t -> Schedule.t
+(** LPT + local search, then constant-speed schedules meeting the common
+    finish time.  @raise Invalid_argument unless all releases are 0. *)
+
+val makespan : alpha:float -> m:int -> energy:float -> Instance.t -> float

@@ -1,0 +1,87 @@
+let djobs_of inst ~max_flow =
+  Array.to_list (Instance.jobs inst)
+  |> List.map (fun (j : Job.t) ->
+         Djob.make ~id:j.Job.id ~release:j.Job.release ~deadline:(j.Job.release +. max_flow)
+           ~work:j.Job.work)
+
+let energy_for_max_flow model ~max_flow inst =
+  if max_flow <= 0.0 then invalid_arg "Max_flow: target must be positive";
+  if Instance.is_empty inst then 0.0
+  else (Yds.solve model (djobs_of inst ~max_flow)).Yds.energy
+
+(* deadlines r_i + F are ordered like releases, so EDF never preempts:
+   every job's YDS trace is one contiguous constant-speed run *)
+let schedule_of_yds inst (sol : Yds.t) =
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun (id, (seg : Speed_profile.segment)) ->
+      match Hashtbl.find_opt by_id id with
+      | None -> Hashtbl.replace by_id id seg
+      | Some first ->
+        (* merge contiguous runs at the same speed (defensive) *)
+        Hashtbl.replace by_id id
+          { first with Speed_profile.t1 = Float.max first.Speed_profile.t1 seg.Speed_profile.t1 })
+    sol.Yds.segments;
+  Schedule.of_entries
+    (Array.to_list (Instance.jobs inst)
+    |> List.map (fun (j : Job.t) ->
+           match Hashtbl.find_opt by_id j.Job.id with
+           | Some seg ->
+             { Schedule.job = j; proc = 0; start = seg.Speed_profile.t0; speed = seg.Speed_profile.speed }
+           | None -> invalid_arg "Max_flow: job missing from YDS trace"))
+
+let solve ?(eps = 1e-9) model ~energy inst =
+  if energy <= 0.0 then invalid_arg "Max_flow.solve: energy must be positive";
+  if Instance.is_empty inst then (0.0, Schedule.of_entries [])
+  else begin
+    let g f = energy_for_max_flow model ~max_flow:f inst -. energy in
+    (* energy decreasing in F: bracket then bisect *)
+    let lo = ref 1e-6 and hi = ref 1.0 in
+    let i = ref 0 in
+    while g !lo < 0.0 && !i < 200 do
+      lo := !lo /. 4.0;
+      incr i
+    done;
+    let i = ref 0 in
+    while g !hi > 0.0 && !i < 200 do
+      hi := !hi *. 2.0;
+      incr i
+    done;
+    let f = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps () in
+    (f, schedule_of_yds inst (Yds.solve model (djobs_of inst ~max_flow:f)))
+  end
+
+let solve_multi ?(eps = 1e-9) model ~m ~energy inst =
+  if not (Instance.is_equal_work inst) then
+    invalid_arg "Max_flow.solve_multi: requires equal-work jobs";
+  if Instance.is_empty inst then (0.0, Schedule.of_entries [])
+  else begin
+    let subs = Multi.cyclic_assignment ~m inst in
+    let nonempty = Array.to_list subs |> List.filter (fun s -> not (Instance.is_empty s)) in
+    let g f =
+      List.fold_left (fun acc sub -> acc +. energy_for_max_flow model ~max_flow:f sub) 0.0 nonempty
+      -. energy
+    in
+    let lo = ref 1e-6 and hi = ref 1.0 in
+    let i = ref 0 in
+    while g !lo < 0.0 && !i < 200 do
+      lo := !lo /. 4.0;
+      incr i
+    done;
+    let i = ref 0 in
+    while g !hi > 0.0 && !i < 200 do
+      hi := !hi *. 2.0;
+      incr i
+    done;
+    let f = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps () in
+    let entries =
+      Array.to_list subs
+      |> List.mapi (fun p sub ->
+             if Instance.is_empty sub then []
+             else
+               Schedule.entries (schedule_of_yds sub (Yds.solve model (djobs_of sub ~max_flow:f)))
+               |> List.map (fun e -> { e with Schedule.proc = p }))
+      |> List.concat
+    in
+    (f, Schedule.of_entries entries)
+  end

@@ -1,0 +1,26 @@
+(** Maximum flow (worst response time) under an energy budget.
+
+    Max flow is symmetric and non-decreasing, so Theorem 10's cyclic
+    reduction applies to it just like makespan and total flow — this
+    module exercises the theorem's full generality.  The solver works by
+    duality with deadline scheduling: a schedule has max flow at most
+    [F] iff every job meets the deadline [r_i + F], so the least energy
+    for a target [F] is exactly {!Yds.solve} on those deadlines, and the
+    laptop problem is a one-dimensional bisection on [F].
+
+    Because deadlines ordered like releases never cause an EDF
+    preemption, the resulting schedules are nonpreemptive and convert to
+    plain {!Schedule.t} values. *)
+
+val energy_for_max_flow : Power_model.t -> max_flow:float -> Instance.t -> float
+(** Server version: least energy so no job waits longer than [max_flow].
+    @raise Invalid_argument when [max_flow <= 0]. *)
+
+val solve : ?eps:float -> Power_model.t -> energy:float -> Instance.t -> float * Schedule.t
+(** Laptop version: the least achievable max flow for the budget, and a
+    schedule attaining it (bisection to relative [eps], default 1e-9). *)
+
+val solve_multi :
+  ?eps:float -> Power_model.t -> m:int -> energy:float -> Instance.t -> float * Schedule.t
+(** Equal-work multiprocessor version through the cyclic distribution.
+    @raise Invalid_argument on unequal work. *)

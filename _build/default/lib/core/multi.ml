@@ -1,0 +1,110 @@
+let cyclic_assignment ~m inst =
+  if m <= 0 then invalid_arg "Multi: need m > 0";
+  let jobs = Instance.jobs inst in
+  Array.init m (fun p ->
+      Instance.create
+        (List.filteri (fun i _ -> i mod m = p) (Array.to_list jobs)))
+
+let makespan_of_assignment model ~energy subs =
+  if energy <= 0.0 then invalid_arg "Multi: energy budget must be positive";
+  let fronts =
+    Array.to_list subs
+    |> List.filter (fun s -> not (Instance.is_empty s))
+    |> List.map (Frontier.build model)
+  in
+  if fronts = [] then 0.0
+  else begin
+    let limit =
+      List.fold_left (fun acc f -> Float.max acc (Frontier.min_makespan_limit f)) 0.0 fronts
+    in
+    let g m = List.fold_left (fun acc f -> acc +. Frontier.energy_for_makespan f m) 0.0 fronts in
+    (* g is strictly decreasing on (limit, inf) with g -> inf at limit+ *)
+    let lo = ref (limit +. (1e-3 *. (1.0 +. limit))) in
+    let i = ref 0 in
+    while g !lo < energy && !i < 200 do
+      lo := limit +. ((!lo -. limit) /. 4.0);
+      incr i
+    done;
+    let hi = ref (limit +. 1.0 +. limit) in
+    let i = ref 0 in
+    while g !hi > energy && !i < 200 do
+      hi := limit +. ((!hi -. limit) *. 2.0);
+      incr i
+    done;
+    if g !lo < energy then (* energy so large the makespan is pinned at the limit *) !lo
+    else Rootfind.brent ~f:(fun m -> g m -. energy) ~lo:!lo ~hi:!hi ()
+  end
+
+let remap_proc p sched =
+  Schedule.of_entries (List.map (fun e -> { e with Schedule.proc = p }) (Schedule.entries sched))
+
+let check_equal_work inst =
+  if not (Instance.is_equal_work inst) then
+    invalid_arg "Multi: exact algorithm requires equal-work jobs (general case is NP-hard)"
+
+let solve model ~m ~energy inst =
+  check_equal_work inst;
+  if Instance.is_empty inst then Schedule.of_entries []
+  else begin
+    let subs = cyclic_assignment ~m inst in
+    let mk = makespan_of_assignment model ~energy subs in
+    let entries =
+      Array.to_list subs
+      |> List.mapi (fun p sub ->
+             if Instance.is_empty sub then []
+             else begin
+               let f = Frontier.build model sub in
+               let e_p = Frontier.energy_for_makespan f mk in
+               Schedule.entries (remap_proc p (Frontier.schedule_at f e_p))
+             end)
+      |> List.concat
+    in
+    Schedule.of_entries entries
+  end
+
+let makespan model ~m ~energy inst =
+  check_equal_work inst;
+  if Instance.is_empty inst then 0.0
+  else makespan_of_assignment model ~energy (cyclic_assignment ~m inst)
+
+let energy_split model ~m ~energy inst =
+  check_equal_work inst;
+  let subs = cyclic_assignment ~m inst in
+  if Instance.is_empty inst then Array.make m 0.0
+  else begin
+    let mk = makespan_of_assignment model ~energy subs in
+    Array.map
+      (fun sub ->
+        if Instance.is_empty sub then 0.0
+        else Frontier.energy_for_makespan (Frontier.build model sub) mk)
+      subs
+  end
+
+let brute_makespan model ~m ~energy inst =
+  let n = Instance.n inst in
+  if n > 10 then invalid_arg "Multi.brute_makespan: instance too large";
+  if n = 0 then 0.0
+  else begin
+    let jobs = Instance.jobs inst in
+    let best = ref Float.infinity in
+    let assignment = Array.make n 0 in
+    let rec go i used =
+      if i = n then begin
+        let subs =
+          Array.init m (fun p ->
+              Instance.create
+                (List.filteri (fun k _ -> assignment.(k) = p) (Array.to_list jobs)))
+        in
+        let mk = makespan_of_assignment model ~energy subs in
+        if mk < !best then best := mk
+      end
+      else
+        (* symmetry breaking: job i may open at most one fresh processor *)
+        for p = 0 to Stdlib.min (m - 1) used do
+          assignment.(i) <- p;
+          go (i + 1) (Stdlib.max used (p + 1))
+        done
+    in
+    go 0 0;
+    !best
+  end

@@ -1,0 +1,34 @@
+(** Multiprocessor makespan with a shared energy supply (§5).
+
+    Two structural facts drive the algorithms: in a non-dominated
+    schedule every processor finishes its last job at the same time
+    (otherwise slowing an early finisher saves energy), and for
+    equal-work jobs Theorem 10 guarantees an optimal schedule with jobs
+    distributed in cyclic order — job [i] on processor [i mod m].  The
+    per-processor subproblems are then uniprocessor laptop/server
+    problems, coupled only through the common finish time, which a
+    one-dimensional root find determines. *)
+
+val cyclic_assignment : m:int -> Instance.t -> Instance.t array
+(** Per-processor sub-instances of the cyclic distribution (job ids
+    preserved).  @raise Invalid_argument when [m <= 0]. *)
+
+val solve : Power_model.t -> m:int -> energy:float -> Instance.t -> Schedule.t
+(** Optimal multiprocessor makespan schedule for equal-work jobs.
+    @raise Invalid_argument when the instance has unequal work (the
+    general problem is NP-hard, Theorem 11 — see {!Hardness} and
+    {!Load_balance}) or [m <= 0]. *)
+
+val makespan : Power_model.t -> m:int -> energy:float -> Instance.t -> float
+
+val energy_split : Power_model.t -> m:int -> energy:float -> Instance.t -> float array
+(** Energy each processor receives in the optimal schedule. *)
+
+val makespan_of_assignment : Power_model.t -> energy:float -> Instance.t array -> float
+(** Common finish time when the given per-processor sub-instances share
+    the budget optimally (every non-empty processor finishes together);
+    used by the brute-force oracle and the heuristics. *)
+
+val brute_makespan : Power_model.t -> m:int -> energy:float -> Instance.t -> float
+(** Exhaustive minimum over all [m^n] assignments (any works).
+    @raise Invalid_argument when [n > 10]. *)

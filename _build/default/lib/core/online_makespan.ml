@@ -1,0 +1,44 @@
+let pending_work view =
+  List.fold_left (fun acc p -> acc +. p.Online_driver.remaining) 0.0 view.Online_driver.queue
+
+(* [fraction] of the budget still unspent is made available to the
+   current queue; fraction 1 races, fraction < 1 keeps a geometrically
+   decaying reserve so the policy never fully starves *)
+let spend_all model ~budget ~fraction view =
+  let remaining_energy =
+    Float.max ((budget -. view.Online_driver.energy_spent) *. fraction) 0.0
+  in
+  let work = pending_work view in
+  if work <= 0.0 then 1.0
+  else begin
+    match Power_model.speed_for_energy_opt model ~work ~energy:(Float.max remaining_energy 1e-12) with
+    | Some s -> Float.max s 1e-9
+    | None ->
+      (* below the model's energy floor: crawl (the budget was set too
+         low for this power model; makespan will blow up, energy won't) *)
+      1e-9
+  end
+
+let race model ~budget =
+  if budget <= 0.0 then invalid_arg "Online_makespan.race: budget must be positive";
+  {
+    Online_driver.policy_name = "race";
+    speed = (fun view -> spend_all model ~budget ~fraction:1.0 view);
+  }
+
+let hedged model ~budget ~reserve =
+  if budget <= 0.0 then invalid_arg "Online_makespan.hedged: budget must be positive";
+  if reserve < 0.0 || reserve >= 1.0 then invalid_arg "Online_makespan.hedged: reserve in [0,1)";
+  {
+    Online_driver.policy_name = Printf.sprintf "hedged-%g" reserve;
+    speed = (fun view -> spend_all model ~budget ~fraction:(1.0 -. reserve) view);
+  }
+
+let competitive_ratio model policy ~energy inst =
+  if Instance.is_empty inst then 1.0
+  else begin
+    let outcome = Online_driver.run model inst policy in
+    let offline_budget = Float.max energy outcome.Online_driver.energy in
+    let offline = Incmerge.makespan model ~energy:offline_budget inst in
+    outcome.Online_driver.makespan /. offline
+  end

@@ -1,0 +1,30 @@
+(** Online makespan heuristics (§6 future work).
+
+    The paper identifies online power-aware makespan as the main open
+    problem: without knowing whether more jobs will arrive, an online
+    algorithm must balance racing (finish fast if nothing else comes)
+    against conserving energy for future arrivals.  No algorithms with
+    guarantees are known; this module provides the two natural
+    heuristics the paper's discussion suggests and a harness that
+    measures their empirical competitive ratio against the offline
+    optimum ({!Incmerge}), so conjectures can at least be tested. *)
+
+val race : Power_model.t -> budget:float -> Online_driver.policy
+(** Spend-it-all: at every event, run the pending work at the constant
+    speed that would exhaust the remaining budget if no further job
+    arrived (the optimal offline move on the known suffix). *)
+
+val hedged : Power_model.t -> budget:float -> reserve:float -> Online_driver.policy
+(** Like {!race} but at every decision only [1 − reserve] of the
+    {e still-unspent} budget is made available to the current queue.
+    The reserve decays geometrically across arrivals, so the policy is
+    never starved outright — the makespan cost on quiet instances buys
+    bounded slowdown on bursty ones.
+    @raise Invalid_argument unless [0 <= reserve < 1]. *)
+
+val competitive_ratio :
+  Power_model.t -> Online_driver.policy -> energy:float -> Instance.t -> float
+(** Online makespan divided by the offline optimum at the same budget
+    (the offline side gets the policy's {e actual} energy consumption or
+    the full budget, whichever is larger, so ratios are never
+    flattered). *)

@@ -1,0 +1,99 @@
+let validate values =
+  List.iter (fun v -> if v <= 0 then invalid_arg "Partition_solver: values must be positive") values
+
+let total values = List.fold_left ( + ) 0 values
+
+let exists values =
+  validate values;
+  let b = total values in
+  if b land 1 = 1 then false
+  else begin
+    let half = b / 2 in
+    let reachable = Bytes.make (half + 1) '\000' in
+    Bytes.set reachable 0 '\001';
+    List.iter
+      (fun v ->
+        for s = half downto v do
+          if Bytes.get reachable (s - v) = '\001' then Bytes.set reachable s '\001'
+        done)
+      values;
+    Bytes.get reachable half = '\001'
+  end
+
+let find values =
+  validate values;
+  let b = total values in
+  if b land 1 = 1 then None
+  else begin
+    let half = b / 2 in
+    let arr = Array.of_list values in
+    let n = Array.length arr in
+    (* owner.(s) = index of the last item used to first reach sum s *)
+    let owner = Array.make (half + 1) (-1) in
+    let reachable = Array.make (half + 1) false in
+    reachable.(0) <- true;
+    Array.iteri
+      (fun i v ->
+        for s = half downto v do
+          if reachable.(s - v) && not reachable.(s) then begin
+            reachable.(s) <- true;
+            owner.(s) <- i
+          end
+        done)
+      arr;
+    if not reachable.(half) then None
+    else begin
+      let side = Array.make n false in
+      let s = ref half in
+      while !s > 0 do
+        let i = owner.(!s) in
+        side.(i) <- true;
+        s := !s - arr.(i)
+      done;
+      Some (Array.to_list side)
+    end
+  end
+
+let brute values =
+  validate values;
+  let arr = Array.of_list values in
+  let n = Array.length arr in
+  if n > 24 then invalid_arg "Partition_solver.brute: too many values";
+  let b = total values in
+  if b land 1 = 1 then false
+  else begin
+    let half = b / 2 in
+    let rec go i acc = acc = half || (i < n && acc < half && (go (i + 1) (acc + arr.(i)) || go (i + 1) acc)) in
+    go 0 0
+  end
+
+(* Karmarkar-Karp differencing: repeatedly replace the two largest values
+   with their difference; the final survivor is the achieved difference. *)
+let karmarkar_karp values =
+  validate values;
+  let module H = Set.Make (struct
+    type t = int * int (* value, unique tag *)
+
+    let compare (a, i) (b, j) = compare (b, j) (a, i) (* max-first *)
+  end) in
+  let s = ref H.empty in
+  List.iteri (fun i v -> s := H.add (v, i) !s) values;
+  let tag = ref (List.length values) in
+  while H.cardinal !s > 1 do
+    let a = H.min_elt !s in
+    s := H.remove a !s;
+    let b = H.min_elt !s in
+    s := H.remove b !s;
+    let d = fst a - fst b in
+    if d > 0 then begin
+      s := H.add (d, !tag) !s;
+      incr tag
+    end
+  done;
+  match H.elements !s with [] -> 0 | (v, _) :: _ -> v
+
+let greedy_difference values =
+  validate values;
+  let sorted = List.sort (fun a b -> compare b a) values in
+  let d = List.fold_left (fun d v -> if d >= 0 then d - v else d + v) 0 sorted in
+  abs d

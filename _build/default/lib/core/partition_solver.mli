@@ -1,0 +1,28 @@
+(** Solvers for the Partition problem — the source of Theorem 11's
+    NP-hardness reduction.
+
+    Partition: can a multiset of positive integers be split into two
+    halves of equal sum?  We provide the classic pseudo-polynomial
+    dynamic program (exact), exhaustive search (exact, tiny inputs), the
+    Karmarkar–Karp differencing heuristic, and greedy LPT — the ladder a
+    practitioner actually climbs when the reduction tells them their
+    scheduling instance is hard. *)
+
+val exists : int list -> bool
+(** Exact decision by subset-sum DP over achievable sums (pseudo-
+    polynomial: O(n·B) bits).
+    @raise Invalid_argument on non-positive values. *)
+
+val find : int list -> bool list option
+(** An explicit partition when one exists: [true] marks the first side.
+    Same DP with parent reconstruction. *)
+
+val brute : int list -> bool
+(** Exhaustive search.  @raise Invalid_argument when [n > 24]. *)
+
+val karmarkar_karp : int list -> int
+(** The differencing heuristic's achieved difference |sum A₁ − sum A₂|
+    (0 certifies a perfect partition; positive is inconclusive). *)
+
+val greedy_difference : int list -> int
+(** Largest-first greedy difference — the weaker baseline. *)

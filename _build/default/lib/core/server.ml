@@ -1,0 +1,14 @@
+let min_energy model ~makespan inst =
+  if Instance.is_empty inst then 0.0
+  else Frontier.energy_for_makespan (Frontier.build model inst) makespan
+
+let solve model ~makespan inst =
+  if Instance.is_empty inst then Schedule.of_entries []
+  else begin
+    let f = Frontier.build model inst in
+    Frontier.schedule_at f (Frontier.energy_for_makespan f makespan)
+  end
+
+let feasible_makespan model inst m =
+  if Instance.is_empty inst then true
+  else Frontier.min_makespan_limit (Frontier.build model inst) < m

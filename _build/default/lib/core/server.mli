@@ -1,0 +1,18 @@
+(** The server problem (§1): fix the performance target, minimize energy.
+
+    This is the other projection of the bicriteria problem that the
+    laptop problem ({!Incmerge}) solves; both are slices of the
+    {!Frontier} curve.  Uysal-Biyikoglu et al. solved this version in
+    quadratic time for wireless transmission; here it is a closed-form
+    read off the frontier. *)
+
+val min_energy : Power_model.t -> makespan:float -> Instance.t -> float
+(** Least energy for which a schedule with the target makespan exists.
+    @raise Invalid_argument when the target is at or below the infimum
+    makespan (the release of the last job plus nothing). *)
+
+val solve : Power_model.t -> makespan:float -> Instance.t -> Schedule.t
+(** The minimum-energy schedule achieving the target makespan. *)
+
+val feasible_makespan : Power_model.t -> Instance.t -> float -> bool
+(** Whether any energy budget achieves the target. *)

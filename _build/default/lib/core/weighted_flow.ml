@@ -1,0 +1,142 @@
+type solution = {
+  order : int array;
+  speeds : float array;
+  completions : float array;
+  weighted_flow : float;
+  energy : float;
+}
+
+let validate ~energy ~work weights =
+  if energy <= 0.0 then invalid_arg "Weighted_flow: energy must be positive";
+  if work <= 0.0 then invalid_arg "Weighted_flow: work must be positive";
+  Array.iter (fun u -> if u <= 0.0 then invalid_arg "Weighted_flow: weights must be positive") weights
+
+(* optimal speeds for a FIXED execution order: sigma_j = c * U_j^(1/alpha)
+   with U_j the suffix weight sum from position j on *)
+let solve_order ~alpha ~energy ~work weights order =
+  let n = Array.length order in
+  let suffix = Array.make n 0.0 in
+  for p = n - 1 downto 0 do
+    suffix.(p) <- weights.(order.(p)) +. (if p = n - 1 then 0.0 else suffix.(p + 1))
+  done;
+  let s_sum = Array.fold_left (fun acc u -> acc +. (u ** (1.0 -. (1.0 /. alpha)))) 0.0 suffix in
+  let c = (energy /. (work *. s_sum)) ** (1.0 /. (alpha -. 1.0)) in
+  let speeds = Array.map (fun u -> c *. (u ** (1.0 /. alpha))) suffix in
+  let completions = Array.make n 0.0 in
+  let t = ref 0.0 in
+  for p = 0 to n - 1 do
+    t := !t +. (work /. speeds.(p));
+    completions.(p) <- !t
+  done;
+  let wf = ref 0.0 in
+  for p = 0 to n - 1 do
+    wf := !wf +. (weights.(order.(p)) *. completions.(p))
+  done;
+  { order = Array.copy order; speeds; completions; weighted_flow = !wf; energy }
+
+let solve ~alpha ~energy ~work ~weights =
+  validate ~energy ~work weights;
+  let n = Array.length weights in
+  if n = 0 then
+    { order = [||]; speeds = [||]; completions = [||]; weighted_flow = 0.0; energy = 0.0 }
+  else begin
+    (* equal works: heaviest weight first is the optimal order *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare (weights.(b), a) (weights.(a), b)) order;
+    solve_order ~alpha ~energy ~work weights order
+  end
+
+let brute ~alpha ~energy ~work ~weights =
+  validate ~energy ~work weights;
+  let n = Array.length weights in
+  if n > 8 then invalid_arg "Weighted_flow.brute: too many jobs";
+  if n = 0 then 0.0
+  else begin
+    let best = ref Float.infinity in
+    let order = Array.init n Fun.id in
+    let rec permute k =
+      if k = n then begin
+        let s = solve_order ~alpha ~energy ~work weights order in
+        if s.weighted_flow < !best then best := s.weighted_flow
+      end
+      else
+        for i = k to n - 1 do
+          let t = order.(k) in
+          order.(k) <- order.(i);
+          order.(i) <- t;
+          permute (k + 1);
+          let t = order.(k) in
+          order.(k) <- order.(i);
+          order.(i) <- t
+        done
+    in
+    permute 0;
+    !best
+  end
+
+(* closed-form coefficient of a processor's weighted flow as a function
+   of its energy share: WF_p = A_p * E_p^(-beta), beta = 1/(alpha-1) *)
+let proc_coeff ~alpha ~work weights_subset =
+  if weights_subset = [] then 0.0
+  else begin
+    let sorted = List.sort (fun a b -> compare b a) weights_subset in
+    let n = List.length sorted in
+    let arr = Array.of_list sorted in
+    let suffix = Array.make n 0.0 in
+    for p = n - 1 downto 0 do
+      suffix.(p) <- arr.(p) +. (if p = n - 1 then 0.0 else suffix.(p + 1))
+    done;
+    let s_sum = Array.fold_left (fun acc u -> acc +. (u ** (1.0 -. (1.0 /. alpha)))) 0.0 suffix in
+    let exp = alpha /. (alpha -. 1.0) in
+    (work ** exp) *. (s_sum ** exp)
+  end
+
+(* minimize sum_p A_p E_p^(-beta) with sum E_p = E: E_p proportional to
+   A_p^(1/(1+beta)) *)
+let multi_weighted_flow ~alpha ~energy ~work parts =
+  let beta = 1.0 /. (alpha -. 1.0) in
+  let coeffs = List.map (fun ws -> proc_coeff ~alpha ~work ws) parts in
+  let keys = List.map (fun a -> if a > 0.0 then a ** (1.0 /. (1.0 +. beta)) else 0.0) coeffs in
+  let total_key = List.fold_left ( +. ) 0.0 keys in
+  List.fold_left2
+    (fun acc a k ->
+      if a = 0.0 then acc
+      else begin
+        let e_p = energy *. k /. total_key in
+        acc +. (a *. (e_p ** -.beta))
+      end)
+    0.0 coeffs keys
+
+let split_value ~alpha ~energy ~work parts = multi_weighted_flow ~alpha ~energy ~work parts
+
+let best_common_release_split ~alpha ~energy ~work weights =
+  (* minimum over all two-processor splits of a common-release multiset *)
+  let rec splits = function
+    | [] -> [ ([], []) ]
+    | x :: rest ->
+      List.concat_map (fun (a, b) -> [ (x :: a, b); (a, x :: b) ]) (splits rest)
+  in
+  List.fold_left
+    (fun acc (a, b) -> Float.min acc (multi_weighted_flow ~alpha ~energy ~work [ a; b ]))
+    Float.infinity (splits weights)
+
+let cyclic_suboptimal_example ~alpha () =
+  (* three unit jobs, r = (0, 0, 1), weights (eps, eps, heavy), m = 2,
+     budget E = 4.  Cyclic puts J1 and J3 on the same processor. *)
+  let e = 4.0 and heavy = 1000.0 and eps = 0.001 in
+  (* lower bound on any cyclic schedule: on J3's processor, the earlier
+     job either finishes by time 1 (speed >= 1, energy >= 1, leaving at
+     most E-1 for J3's own speed) or pushes J3's completion past the
+     same expression: C3 >= 1 + 1/sqrt(E-1), with weight [heavy].  The
+     two light jobs contribute > 0. *)
+  let cyclic_lower = heavy *. (1.0 +. (1.0 /. ((e -. 1.0) ** (1.0 /. (alpha -. 1.0))))) in
+  (* explicit schedule for the alternative assignment {J1,J2} | {J3}:
+     both light jobs crawl at speed s_light back to back; J3 alone gets
+     the rest of the budget from its release *)
+  let s_light = 0.1 in
+  let light_energy = 2.0 *. (s_light ** (alpha -. 1.0)) in
+  let s3 = (e -. light_energy) ** (1.0 /. (alpha -. 1.0)) in
+  let c1 = 1.0 /. s_light in
+  let c2 = c1 +. (1.0 /. s_light) in
+  let alternative_upper = (eps *. c1) +. (eps *. c2) +. (heavy *. (1.0 +. (1.0 /. s3))) in
+  (cyclic_lower, alternative_upper)

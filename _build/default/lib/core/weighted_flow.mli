@@ -1,0 +1,54 @@
+(** Weighted total flow for equal-work jobs with common release.
+
+    The paper's §5 singles out weighted flow as a metric its
+    multiprocessor reduction does {e not} cover: it is not symmetric, so
+    Theorem 10's exchange argument fails.  Two facts make the metric a
+    good citizen of this library anyway:
+
+    - with a common release the uniprocessor problem is exactly solvable
+      in closed form: jobs run in non-increasing weight order and the
+      KKT conditions give [σ_i^α ∝ U_i], where [U_i] is the sum of the
+      weights of job [i] and everything after it — scaling to the budget
+      is then explicit (contrast with Theorem 8: release dates are what
+      make flow objectives algebraically hard);
+    - the module provides a concrete counterexample showing the cyclic
+      distribution is suboptimal for weighted flow on two processors,
+      demonstrating why Theorem 10 needs symmetry. *)
+
+type solution = {
+  order : int array;  (** job indices (into the weights array) in execution order *)
+  speeds : float array;  (** by execution position *)
+  completions : float array;  (** by execution position *)
+  weighted_flow : float;
+  energy : float;
+}
+
+val solve : alpha:float -> energy:float -> work:float -> weights:float array -> solution
+(** Closed-form optimum.  @raise Invalid_argument on non-positive
+    weights, work or energy. *)
+
+val brute : alpha:float -> energy:float -> work:float -> weights:float array -> float
+(** Best weighted flow over all job orders (the speeds within an order
+    are chosen by the same closed form, which is optimal for that
+    order).  @raise Invalid_argument when [n > 8]. *)
+
+val split_value : alpha:float -> energy:float -> work:float -> float list list -> float
+(** Optimal weighted flow of a {e common-release} multiprocessor
+    grouping: each list is one processor's weight multiset; the budget
+    is split optimally across processors (closed-form water filling). *)
+
+val best_common_release_split : alpha:float -> energy:float -> work:float -> float list -> float
+(** Minimum of {!split_value} over all two-processor splits. *)
+
+val cyclic_suboptimal_example : alpha:float -> unit -> float * float
+(** A concrete witness that the cyclic distribution is suboptimal for
+    weighted flow {e once release dates enter} (with a common release
+    the balanced split happens to win — checked in the tests).  The
+    instance: three unit jobs, [r = (0, 0, 1)], weights
+    [(0.001, 0.001, 1000)], two processors, budget 4.  Returns
+    [(cyclic_lower_bound, alternative_upper_bound)]: a provable lower
+    bound on {e any} cyclic-assignment schedule (the heavy job shares a
+    processor with an earlier job, which either burns one unit of energy
+    to clear the way or delays it) and the realized value of an explicit
+    schedule for the assignment that isolates the heavy job; the former
+    strictly exceeds the latter. *)

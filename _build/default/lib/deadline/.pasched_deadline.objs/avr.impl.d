@@ -1,0 +1,1 @@
+lib/deadline/avr.ml: Djob Float Hashtbl List Power_model Speed_profile Yds

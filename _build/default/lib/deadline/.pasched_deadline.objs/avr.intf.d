@@ -1,0 +1,1 @@
+lib/deadline/avr.mli: Djob Power_model Speed_profile

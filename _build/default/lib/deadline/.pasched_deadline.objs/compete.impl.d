@@ -1,0 +1,1 @@
+lib/deadline/compete.ml: Array Avr Djob Optimal_available Power_model Stats Workload

@@ -1,0 +1,1 @@
+lib/deadline/compete.mli:

@@ -1,0 +1,1 @@
+lib/deadline/djob.mli: Format

@@ -1,0 +1,1 @@
+lib/deadline/optimal_available.ml: Djob Float Hashtbl List Power_model Speed_profile Yds

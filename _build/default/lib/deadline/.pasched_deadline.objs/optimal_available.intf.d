@@ -1,0 +1,1 @@
+lib/deadline/optimal_available.mli: Djob Power_model Speed_profile

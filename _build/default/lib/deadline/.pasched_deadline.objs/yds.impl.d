@@ -1,0 +1,1 @@
+lib/deadline/yds.ml: Djob Float Hashtbl List Option Power_model Speed_profile

@@ -1,0 +1,1 @@
+lib/deadline/yds.mli: Djob Power_model Speed_profile

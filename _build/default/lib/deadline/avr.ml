@@ -1,0 +1,69 @@
+type outcome = {
+  segments : (int * Speed_profile.segment) list;
+  energy : float;
+}
+
+(* AVR speed at time t: total density of windows containing t *)
+let speed_at jobs t =
+  List.fold_left
+    (fun acc (j : Djob.t) ->
+      if j.Djob.release <= t +. 1e-15 && t < j.Djob.deadline -. 1e-15 then acc +. Djob.density j
+      else acc)
+    0.0 jobs
+
+let run model jobs =
+  if jobs = [] then { segments = []; energy = 0.0 }
+  else begin
+    (* the AVR speed function is piecewise constant between window
+       endpoints; execution switches jobs at completions too *)
+    let breakpoints =
+      List.concat_map (fun (j : Djob.t) -> [ j.Djob.release; j.Djob.deadline ]) jobs
+      |> List.sort_uniq compare
+    in
+    let remaining = Hashtbl.create 16 in
+    List.iter (fun (j : Djob.t) -> Hashtbl.replace remaining j.Djob.id j.Djob.work) jobs;
+    let released t = List.filter (fun (j : Djob.t) -> j.Djob.release <= t +. 1e-12) jobs in
+    let pick t =
+      (* EDF among released unfinished *)
+      released t
+      |> List.filter (fun (j : Djob.t) -> Hashtbl.find remaining j.Djob.id > 1e-12)
+      |> List.sort (fun (a : Djob.t) b -> compare (a.Djob.deadline, a.Djob.id) (b.Djob.deadline, b.Djob.id))
+      |> function [] -> None | j :: _ -> Some j
+    in
+    let segments = ref [] in
+    let energy = ref 0.0 in
+    let rec interval t0 t1 =
+      (* run inside [t0, t1] at the (constant) AVR speed *)
+      if t1 -. t0 > 1e-15 then begin
+        let s = speed_at jobs t0 in
+        if s > 0.0 then
+          match pick t0 with
+          | None -> ()
+          | Some j ->
+            let rem = Hashtbl.find remaining j.Djob.id in
+            let finish_at = t0 +. (rem /. s) in
+            let stop = Float.min finish_at t1 in
+            let ran = (stop -. t0) *. s in
+            Hashtbl.replace remaining j.Djob.id (rem -. ran);
+            segments := (j.Djob.id, { Speed_profile.t0; t1 = stop; speed = s }) :: !segments;
+            energy := !energy +. ((stop -. t0) *. Power_model.power model s);
+            interval stop t1
+      end
+    in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+        interval a b;
+        walk rest
+      | _ -> ()
+    in
+    walk breakpoints;
+    { segments = List.rev !segments; energy = !energy }
+  end
+
+let feasible jobs outcome =
+  Yds.feasible jobs { Yds.speeds = []; segments = outcome.segments; energy = outcome.energy }
+
+let competitive_vs_yds model jobs =
+  let avr = run model jobs in
+  let yds = Yds.solve model jobs in
+  avr.energy /. yds.Yds.energy

@@ -1,0 +1,20 @@
+(** Average Rate (AVR) — one of the two online heuristics proposed by
+    Yao, Demers and Shenker and analyzed at [2^(α−1) α^α]-competitive
+    (the bound the paper's related-work section quotes).
+
+    At every instant the processor speed is the sum of the densities
+    [w_i / (d_i − r_i)] of the jobs whose windows contain the instant
+    (among released jobs); jobs are picked EDF.  AVR always meets every
+    deadline. *)
+
+type outcome = {
+  segments : (int * Speed_profile.segment) list;
+  energy : float;
+}
+
+val run : Power_model.t -> Djob.t list -> outcome
+
+val feasible : Djob.t list -> outcome -> bool
+
+val competitive_vs_yds : Power_model.t -> Djob.t list -> float
+(** [energy(AVR) / energy(YDS)] on an instance. *)

@@ -1,0 +1,37 @@
+type summary = {
+  algorithm : string;
+  mean_ratio : float;
+  max_ratio : float;
+  theoretical_bound : float;
+  trials : int;
+}
+
+let avr_bound ~alpha = (2.0 ** (alpha -. 1.0)) *. (alpha ** alpha)
+let oa_bound ~alpha = alpha ** alpha
+
+let measure ~seed ~trials ~n ~alpha () =
+  let model = Power_model.alpha alpha in
+  let ratios_avr = ref [] and ratios_oa = ref [] in
+  for t = 1 to trials do
+    let triples =
+      Workload.deadline_jobs ~seed:(seed + t) ~n ~work:(0.5, 3.0) ~slack:(0.5, 4.0)
+        (Workload.Poisson 1.0)
+    in
+    let jobs = Djob.of_triples triples in
+    ratios_avr := Avr.competitive_vs_yds model jobs :: !ratios_avr;
+    ratios_oa := Optimal_available.competitive_vs_yds model jobs :: !ratios_oa
+  done;
+  let summarize name ratios bound =
+    let arr = Array.of_list ratios in
+    {
+      algorithm = name;
+      mean_ratio = Stats.mean arr;
+      max_ratio = Stats.maximum arr;
+      theoretical_bound = bound;
+      trials;
+    }
+  in
+  [
+    summarize "AVR" !ratios_avr (avr_bound ~alpha);
+    summarize "OA" !ratios_oa (oa_bound ~alpha);
+  ]

@@ -1,0 +1,22 @@
+(** Empirical competitive-ratio measurement for the online deadline
+    algorithms, against the offline optimum (YDS). *)
+
+type summary = {
+  algorithm : string;
+  mean_ratio : float;
+  max_ratio : float;
+  theoretical_bound : float;
+  trials : int;
+}
+
+val avr_bound : alpha:float -> float
+(** [2^(α−1) · α^α] (Yao et al. / Bansal et al.). *)
+
+val oa_bound : alpha:float -> float
+(** [α^α]. *)
+
+val measure :
+  seed:int -> trials:int -> n:int -> alpha:float -> unit -> summary list
+(** Random instances via {!Workload.deadline_jobs}; returns summaries
+    for AVR and OA.  Every measured ratio is checked against the
+    theoretical bound by the caller (tests). *)

@@ -1,0 +1,60 @@
+type outcome = {
+  segments : (int * Speed_profile.segment) list;
+  energy : float;
+}
+
+let run model jobs =
+  if jobs = [] then { segments = []; energy = 0.0 }
+  else begin
+    let arrivals =
+      List.sort_uniq compare (List.map (fun (j : Djob.t) -> j.Djob.release) jobs)
+    in
+    let remaining = Hashtbl.create 16 in
+    List.iter (fun (j : Djob.t) -> Hashtbl.replace remaining j.Djob.id j.Djob.work) jobs;
+    let segments = ref [] in
+    let energy = ref 0.0 in
+    let run_until t0 t1 =
+      (* plan = YDS on remaining work released by t0, time-shifted so
+         that "now" is t0; execute its EDF trace inside [t0, t1] *)
+      let pending =
+        List.filter_map
+          (fun (j : Djob.t) ->
+            let rem = Hashtbl.find remaining j.Djob.id in
+            if j.Djob.release <= t0 +. 1e-12 && rem > 1e-12 then
+              Some (Djob.make ~id:j.Djob.id ~release:0.0 ~deadline:(j.Djob.deadline -. t0) ~work:rem)
+            else None)
+          jobs
+      in
+      if pending <> [] then begin
+        let plan = Yds.solve model pending in
+        List.iter
+          (fun (id, (seg : Speed_profile.segment)) ->
+            let s0 = seg.Speed_profile.t0 +. t0 and s1 = seg.Speed_profile.t1 +. t0 in
+            if s0 < t1 -. 1e-15 then begin
+              let stop = Float.min s1 t1 in
+              let ran = (stop -. s0) *. seg.Speed_profile.speed in
+              Hashtbl.replace remaining id (Hashtbl.find remaining id -. ran);
+              segments := (id, { Speed_profile.t0 = s0; t1 = stop; speed = seg.Speed_profile.speed }) :: !segments;
+              energy := !energy +. ((stop -. s0) *. Power_model.power model seg.Speed_profile.speed)
+            end)
+          plan.Yds.segments
+      end
+    in
+    let rec walk = function
+      | [ last ] -> run_until last Float.infinity
+      | a :: (b :: _ as rest) ->
+        run_until a b;
+        walk rest
+      | [] -> ()
+    in
+    walk arrivals;
+    { segments = List.rev !segments; energy = !energy }
+  end
+
+let feasible jobs outcome =
+  Yds.feasible jobs { Yds.speeds = []; segments = outcome.segments; energy = outcome.energy }
+
+let competitive_vs_yds model jobs =
+  let oa = run model jobs in
+  let yds = Yds.solve model jobs in
+  oa.energy /. yds.Yds.energy

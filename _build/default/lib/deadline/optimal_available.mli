@@ -1,0 +1,18 @@
+(** Optimal Available (OA) — the other online algorithm of Yao, Demers
+    and Shenker, shown α^α-competitive by Bansal, Kimbrel and Pruhs
+    (the analysis the paper's related-work section cites).
+
+    On every arrival the algorithm recomputes the optimal offline
+    schedule (YDS) for the work currently remaining — as if nothing else
+    will arrive — and follows it until the next arrival. *)
+
+type outcome = {
+  segments : (int * Speed_profile.segment) list;
+  energy : float;
+}
+
+val run : Power_model.t -> Djob.t list -> outcome
+
+val feasible : Djob.t list -> outcome -> bool
+
+val competitive_vs_yds : Power_model.t -> Djob.t list -> float

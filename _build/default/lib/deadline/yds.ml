@@ -1,0 +1,164 @@
+type t = {
+  speeds : (int * float) list;
+  segments : (int * Speed_profile.segment) list;
+  energy : float;
+}
+
+type work_item = { id : int; mutable release : float; mutable deadline : float; work : float }
+
+let candidate_intervals items =
+  let points =
+    List.concat_map (fun it -> [ it.release; it.deadline ]) items
+    |> List.sort_uniq compare
+  in
+  let rec pairs = function
+    | [] -> []
+    | t1 :: rest -> List.filter_map (fun t2 -> if t2 > t1 then Some (t1, t2) else None) rest @ pairs rest
+  in
+  pairs points
+
+let intensity items (t1, t2) =
+  let w =
+    List.fold_left
+      (fun acc it -> if it.release >= t1 -. 1e-12 && it.deadline <= t2 +. 1e-12 then acc +. it.work else acc)
+      0.0 items
+  in
+  w /. (t2 -. t1)
+
+(* assign YDS speeds by repeated critical-interval extraction *)
+let assign_speeds jobs =
+  let items =
+    List.map (fun (j : Djob.t) -> { id = j.Djob.id; release = j.Djob.release; deadline = j.Djob.deadline; work = j.Djob.work }) jobs
+  in
+  let speeds = Hashtbl.create 16 in
+  let remaining = ref items in
+  while !remaining <> [] do
+    let best =
+      List.fold_left
+        (fun acc iv ->
+          let g = intensity !remaining iv in
+          match acc with Some (_, g') when g' >= g -> acc | _ -> Some (iv, g))
+        None
+        (candidate_intervals !remaining)
+    in
+    match best with
+    | None -> remaining := [] (* unreachable: non-empty items give intervals *)
+    | Some ((t1, t2), g) ->
+      let inside it = it.release >= t1 -. 1e-12 && it.deadline <= t2 +. 1e-12 in
+      List.iter (fun it -> if inside it then Hashtbl.replace speeds it.id g) !remaining;
+      remaining := List.filter (fun it -> not (inside it)) !remaining;
+      let len = t2 -. t1 in
+      List.iter
+        (fun it ->
+          let collapse t = if t <= t1 then t else if t >= t2 then t -. len else t1 in
+          it.release <- collapse it.release;
+          it.deadline <- collapse it.deadline)
+        !remaining
+  done;
+  speeds
+
+(* preemptive EDF execution where each job runs at its assigned speed *)
+let edf_segments jobs speeds =
+  let n = List.length jobs in
+  ignore n;
+  let arr = List.sort (fun (a : Djob.t) b -> compare a.Djob.release b.Djob.release) jobs in
+  let pending = ref [] in
+  (* (djob, remaining work) sorted by deadline *)
+  let add j rem = pending := List.sort (fun ((a : Djob.t), _) (b, _) -> compare (a.Djob.deadline, a.Djob.id) (b.Djob.deadline, b.Djob.id)) ((j, rem) :: !pending) in
+  let segments = ref [] in
+  let rec go now upcoming =
+    match (!pending, upcoming) with
+    | [], [] -> ()
+    | [], (j : Djob.t) :: rest ->
+      add j j.Djob.work;
+      go (Float.max now j.Djob.release) rest
+    | (j, rem) :: others, _ ->
+      let speed = match Hashtbl.find_opt speeds j.Djob.id with Some s -> s | None -> Djob.density j in
+      let finish_at = now +. (rem /. speed) in
+      let next_arrival =
+        match upcoming with (u : Djob.t) :: _ -> u.Djob.release | [] -> Float.infinity
+      in
+      if finish_at <= next_arrival +. 1e-15 then begin
+        if finish_at > now then
+          segments := (j.Djob.id, { Speed_profile.t0 = now; t1 = finish_at; speed }) :: !segments;
+        pending := others;
+        go finish_at upcoming
+      end
+      else begin
+        let u, rest = match upcoming with u :: r -> (u, r) | [] -> assert false in
+        let ran = (next_arrival -. now) *. speed in
+        if next_arrival > now then
+          segments := (j.Djob.id, { Speed_profile.t0 = now; t1 = next_arrival; speed }) :: !segments;
+        pending := (j, rem -. ran) :: others;
+        add u u.Djob.work;
+        go next_arrival rest
+      end
+  in
+  go 0.0 arr;
+  List.rev !segments
+
+let solve model jobs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (j : Djob.t) ->
+      if Hashtbl.mem seen j.Djob.id then invalid_arg "Yds.solve: duplicate job id";
+      Hashtbl.add seen j.Djob.id ())
+    jobs;
+  let speeds = assign_speeds jobs in
+  let segments = edf_segments jobs speeds in
+  let energy =
+    List.fold_left
+      (fun acc (j : Djob.t) ->
+        let s = Hashtbl.find speeds j.Djob.id in
+        acc +. Power_model.energy_run model ~work:j.Djob.work ~speed:s)
+      0.0 jobs
+  in
+  { speeds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) speeds []; segments; energy }
+
+let speed_of t id = List.assoc id t.speeds
+
+let feasible jobs t =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun (j : Djob.t) -> Hashtbl.replace by_id j.Djob.id j) jobs;
+  (* segments must be disjoint and time-ordered *)
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a.Speed_profile.t0 b.Speed_profile.t0) t.segments in
+  let rec disjoint = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      b.Speed_profile.t0 >= a.Speed_profile.t1 -. 1e-9 && disjoint rest
+    | _ -> true
+  in
+  let windows_ok =
+    List.for_all
+      (fun (id, seg) ->
+        match Hashtbl.find_opt by_id id with
+        | None -> false
+        | Some j ->
+          seg.Speed_profile.t0 >= j.Djob.release -. 1e-9
+          && seg.Speed_profile.t1 <= j.Djob.deadline +. 1e-9)
+      t.segments
+  in
+  let work_done = Hashtbl.create 16 in
+  List.iter
+    (fun (id, seg) ->
+      let w = (seg.Speed_profile.t1 -. seg.Speed_profile.t0) *. seg.Speed_profile.speed in
+      Hashtbl.replace work_done id (w +. Option.value ~default:0.0 (Hashtbl.find_opt work_done id)))
+    t.segments;
+  let all_work =
+    List.for_all
+      (fun (j : Djob.t) ->
+        match Hashtbl.find_opt work_done j.Djob.id with
+        | None -> false
+        | Some w -> Float.abs (w -. j.Djob.work) <= 1e-6 *. (1.0 +. j.Djob.work))
+      jobs
+  in
+  disjoint sorted && windows_ok && all_work
+
+let intensity_lower_bound model jobs =
+  let items =
+    List.map (fun (j : Djob.t) -> { id = j.Djob.id; release = j.Djob.release; deadline = j.Djob.deadline; work = j.Djob.work }) jobs
+  in
+  List.fold_left
+    (fun acc ((t1, t2) as iv) ->
+      let g = intensity items iv in
+      Float.max acc ((t2 -. t1) *. Power_model.power model g))
+    0.0 (candidate_intervals items)

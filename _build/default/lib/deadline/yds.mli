@@ -1,0 +1,28 @@
+(** The Yao–Demers–Shenker optimal offline algorithm [YDS95].
+
+    Repeatedly find the critical interval — the window [I] maximizing
+    intensity [g(I) = (work of jobs whose whole window lies in I) / |I|]
+    — run those jobs at exactly [g(I)] (EDF inside the interval), remove
+    them, collapse the interval, and recur.  Optimal for every convex
+    power function, since within a critical interval constant speed is
+    forced and no feasible schedule can run its jobs slower on average. *)
+
+type t = {
+  speeds : (int * float) list;  (** job id → assigned constant speed *)
+  segments : (int * Speed_profile.segment) list;
+      (** preemptive execution trace (job id per segment), time order *)
+  energy : float;
+}
+
+val solve : Power_model.t -> Djob.t list -> t
+(** @raise Invalid_argument on duplicate ids. *)
+
+val speed_of : t -> int -> float
+val feasible : Djob.t list -> t -> bool
+(** Segments execute each job's full work inside its window, one job at
+    a time. *)
+
+val intensity_lower_bound : Power_model.t -> Djob.t list -> float
+(** [max_I |I| · P(g(I))] over candidate intervals — an energy lower
+    bound every feasible schedule obeys; equals the YDS energy when one
+    critical round covers everything. *)

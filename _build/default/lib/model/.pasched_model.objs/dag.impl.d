@@ -1,0 +1,1 @@
+lib/model/dag.ml: Array Float List Queue Random Stdlib

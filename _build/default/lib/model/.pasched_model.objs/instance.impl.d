@@ -1,0 +1,1 @@
+lib/model/instance.ml: Array Float Format Hashtbl Job List

@@ -1,0 +1,1 @@
+lib/model/render.ml: Buffer Bytes Float Job List Metrics Printf Schedule Stdlib String

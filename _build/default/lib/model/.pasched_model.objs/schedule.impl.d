@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Float Format Job List Power_model Speed_profile Stdlib

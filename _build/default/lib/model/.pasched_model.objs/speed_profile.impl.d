@@ -1,0 +1,1 @@
+lib/model/speed_profile.ml: Float Format List Power_model

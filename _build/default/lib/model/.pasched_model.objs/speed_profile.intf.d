@@ -1,0 +1,1 @@
+lib/model/speed_profile.mli: Format Power_model

@@ -1,0 +1,1 @@
+lib/model/validate.ml: Array Hashtbl Instance Job List Printf Schedule

@@ -1,0 +1,1 @@
+lib/model/workload.ml: Array Float Instance List Random

@@ -1,0 +1,38 @@
+(** Directed acyclic task graphs — the precedence-constraint model of
+    the related work on power-aware makespan (Pruhs, van Stee and
+    Uthaisombut): tasks all released at time 0, a task may start only
+    after all its predecessors complete. *)
+
+type t
+
+val create : works:float array -> edges:(int * int) list -> t
+(** [create ~works ~edges] with an edge [(u, v)] meaning [u] precedes
+    [v].  @raise Invalid_argument on non-positive work, out-of-range
+    endpoints, self-loops, or cycles. *)
+
+val chain : float array -> t
+(** A linear chain: task [i] precedes task [i+1]. *)
+
+val independent : float array -> t
+(** No edges at all. *)
+
+val random : seed:int -> n:int -> layers:int -> edge_prob:float -> work_range:float * float -> t
+(** Layered random DAG: tasks split into [layers] ranks; each pair in
+    adjacent ranks is connected with probability [edge_prob]. *)
+
+val n : t -> int
+val work : t -> int -> float
+val total_work : t -> float
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+val edges : t -> (int * int) list
+
+val topological_order : t -> int list
+(** A topological order (stable: by index among ready tasks). *)
+
+val critical_path_work : t -> float
+(** Maximum total work along any path — the chain that bounds every
+    schedule regardless of processor count. *)
+
+val longest_path_to : t -> float array
+(** Per task: work of the heaviest path ending at (and including) it. *)

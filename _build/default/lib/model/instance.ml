@@ -1,0 +1,48 @@
+type t = Job.t array (* sorted by (release, id) *)
+
+let create jobs_list =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (j : Job.t) ->
+      if Hashtbl.mem seen j.Job.id then invalid_arg "Instance.create: duplicate job id";
+      Hashtbl.add seen j.Job.id ();
+      (* re-validate in case the record was built directly *)
+      ignore (Job.make ~id:j.Job.id ~release:j.Job.release ~work:j.Job.work))
+    jobs_list;
+  let a = Array.of_list jobs_list in
+  Array.sort Job.compare_by_release a;
+  a
+
+let of_pairs pairs = create (List.mapi (fun i (release, work) -> Job.make ~id:i ~release ~work) pairs)
+let of_works works = of_pairs (List.map (fun w -> (0.0, w)) works)
+let figure1 = of_pairs [ (0.0, 5.0); (5.0, 2.0); (6.0, 1.0) ]
+let theorem8 = of_pairs [ (0.0, 1.0); (0.0, 1.0); (1.0, 1.0) ]
+let jobs t = t
+let job t i = t.(i)
+let n = Array.length
+let is_empty t = n t = 0
+let total_work t = Array.fold_left (fun acc (j : Job.t) -> acc +. j.Job.work) 0.0 t
+
+let first_release t =
+  if is_empty t then invalid_arg "Instance.first_release: empty instance" else t.(0).Job.release
+
+let last_release t =
+  if is_empty t then invalid_arg "Instance.last_release: empty instance"
+  else t.(n t - 1).Job.release
+
+let is_equal_work ?(tol = 1e-12) t =
+  n t <= 1
+  ||
+  let w0 = t.(0).Job.work in
+  Array.for_all (fun (j : Job.t) -> Float.abs (j.Job.work -. w0) <= tol *. (1.0 +. w0)) t
+
+let has_common_release ?(tol = 1e-12) t =
+  n t <= 1
+  ||
+  let r0 = t.(0).Job.release in
+  Array.for_all (fun (j : Job.t) -> Float.abs (j.Job.release -. r0) <= tol *. (1.0 +. r0)) t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>instance[%d]{" (n t);
+  Array.iteri (fun i j -> if i > 0 then Format.fprintf fmt ";@ "; Job.pp fmt j) t;
+  Format.fprintf fmt "}@]"

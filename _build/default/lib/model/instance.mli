@@ -1,0 +1,43 @@
+(** A problem instance: a set of jobs, kept sorted by release time.
+
+    All solvers in the library assume this sorted order (the paper's
+    Lemma 3 lets optimal schedules run jobs in release order), so the
+    constructor enforces it once and for all. *)
+
+type t
+
+val create : Job.t list -> t
+(** Sorts by release time and re-checks job validity.
+    @raise Invalid_argument on duplicate job ids. *)
+
+val of_pairs : (float * float) list -> t
+(** [(release, work)] pairs; ids are assigned in input order. *)
+
+val of_works : float list -> t
+(** Jobs with the given works, all released at time 0 (the Theorem 11 /
+    Partition setting). *)
+
+val figure1 : t
+(** The instance behind the paper's Figures 1–3:
+    [r = (0, 5, 6)], [w = (5, 2, 1)]. *)
+
+val theorem8 : t
+(** The Theorem 8 instance: three unit-work jobs released at
+    [0, 0, 1]. *)
+
+val jobs : t -> Job.t array
+(** Sorted by release time; do not mutate. *)
+
+val job : t -> int -> Job.t
+(** [job t i] is the [i]-th job in release order (0-based). *)
+
+val n : t -> int
+val total_work : t -> float
+val first_release : t -> float
+(** @raise Invalid_argument on an empty instance. *)
+
+val last_release : t -> float
+val is_equal_work : ?tol:float -> t -> bool
+val has_common_release : ?tol:float -> t -> bool
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

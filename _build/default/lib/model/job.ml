@@ -1,0 +1,16 @@
+type t = { id : int; release : float; work : float }
+
+let make ~id ~release ~work =
+  if release < 0.0 || not (Float.is_finite release) then
+    invalid_arg "Job.make: release must be finite and non-negative";
+  if work <= 0.0 || not (Float.is_finite work) then
+    invalid_arg "Job.make: work must be finite and positive";
+  { id; release; work }
+
+let equal a b = a.id = b.id && a.release = b.release && a.work = b.work
+
+let compare_by_release a b =
+  let c = compare a.release b.release in
+  if c <> 0 then c else compare a.id b.id
+
+let pp fmt j = Format.fprintf fmt "J%d(r=%g, w=%g)" j.id j.release j.work

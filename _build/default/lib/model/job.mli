@@ -1,0 +1,15 @@
+(** A job in the speed-scaling model: a release time and a work
+    requirement.  Processing time is not an input — it is decided by the
+    scheduler through the speed it assigns (work / speed). *)
+
+type t = { id : int; release : float; work : float }
+
+val make : id:int -> release:float -> work:float -> t
+(** @raise Invalid_argument on negative release or non-positive work. *)
+
+val equal : t -> t -> bool
+val compare_by_release : t -> t -> int
+(** Orders by release time, breaking ties by id (the paper's indexing
+    convention [r1 <= r2 <= ...]). *)
+
+val pp : Format.formatter -> t -> unit

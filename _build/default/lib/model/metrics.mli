@@ -1,0 +1,35 @@
+(** Scheduling metrics.
+
+    The paper optimizes makespan (max completion) and total flow (sum of
+    completion − release); it also characterizes the class of *symmetric
+    non-decreasing* metrics for which its multiprocessor reduction works.
+    We expose that classification so Theorem 10's hypothesis is a
+    checkable property here. *)
+
+val makespan : Schedule.t -> float
+(** Largest completion time; 0 for an empty schedule. *)
+
+val total_flow : Schedule.t -> float
+(** Sum over jobs of completion − release. *)
+
+val max_flow : Schedule.t -> float
+val total_completion : Schedule.t -> float
+
+val weighted_flow : weights:(int -> float) -> Schedule.t -> float
+(** Sum of [weights job_id · flow]; the paper's example of a metric that
+    is {e not} symmetric. *)
+
+(** A metric as a function of the (completion, release) pairs, used to
+    test symmetry / monotonicity on concrete data. *)
+type metric = (float * float) array -> float
+
+val makespan_metric : metric
+val total_flow_metric : metric
+
+val is_symmetric_on : metric -> (float * float) array -> bool
+(** Checks invariance under random permutations of completion times
+    (deterministic set of permutations: rotations and swaps). *)
+
+val is_non_decreasing_on : metric -> (float * float) array -> bool
+(** Checks the metric does not decrease when any single completion time
+    increases. *)

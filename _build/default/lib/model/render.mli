@@ -1,0 +1,16 @@
+(** Text rendering of schedules: ASCII Gantt charts and TSV export. *)
+
+val gantt : ?width:int -> Schedule.t -> string
+(** One row per processor, time flowing right; each job drawn with its
+    id (letters a–z then digits, cycling), idle drawn as ['.'].
+    [width] is the chart width in characters (default 72). *)
+
+val entries_tsv : Schedule.t -> string
+(** Header + one line per entry: job, proc, release, work, start, speed,
+    completion, flow. *)
+
+val summary : Power_model.t -> Schedule.t -> string
+(** One-line metrics summary: n, makespan, total flow, energy. *)
+
+val series_tsv : header:string * string -> (float * float) list -> string
+(** Two-column TSV for plotting (e.g. the Figure 1 curve). *)

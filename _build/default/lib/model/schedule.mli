@@ -1,0 +1,33 @@
+(** Concrete schedules: each job gets a processor, a start time and a
+    single speed (Lemma 2 makes the single-speed form lossless for
+    optimal schedules, and two-speed emulations are expressed at the
+    simulator level instead). *)
+
+type entry = { job : Job.t; proc : int; start : float; speed : float }
+
+type t
+
+val of_entries : entry list -> t
+(** @raise Invalid_argument on negative proc, non-positive speed, or a
+    start before the job's release. *)
+
+val entries : t -> entry list
+(** In (proc, start) order. *)
+
+val entries_of_proc : t -> int -> entry list
+val find : t -> int -> entry option
+(** Look up the entry of a job id. *)
+
+val n_jobs : t -> int
+val n_procs : t -> int
+(** 1 + the largest processor index used (0 for an empty schedule). *)
+
+val duration : entry -> float
+val completion : entry -> float
+
+val profile_of_proc : t -> int -> Speed_profile.t
+(** The processor's piecewise-constant speed profile.
+    @raise Invalid_argument if entries on the processor overlap. *)
+
+val energy : Power_model.t -> t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Piecewise-constant speed functions of time.
+
+    The model's processor speed is an arbitrary function of time whose
+    integral is completed work; every algorithm in this library emits
+    piecewise-constant profiles (justified by Lemma 2: optimal schedules
+    run each job at one speed), so this representation is lossless. *)
+
+type segment = { t0 : float; t1 : float; speed : float }
+
+type t
+
+val empty : t
+
+val of_segments : segment list -> t
+(** Sorts by start time.
+    @raise Invalid_argument when segments have [t1 < t0], negative
+    speed, or overlap. *)
+
+val segments : t -> segment list
+(** In time order. *)
+
+val speed_at : t -> float -> float
+(** Speed at a time point (0 outside all segments; at a boundary the
+    later segment wins). *)
+
+val work : t -> float
+(** Total work = integral of speed. *)
+
+val work_between : t -> float -> float -> float
+(** Work completed in a window [[a, b]]. *)
+
+val energy : Power_model.t -> t -> float
+(** Integral of power over time. *)
+
+val duration : t -> float
+(** Total busy time (sum of segment lengths). *)
+
+val span : t -> (float * float) option
+(** Earliest start and latest end, [None] when empty. *)
+
+val append : t -> segment -> t
+(** Add a segment that must start no earlier than the current end.
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type violation =
+  | Missing_job of int
+  | Unknown_job of int
+  | Duplicate_job of int
+  | Starts_before_release of int
+  | Overlap of { proc : int; job_a : int; job_b : int }
+  | Exceeds_budget of { energy : float; budget : float }
+
+let to_string = function
+  | Missing_job id -> Printf.sprintf "job %d from the instance is not scheduled" id
+  | Unknown_job id -> Printf.sprintf "scheduled job %d is not in the instance" id
+  | Duplicate_job id -> Printf.sprintf "job %d is scheduled more than once" id
+  | Starts_before_release id -> Printf.sprintf "job %d starts before its release time" id
+  | Overlap { proc; job_a; job_b } ->
+    Printf.sprintf "jobs %d and %d overlap on processor %d" job_a job_b proc
+  | Exceeds_budget { energy; budget } ->
+    Printf.sprintf "schedule uses energy %g > budget %g" energy budget
+
+let check inst sched =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let inst_jobs = Instance.jobs inst in
+  let by_id = Hashtbl.create 16 in
+  Array.iter (fun (j : Job.t) -> Hashtbl.replace by_id j.Job.id j) inst_jobs;
+  (* coverage *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let id = e.Schedule.job.Job.id in
+      (match Hashtbl.find_opt by_id id with
+      | None -> add (Unknown_job id)
+      | Some j ->
+        if not (Job.equal j e.Schedule.job) then add (Unknown_job id)
+        else if e.Schedule.start < j.Job.release -. 1e-9 then add (Starts_before_release id));
+      if Hashtbl.mem seen id then add (Duplicate_job id) else Hashtbl.add seen id ())
+    (Schedule.entries sched);
+  Array.iter
+    (fun (j : Job.t) -> if not (Hashtbl.mem seen j.Job.id) then add (Missing_job j.Job.id))
+    inst_jobs;
+  (* per-processor overlap: entries are sorted by (proc, start) *)
+  let rec overlap_scan = function
+    | (a : Schedule.entry) :: (b :: _ as rest) ->
+      if a.Schedule.proc = b.Schedule.proc && b.Schedule.start < Schedule.completion a -. 1e-9 then
+        add (Overlap { proc = a.Schedule.proc; job_a = a.Schedule.job.Job.id; job_b = b.Schedule.job.Job.id });
+      overlap_scan rest
+    | _ -> ()
+  in
+  overlap_scan (Schedule.entries sched);
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let check_with_budget model ~budget ?(tol = 1e-6) inst sched =
+  let base = match check inst sched with Ok () -> [] | Error vs -> vs in
+  let energy = Schedule.energy model sched in
+  let vs = if energy > budget *. (1.0 +. tol) then base @ [ Exceeds_budget { energy; budget } ] else base in
+  match vs with [] -> Ok () | vs -> Error vs
+
+let is_feasible inst sched = match check inst sched with Ok () -> true | Error _ -> false

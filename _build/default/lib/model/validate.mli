@@ -1,0 +1,25 @@
+(** Feasibility checking of schedules against instances.
+
+    Every solver output in the test suite goes through [check]; it
+    verifies exactly the constraints of the paper's model: jobs start at
+    or after release, each processor runs at most one job at a time, and
+    every job of the instance appears exactly once (nonpreemptive). *)
+
+type violation =
+  | Missing_job of int
+  | Unknown_job of int
+  | Duplicate_job of int
+  | Starts_before_release of int
+  | Overlap of { proc : int; job_a : int; job_b : int }
+  | Exceeds_budget of { energy : float; budget : float }
+
+val to_string : violation -> string
+
+val check : Instance.t -> Schedule.t -> (unit, violation list) result
+
+val check_with_budget :
+  Power_model.t -> budget:float -> ?tol:float -> Instance.t -> Schedule.t -> (unit, violation list) result
+(** Additionally requires total energy at most [budget·(1 + tol)]
+    (default [tol = 1e-6]). *)
+
+val is_feasible : Instance.t -> Schedule.t -> bool

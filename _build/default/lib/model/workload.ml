@@ -1,0 +1,76 @@
+type arrival =
+  | Immediate
+  | Poisson of float
+  | Uniform_span of float
+  | Bursty of { bursts : int; span : float; jitter : float }
+  | Staircase of float
+
+let releases ~seed arrival n =
+  if n < 0 then invalid_arg "Workload.releases: negative n";
+  let st = Random.State.make [| seed; 0x5c4ed |] in
+  let rs =
+    match arrival with
+    | Immediate -> Array.make n 0.0
+    | Poisson rate ->
+      if rate <= 0.0 then invalid_arg "Workload.releases: rate <= 0";
+      let t = ref 0.0 in
+      Array.init n (fun _ ->
+          let u = Random.State.float st 1.0 in
+          t := !t +. (-.Float.log (1.0 -. u) /. rate);
+          !t)
+    | Uniform_span span ->
+      if span < 0.0 then invalid_arg "Workload.releases: span < 0";
+      Array.init n (fun _ -> Random.State.float st span)
+    | Bursty { bursts; span; jitter } ->
+      if bursts <= 0 then invalid_arg "Workload.releases: bursts <= 0";
+      let points = Array.init bursts (fun i -> span *. float_of_int i /. float_of_int bursts) in
+      Array.init n (fun _ ->
+          points.(Random.State.int st bursts) +. Random.State.float st (Float.max jitter 1e-12))
+    | Staircase step ->
+      if step < 0.0 then invalid_arg "Workload.releases: step < 0";
+      Array.init n (fun i -> float_of_int i *. step)
+  in
+  Array.sort compare rs;
+  rs
+
+let build ~seed arrival n work_of =
+  let rs = releases ~seed arrival n in
+  Instance.of_pairs (Array.to_list (Array.mapi (fun i r -> (r, work_of i)) rs))
+
+let equal_work ~seed ~n ~work arrival =
+  if work <= 0.0 then invalid_arg "Workload.equal_work: work <= 0";
+  build ~seed arrival n (fun _ -> work)
+
+let uniform_work ~seed ~n ~lo ~hi arrival =
+  if lo <= 0.0 || hi < lo then invalid_arg "Workload.uniform_work: need 0 < lo <= hi";
+  let st = Random.State.make [| seed; 0xbeef |] in
+  let works = Array.init n (fun _ -> lo +. Random.State.float st (hi -. lo)) in
+  build ~seed arrival n (fun i -> works.(i))
+
+let heavy_tailed ~seed ~n ~shape ~scale arrival =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Workload.heavy_tailed: need positive shape/scale";
+  let st = Random.State.make [| seed; 0xca4e |] in
+  let works =
+    Array.init n (fun _ ->
+        let u = 1.0 -. Random.State.float st 1.0 in
+        scale /. (u ** (1.0 /. shape)))
+  in
+  build ~seed arrival n (fun i -> works.(i))
+
+let partition_style ~seed ~n ~max_value =
+  if max_value <= 0 then invalid_arg "Workload.partition_style: max_value <= 0";
+  let st = Random.State.make [| seed; 0x9a47 |] in
+  Instance.of_works (List.init n (fun _ -> float_of_int (1 + Random.State.int st max_value)))
+
+let deadline_jobs ~seed ~n ~work:(wlo, whi) ~slack:(slo, shi) arrival =
+  if wlo <= 0.0 || whi < wlo then invalid_arg "Workload.deadline_jobs: bad work range";
+  if slo <= 0.0 || shi < slo then invalid_arg "Workload.deadline_jobs: bad slack range";
+  let rs = releases ~seed arrival n in
+  let st = Random.State.make [| seed; 0xdead |] in
+  Array.to_list
+    (Array.map
+       (fun r ->
+         let w = wlo +. Random.State.float st (whi -. wlo) in
+         let s = slo +. Random.State.float st (shi -. slo) in
+         (r, r +. (w *. s), w))
+       rs)

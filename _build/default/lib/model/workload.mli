@@ -1,0 +1,36 @@
+(** Synthetic workload generation.
+
+    The paper has no trace-driven evaluation (its experiments are worked
+    instances), but exercising the algorithms at scale — and the online /
+    simulator extensions — needs realistic arrival patterns.  All
+    generators are deterministic in the [seed]. *)
+
+type arrival =
+  | Immediate  (** all jobs released at time 0 (the Theorem 11 setting) *)
+  | Poisson of float  (** exponential inter-arrival times with the given rate *)
+  | Uniform_span of float  (** releases drawn uniformly in [[0, span]] *)
+  | Bursty of { bursts : int; span : float; jitter : float }
+      (** [bursts] release points spread over [[0, span]], each job lands
+          on one of them plus uniform jitter *)
+  | Staircase of float  (** job [i] released at [i · step]: maximally
+          block-structured input for IncMerge *)
+
+val releases : seed:int -> arrival -> int -> float array
+(** [n] release times, sorted increasing. *)
+
+val equal_work : seed:int -> n:int -> work:float -> arrival -> Instance.t
+val uniform_work : seed:int -> n:int -> lo:float -> hi:float -> arrival -> Instance.t
+
+val heavy_tailed : seed:int -> n:int -> shape:float -> scale:float -> arrival -> Instance.t
+(** Pareto(shape, scale) works: a few huge jobs among many small ones.
+    @raise Invalid_argument unless [shape > 0] and [scale > 0]. *)
+
+val partition_style : seed:int -> n:int -> max_value:int -> Instance.t
+(** Integer works in [[1, max_value]], all released at 0 — the shape of
+    instances produced by the Theorem 11 reduction. *)
+
+val deadline_jobs :
+  seed:int -> n:int -> work:float * float -> slack:float * float -> arrival -> (float * float * float) list
+(** [(release, deadline, work)] triples for the Yao–Demers–Shenker
+    substrate; each deadline is release + work-scaled slack drawn from
+    the [slack] range. *)

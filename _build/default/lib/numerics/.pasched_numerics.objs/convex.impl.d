@@ -1,0 +1,1 @@
+lib/numerics/convex.ml: Array Float Rootfind

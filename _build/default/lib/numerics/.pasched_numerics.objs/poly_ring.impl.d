@@ -1,0 +1,1 @@
+lib/numerics/poly_ring.ml: Array Fun List Printf Qpoly Rat Stdlib String

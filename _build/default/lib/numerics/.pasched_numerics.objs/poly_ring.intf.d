@@ -1,0 +1,1 @@
+lib/numerics/poly_ring.mli: Qpoly Rat

@@ -1,0 +1,1 @@
+lib/numerics/qpoly.ml: Array Buffer Format List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/numerics/qpoly.mli: Format Rat

@@ -1,0 +1,1 @@
+lib/numerics/rat.ml: Bigint Float Format Int64 String

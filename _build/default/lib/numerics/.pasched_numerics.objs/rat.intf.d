@@ -1,0 +1,1 @@
+lib/numerics/rat.mli: Bigint Format

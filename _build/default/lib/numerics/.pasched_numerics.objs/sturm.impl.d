@@ -1,0 +1,1 @@
+lib/numerics/sturm.ml: List Qpoly Rat

@@ -1,0 +1,1 @@
+lib/numerics/sturm.mli: Qpoly Rat

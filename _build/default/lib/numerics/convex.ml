@@ -1,0 +1,99 @@
+let is_convex_gen ~strict ~f ~lo ~hi ~n =
+  if n < 2 || hi <= lo then invalid_arg "Convex.is_convex_on_samples";
+  let h = (hi -. lo) /. float_of_int n in
+  let ok = ref true in
+  (* tolerance scaled to the magnitude of the values involved *)
+  for i = 0 to n - 2 do
+    let a = lo +. (float_of_int i *. h) in
+    let b = a +. (2.0 *. h) in
+    let m = a +. h in
+    let fa = f a and fb = f b and fm = f m in
+    let avg = 0.5 *. (fa +. fb) in
+    let slack = 1e-9 *. (1.0 +. Float.abs fa +. Float.abs fb) in
+    if strict then begin
+      if fm >= avg -. slack then ok := false
+    end
+    else if fm > avg +. slack then ok := false
+  done;
+  !ok
+
+let is_convex_on_samples ~f ~lo ~hi ~n = is_convex_gen ~strict:false ~f ~lo ~hi ~n
+let is_strictly_convex_on_samples ~f ~lo ~hi ~n = is_convex_gen ~strict:true ~f ~lo ~hi ~n
+
+let ternary_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
+  let lo = ref lo and hi = ref hi in
+  let i = ref 0 in
+  while !hi -. !lo > eps *. (1.0 +. Float.abs !lo +. Float.abs !hi) && !i < max_iter do
+    let m1 = !lo +. ((!hi -. !lo) /. 3.0) in
+    let m2 = !hi -. ((!hi -. !lo) /. 3.0) in
+    if f m1 <= f m2 then hi := m2 else lo := m1;
+    incr i
+  done;
+  0.5 *. (!lo +. !hi)
+
+let golden_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let i = ref 0 in
+  while !b -. !a > eps *. (1.0 +. Float.abs !a +. Float.abs !b) && !i < max_iter do
+    if !f1 <= !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := f !x2
+    end;
+    incr i
+  done;
+  0.5 *. (!a +. !b)
+
+let minimize_convex_sum ~n ~f ~total ?(eps = 1e-10) ?(max_iter = 200) () =
+  if n <= 0 then invalid_arg "Convex.minimize_convex_sum: n <= 0";
+  if total < 0.0 then invalid_arg "Convex.minimize_convex_sum: negative total";
+  if total = 0.0 then Array.make n 0.0
+  else begin
+    let h = 1e-7 *. (1.0 +. total) in
+    let slope i x =
+      if x <= h then (f i (x +. h) -. f i x) /. h else (f i (x +. h) -. f i (x -. h)) /. (2.0 *. h)
+    in
+    (* For a target marginal cost mu, each coordinate takes
+       x_i(mu) = argmin f_i(x) - mu*x on [0, total]; sum is monotone in mu. *)
+    let alloc_for mu =
+      Array.init n (fun i ->
+          (* find x with slope i x = mu by bisection on [0, total] *)
+          if slope i 0.0 >= mu then 0.0
+          else if slope i total <= mu then total
+          else
+            Rootfind.bisect ~f:(fun x -> slope i x -. mu) ~lo:0.0 ~hi:total ~eps:(eps /. 10.0) ())
+    in
+    let sum_for mu = Array.fold_left ( +. ) 0.0 (alloc_for mu) in
+    (* bracket mu *)
+    let mu_lo = ref (-1.0) and mu_hi = ref 1.0 in
+    let i = ref 0 in
+    while sum_for !mu_lo > total && !i < 60 do
+      mu_lo := !mu_lo *. 2.0;
+      incr i
+    done;
+    let i = ref 0 in
+    while sum_for !mu_hi < total && !i < 60 do
+      mu_hi := !mu_hi *. 2.0;
+      incr i
+    done;
+    let mu =
+      Rootfind.bisect ~f:(fun mu -> sum_for mu -. total) ~lo:!mu_lo ~hi:!mu_hi ~eps ~max_iter ()
+    in
+    let xs = alloc_for mu in
+    (* fix rounding so the budget is met exactly *)
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    if s > 0.0 then Array.map (fun x -> x *. total /. s) xs else Array.make n (total /. float_of_int n)
+  end

@@ -1,0 +1,26 @@
+(** Helpers for convex functions of one variable.
+
+    The entire paper rests on power being a continuous strictly convex
+    function of speed; these utilities let the library check that
+    assumption on user-supplied power models and minimize convex
+    objectives (e.g. optimal energy splits between processors). *)
+
+val is_convex_on_samples : f:(float -> float) -> lo:float -> hi:float -> n:int -> bool
+(** Midpoint convexity check on [n] random-free evenly spaced triples:
+    [f((a+b)/2) <= (f a + f b)/2 + slack].  A necessary condition used to
+    reject obviously non-convex user power functions. *)
+
+val is_strictly_convex_on_samples : f:(float -> float) -> lo:float -> hi:float -> n:int -> bool
+
+val ternary_min : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
+(** Argmin of a unimodal function by ternary search. *)
+
+val golden_min : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
+(** Argmin by golden-section search (fewer evaluations than ternary). *)
+
+val minimize_convex_sum :
+  n:int -> f:(int -> float -> float) -> total:float -> ?eps:float -> ?max_iter:int -> unit -> float array
+(** Minimize [sum_i f i x_i] subject to [sum x_i = total], [x_i >= 0],
+    where each [f i] is convex and differentiable-free: equalizes
+    marginal costs by bisection on the common slope (water-filling).
+    Derivatives are estimated by central differences. *)

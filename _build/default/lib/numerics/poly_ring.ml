@@ -1,0 +1,156 @@
+module type RING = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module Make (R : RING) = struct
+  type t = R.t array (* little-endian, no leading zeros *)
+
+  let normalize a =
+    let n = ref (Array.length a) in
+    while !n > 0 && R.equal a.(!n - 1) R.zero do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let zero : t = [||]
+  let const c = normalize [| c |]
+  let one = const R.one
+  let x = normalize [| R.zero; R.one |]
+  let of_list l = normalize (Array.of_list l)
+  let coeff p i = if i < Array.length p then p.(i) else R.zero
+  let degree p = Array.length p - 1
+  let is_zero p = Array.length p = 0
+  let equal a b = Array.length a = Array.length b && Array.for_all2 R.equal a b
+  let neg p = Array.map R.neg p
+
+  let add a b =
+    let lr = Stdlib.max (Array.length a) (Array.length b) in
+    normalize (Array.init lr (fun i -> R.add (coeff a i) (coeff b i)))
+
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then zero
+    else begin
+      let r = Array.make (la + lb - 1) R.zero in
+      for i = 0 to la - 1 do
+        for j = 0 to lb - 1 do
+          r.(i + j) <- R.add r.(i + j) (R.mul a.(i) b.(j))
+        done
+      done;
+      normalize r
+    end
+
+  let scale c p = normalize (Array.map (R.mul c) p)
+
+  let pow p k =
+    if k < 0 then invalid_arg "Poly_ring.pow: negative exponent";
+    let rec go acc b k = if k = 0 then acc else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1) in
+    go one p k
+
+  let eval p v =
+    let acc = ref R.zero in
+    for i = Array.length p - 1 downto 0 do
+      acc := R.add (R.mul !acc v) p.(i)
+    done;
+    !acc
+
+  let to_string ?(var = "y") p =
+    if is_zero p then "0"
+    else
+      String.concat " + "
+        (List.filter_map
+           (fun i ->
+             let c = p.(i) in
+             if R.equal c R.zero then None
+             else if i = 0 then Some (R.to_string c)
+             else Some (Printf.sprintf "(%s)*%s^%d" (R.to_string c) var i))
+           (List.init (Array.length p) Fun.id))
+
+  let sylvester p q =
+    if is_zero p || is_zero q then invalid_arg "Poly_ring.sylvester: zero polynomial";
+    let m = degree p and n = degree q in
+    let size = m + n in
+    if size = 0 then [| [| R.one |] |]
+    else begin
+      let mat = Array.make_matrix size size R.zero in
+      (* n rows of p's coefficients (big-endian), shifted *)
+      for r = 0 to n - 1 do
+        for k = 0 to m do
+          mat.(r).(r + k) <- coeff p (m - k)
+        done
+      done;
+      (* m rows of q's coefficients *)
+      for r = 0 to m - 1 do
+        for k = 0 to n do
+          mat.(n + r).(r + k) <- coeff q (n - k)
+        done
+      done;
+      mat
+    end
+
+  let determinant mat =
+    let n = Array.length mat in
+    if n = 0 then R.one
+    else begin
+      Array.iter (fun row -> if Array.length row <> n then invalid_arg "Poly_ring.determinant: not square") mat;
+      if n > 10 then invalid_arg "Poly_ring.determinant: too large for cofactor expansion";
+      (* cofactor expansion along the first column of the submatrix
+         selected by [rows] (active row set as a bitmask) *)
+      let rec det rows col =
+        if col = n then R.one
+        else begin
+          let acc = ref R.zero in
+          let sign = ref false in
+          for r = 0 to n - 1 do
+            if rows land (1 lsl r) <> 0 then begin
+              let c = mat.(r).(col) in
+              if not (R.equal c R.zero) then begin
+                let minor = det (rows land lnot (1 lsl r)) (col + 1) in
+                let term = R.mul c minor in
+                acc := R.add !acc (if !sign then R.neg term else term)
+              end;
+              sign := not !sign
+            end
+          done;
+          !acc
+        end
+      in
+      det ((1 lsl n) - 1) 0
+    end
+
+  let resultant p q = determinant (sylvester p q)
+end
+
+module Qx = Make (struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let add = Rat.add
+  let mul = Rat.mul
+  let neg = Rat.neg
+  let equal = Rat.equal
+  let to_string = Rat.to_string
+end)
+
+module Qxy = Make (struct
+  type t = Qpoly.t
+
+  let zero = Qpoly.zero
+  let one = Qpoly.one
+  let add = Qpoly.add
+  let mul = Qpoly.mul
+  let neg = Qpoly.neg
+  let equal = Qpoly.equal
+  let to_string = Qpoly.to_string ?var:None
+end)

@@ -1,0 +1,91 @@
+(** Polynomials over an arbitrary commutative ring, with Sylvester
+    resultants.
+
+    {!Qpoly} is specialized to rational coefficients; this functor
+    lifts the construction to any ring — in particular to [Qpoly]
+    itself, giving bivariate polynomials Q[x][y].  That is exactly what
+    classical elimination needs: the Theorem 8 polynomial can be derived
+    by two resultant computations from the raw optimality equations,
+    independently of the by-hand substitution in {!Flow_hardness}
+    (the tests check that the by-hand polynomial divides the resultant,
+    which may carry extraneous factors, as resultants do). *)
+
+module type RING = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module Make (R : RING) : sig
+  type t
+  (** Polynomials in one variable over [R]. *)
+
+  val zero : t
+  val one : t
+  val x : t
+  val const : R.t -> t
+  val of_list : R.t list -> t
+  (** Little-endian coefficients. *)
+
+  val coeff : t -> int -> R.t
+  val degree : t -> int
+  (** [-1] for zero. *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val scale : R.t -> t -> t
+  val pow : t -> int -> t
+  val eval : t -> R.t -> R.t
+  val to_string : ?var:string -> t -> string
+
+  val sylvester : t -> t -> R.t array array
+  (** The Sylvester matrix of two non-zero polynomials.
+      @raise Invalid_argument if either is zero. *)
+
+  val determinant : R.t array array -> R.t
+  (** Cofactor expansion — exponential, for the small matrices
+      elimination produces.  @raise Invalid_argument unless square or
+      larger than 10×10. *)
+
+  val resultant : t -> t -> R.t
+  (** [Res(p, q)]: zero iff [p] and [q] share a root (in the fraction
+      field's closure); eliminates the variable. *)
+end
+
+module Qx : module type of Make (struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let add = Rat.add
+  let mul = Rat.mul
+  let neg = Rat.neg
+  let equal = Rat.equal
+  let to_string = Rat.to_string
+end)
+(** Q[x] again, through the functor — used in tests to cross-check
+    against {!Qpoly}. *)
+
+module Qxy : module type of Make (struct
+  type t = Qpoly.t
+
+  let zero = Qpoly.zero
+  let one = Qpoly.one
+  let add = Qpoly.add
+  let mul = Qpoly.mul
+  let neg = Qpoly.neg
+  let equal = Qpoly.equal
+  let to_string = Qpoly.to_string ?var:None
+end)
+(** Q[x][y]: bivariate polynomials; [resultant] eliminates [y], leaving
+    a {!Qpoly} in [x]. *)

@@ -1,0 +1,133 @@
+exception No_bracket
+
+let default_eps = 1e-12
+
+let opposite fa fb = (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0)
+
+let bisect ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
+  let fa = f lo and fb = f hi in
+  if not (opposite fa fb) then raise No_bracket;
+  if fa = 0.0 then lo
+  else if fb = 0.0 then hi
+  else begin
+    let lo = ref lo and hi = ref hi and fa = ref fa in
+    let i = ref 0 in
+    while !hi -. !lo > eps *. (1.0 +. Float.abs !lo +. Float.abs !hi) && !i < max_iter do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fm = f mid in
+      if fm = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if (fm < 0.0) = (!fa < 0.0) then begin
+        lo := mid;
+        fa := fm
+      end
+      else hi := mid;
+      incr i
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if not (opposite !fa !fb) then raise No_bracket;
+  if Float.abs !fa < Float.abs !fb then begin
+    let t = !a in
+    a := !b;
+    b := t;
+    let t = !fa in
+    fa := !fb;
+    fb := t
+  end;
+  let c = ref !a and fc = ref !fa in
+  let d = ref (!b -. !a) in
+  let mflag = ref true in
+  let iter = ref 0 in
+  while !fb <> 0.0 && Float.abs (!b -. !a) > eps *. (1.0 +. Float.abs !b) && !iter < max_iter do
+    let s =
+      if !fa <> !fc && !fb <> !fc then
+        (* inverse quadratic interpolation *)
+        (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+        +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+        +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+      else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+    in
+    let lo_bound = (3.0 *. !a +. !b) /. 4.0 in
+    let in_range = (s > Float.min lo_bound !b) && (s < Float.max lo_bound !b) in
+    let cond_bisect =
+      (not in_range)
+      || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+      || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0)
+      || (!mflag && Float.abs (!b -. !c) < eps)
+      || ((not !mflag) && Float.abs (!c -. !d) < eps)
+    in
+    let s = if cond_bisect then 0.5 *. (!a +. !b) else s in
+    mflag := cond_bisect;
+    let fs = f s in
+    d := !c;
+    c := !b;
+    fc := !fb;
+    if opposite !fa fs then begin
+      b := s;
+      fb := fs
+    end
+    else begin
+      a := s;
+      fa := fs
+    end;
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    incr iter
+  done;
+  !b
+
+let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
+  let rec go x i =
+    if i >= max_iter then failwith "Rootfind.newton: no convergence"
+    else begin
+      let fx = f x in
+      if Float.abs fx = 0.0 then x
+      else begin
+        let d = df x in
+        if d = 0.0 || not (Float.is_finite d) then failwith "Rootfind.newton: zero derivative"
+        else begin
+          let x' = x -. (fx /. d) in
+          if not (Float.is_finite x') then failwith "Rootfind.newton: diverged"
+          else if Float.abs (x' -. x) <= eps *. (1.0 +. Float.abs x') then x'
+          else go x' (i + 1)
+        end
+      end
+    end
+  in
+  go x0 0
+
+let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
+  if lo >= hi then raise No_bracket;
+  let lo = ref lo and hi = ref hi in
+  let fa = ref (f !lo) and fb = ref (f !hi) in
+  let i = ref 0 in
+  while (not (opposite !fa !fb)) && !i < max_iter do
+    let width = !hi -. !lo in
+    if Float.abs !fa < Float.abs !fb then begin
+      lo := !lo -. (grow *. width);
+      fa := f !lo
+    end
+    else begin
+      hi := !hi +. (grow *. width);
+      fb := f !hi
+    end;
+    incr i
+  done;
+  if opposite !fa !fb then (!lo, !hi) else raise No_bracket
+
+let find_root ~f ~lo ~hi ?(eps = default_eps) () =
+  let lo, hi = if opposite (f lo) (f hi) then (lo, hi) else bracket_outward ~f ~lo ~hi () in
+  brent ~f ~lo ~hi ~eps ()

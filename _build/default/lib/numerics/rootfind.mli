@@ -1,0 +1,32 @@
+(** One-dimensional root finding on floats.
+
+    The speed-scaling solvers reduce many subproblems ("what energy makes
+    these two blocks merge?", "what speed exhausts the budget?") to
+    finding a zero of a monotone function; these are the workhorses. *)
+
+exception No_bracket
+(** Raised when a bracketing step cannot find a sign change. *)
+
+val bisect : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
+(** Plain bisection.  Requires [f lo] and [f hi] to have opposite signs
+    (zero counts as either).  [eps] is the interval-width tolerance
+    (default [1e-12] relative to magnitude).
+    @raise No_bracket when the endpoints do not bracket a root. *)
+
+val brent : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
+(** Brent's method (inverse quadratic interpolation + secant + bisection);
+    superlinear on smooth functions, never worse than bisection.
+    @raise No_bracket when the endpoints do not bracket a root. *)
+
+val newton :
+  f:(float -> float) -> df:(float -> float) -> x0:float -> ?eps:float -> ?max_iter:int -> unit -> float
+(** Newton iteration from [x0]; raises [Failure] if it fails to converge
+    (non-finite step or iteration budget exhausted). *)
+
+val bracket_outward :
+  f:(float -> float) -> lo:float -> hi:float -> ?grow:float -> ?max_iter:int -> unit -> float * float
+(** Expand [[lo, hi]] geometrically until the endpoints bracket a sign
+    change.  @raise No_bracket if none is found. *)
+
+val find_root : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> unit -> float
+(** Convenience: expand the bracket outward if needed, then Brent. *)

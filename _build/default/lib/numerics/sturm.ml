@@ -1,0 +1,95 @@
+type chain = Qpoly.t list
+
+let chain p =
+  if Qpoly.is_zero p then invalid_arg "Sturm.chain: zero polynomial";
+  let p = Qpoly.squarefree p in
+  if Qpoly.degree p = 0 then [ p ]
+  else begin
+    let rec build acc p0 p1 =
+      if Qpoly.is_zero p1 then List.rev acc
+      else build (p1 :: acc) p1 (Qpoly.neg (Qpoly.rem p0 p1))
+    in
+    build [ p ] p (Qpoly.derivative p)
+  end
+
+let count_variations signs =
+  let rec go last acc = function
+    | [] -> acc
+    | 0 :: rest -> go last acc rest
+    | s :: rest -> if last <> 0 && s <> last then go s (acc + 1) rest else go s acc rest
+  in
+  go 0 0 signs
+
+let variations_at ch v = count_variations (List.map (fun p -> Rat.sign (Qpoly.eval p v)) ch)
+
+let sign_at_pos_inf p = Rat.sign (Qpoly.leading p)
+
+let sign_at_neg_inf p =
+  let s = Rat.sign (Qpoly.leading p) in
+  if Qpoly.degree p land 1 = 1 then -s else s
+
+let variations_at_pos_inf ch = count_variations (List.map sign_at_pos_inf ch)
+let variations_at_neg_inf ch = count_variations (List.map sign_at_neg_inf ch)
+
+let count_roots ch ~lo ~hi =
+  if Rat.compare lo hi > 0 then invalid_arg "Sturm.count_roots: lo > hi";
+  variations_at ch lo - variations_at ch hi
+
+let count_all_roots ch = variations_at_neg_inf ch - variations_at_pos_inf ch
+
+let root_bound p =
+  if Qpoly.degree p < 1 then Rat.one
+  else begin
+    let lc = Rat.abs (Qpoly.leading p) in
+    let m =
+      List.fold_left
+        (fun acc c -> Rat.max acc (Rat.abs c))
+        Rat.zero
+        (Qpoly.coeffs p)
+    in
+    Rat.add Rat.one (Rat.div m lc)
+  end
+
+let isolate_roots p =
+  let p = Qpoly.squarefree p in
+  if Qpoly.degree p < 1 then []
+  else begin
+    let ch = chain p in
+    let b = root_bound p in
+    let rec split lo hi acc =
+      let k = count_roots ch ~lo ~hi in
+      if k = 0 then acc
+      else if k = 1 then (lo, hi) :: acc
+      else begin
+        let mid = Rat.div (Rat.add lo hi) (Rat.of_int 2) in
+        (* process the right half first so the accumulator ends up sorted
+           in increasing order *)
+        let acc = split mid hi acc in
+        split lo mid acc
+      end
+    in
+    split (Rat.neg b) b []
+  end
+
+let refine_root p ~lo ~hi ~eps =
+  let p = Qpoly.squarefree p in
+  let ch = chain p in
+  (* count-based bisection is robust when [lo] itself is a root of [p]
+     (excluded from the half-open isolating interval) *)
+  let rec go lo hi =
+    if Rat.compare (Rat.sub hi lo) eps <= 0 then (lo, hi)
+    else begin
+      let mid = Rat.div (Rat.add lo hi) (Rat.of_int 2) in
+      if Rat.is_zero (Qpoly.eval p mid) then (mid, mid)
+      else if count_roots ch ~lo ~hi:mid = 1 then go lo mid
+      else go mid hi
+    end
+  in
+  go lo hi
+
+let root_floats ?(eps = 1e-12) p =
+  let eps_r = Rat.of_float_dyadic eps in
+  isolate_roots p
+  |> List.map (fun (lo, hi) ->
+         let lo, hi = refine_root p ~lo ~hi ~eps:eps_r in
+         (Rat.to_float lo +. Rat.to_float hi) /. 2.0)

@@ -1,0 +1,41 @@
+(** Sturm-sequence real-root counting and isolation.
+
+    Exact over {!Rat}, so it certifies root counts rather than estimating
+    them — this is what stands in for the paper's GAP computation when we
+    check that the Theorem 8 degree-12 polynomial has exactly one root in
+    the feasible speed interval. *)
+
+type chain
+(** A Sturm chain of a squarefree polynomial. *)
+
+val chain : Qpoly.t -> chain
+(** Builds the Sturm chain of [squarefree p].
+    @raise Invalid_argument on the zero polynomial. *)
+
+val variations_at : chain -> Rat.t -> int
+(** Number of sign variations of the chain evaluated at a point. *)
+
+val variations_at_neg_inf : chain -> int
+val variations_at_pos_inf : chain -> int
+
+val count_roots : chain -> lo:Rat.t -> hi:Rat.t -> int
+(** Number of distinct real roots in the half-open interval [(lo, hi]].
+    @raise Invalid_argument when [lo > hi]. *)
+
+val count_all_roots : chain -> int
+(** Number of distinct real roots on the whole real line. *)
+
+val root_bound : Qpoly.t -> Rat.t
+(** Cauchy bound [B]: every real root lies in [[-B, B]]. *)
+
+val isolate_roots : Qpoly.t -> (Rat.t * Rat.t) list
+(** Disjoint open-ended intervals [(lo, hi]], in increasing order, each
+    containing exactly one distinct real root of the polynomial. *)
+
+val refine_root : Qpoly.t -> lo:Rat.t -> hi:Rat.t -> eps:Rat.t -> Rat.t * Rat.t
+(** Bisect an isolating interval (one root, sign change or root at [hi])
+    until its width is at most [eps]. *)
+
+val root_floats : ?eps:float -> Qpoly.t -> float list
+(** All distinct real roots as floats, isolated exactly then refined to
+    [eps] (default [1e-12]). *)

@@ -1,0 +1,1 @@
+lib/power/discrete_levels.ml: Array List Power_model

@@ -1,0 +1,1 @@
+lib/power/discrete_levels.mli: Power_model

@@ -1,0 +1,1 @@
+lib/power/energy.ml: List Power_model

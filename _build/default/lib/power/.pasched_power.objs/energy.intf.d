@@ -1,0 +1,1 @@
+lib/power/energy.mli: Power_model

@@ -1,0 +1,1 @@
+lib/sim/online_driver.ml: Array Float Instance Job List Power_model Printf Speed_profile

@@ -1,0 +1,1 @@
+lib/sim/online_driver.mli: Instance Job Power_model Speed_profile

@@ -1,0 +1,1 @@
+lib/sim/processor.ml: Discrete_levels Float List Power_model Speed_profile

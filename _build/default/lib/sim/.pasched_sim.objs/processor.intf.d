@@ -1,0 +1,1 @@
+lib/sim/processor.mli: Discrete_levels Power_model Speed_profile

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Discrete_levels Float Hashtbl Instance Job List Processor Schedule Speed_profile Stdlib

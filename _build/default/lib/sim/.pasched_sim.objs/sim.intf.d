@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Discrete_levels Instance Job Power_model Schedule Speed_profile

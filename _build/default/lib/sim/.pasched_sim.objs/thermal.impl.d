@@ -1,0 +1,1 @@
+lib/sim/thermal.ml: Float List Power_model Speed_profile

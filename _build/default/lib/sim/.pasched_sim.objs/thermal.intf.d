@@ -1,0 +1,1 @@
+lib/sim/thermal.mli: Power_model Speed_profile

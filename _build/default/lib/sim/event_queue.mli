@@ -1,0 +1,20 @@
+(** A mutable binary min-heap keyed by float priority (time).
+
+    Ties are broken by insertion order, which makes simulator runs
+    deterministic regardless of heap layout. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> float -> 'a -> unit
+(** [add q time v] schedules [v] at [time]. *)
+
+val peek : 'a t -> (float * 'a) option
+val pop : 'a t -> (float * 'a) option
+(** Earliest event; among equal times, the one added first. *)
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

@@ -1,0 +1,80 @@
+type config = {
+  levels : Discrete_levels.t option;
+  switch_time : float;
+  switch_energy : float;
+}
+
+let default_config = { levels = None; switch_time = 0.0; switch_energy = 0.0 }
+
+type job_result = { job : Job.t; proc : int; start : float; completion : float }
+
+type report = {
+  results : job_result list;
+  makespan : float;
+  total_flow : float;
+  energy : float;
+  switches : int;
+  profiles : (int * Speed_profile.t) list;
+}
+
+let run ?(config = default_config) model inst plan =
+  let inst_ids = Hashtbl.create 16 in
+  Array.iter (fun (j : Job.t) -> Hashtbl.replace inst_ids j.Job.id ()) (Instance.jobs inst);
+  List.iter
+    (fun (e : Schedule.entry) ->
+      if not (Hashtbl.mem inst_ids e.Schedule.job.Job.id) then
+        invalid_arg "Sim.run: plan schedules a job that is not in the instance")
+    (Schedule.entries plan);
+  let nprocs = Stdlib.max 1 (Schedule.n_procs plan) in
+  let procs =
+    Array.init nprocs
+      (Processor.create ~switch_time:config.switch_time ~switch_energy:config.switch_energy model)
+  in
+  let results = ref [] in
+  (* entries are sorted by (proc, start); replay each processor in order *)
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let p = procs.(e.Schedule.proc) in
+      let job = e.Schedule.job in
+      let release = job.Job.release in
+      let earliest = Float.max e.Schedule.start release in
+      let work = job.Job.work in
+      let start, completion =
+        match config.levels with
+        | None -> Processor.run p ~start:earliest ~work ~speed:e.Schedule.speed
+        | Some levels ->
+          let planned_duration = work /. e.Schedule.speed in
+          (match Discrete_levels.two_level_split levels ~work ~duration:planned_duration with
+          | Some split -> Processor.run_split p ~start:earliest ~split
+          | None ->
+            (* outside the level range: clamp *)
+            let speed =
+              if e.Schedule.speed > Discrete_levels.max_speed levels then
+                Discrete_levels.max_speed levels
+              else Discrete_levels.min_speed levels
+            in
+            Processor.run p ~start:earliest ~work ~speed)
+      in
+      results := { job; proc = e.Schedule.proc; start; completion } :: !results)
+    (Schedule.entries plan);
+  let results = List.sort (fun a b -> compare (a.completion, a.job.Job.id) (b.completion, b.job.Job.id)) !results in
+  let makespan = List.fold_left (fun acc r -> Float.max acc r.completion) 0.0 results in
+  let total_flow = List.fold_left (fun acc r -> acc +. (r.completion -. r.job.Job.release)) 0.0 results in
+  let energy = Array.fold_left (fun acc p -> acc +. Processor.energy p) 0.0 procs in
+  let switches = Array.fold_left (fun acc p -> acc + Processor.switches p) 0 procs in
+  let profiles = Array.to_list (Array.mapi (fun i p -> (i, Processor.profile p)) procs) in
+  { results; makespan; total_flow; energy; switches; profiles }
+
+let agrees_with_plan ?(tol = 1e-9) report model plan =
+  let ok_energy =
+    let planned = Schedule.energy model plan in
+    Float.abs (report.energy -. planned) <= tol *. (1.0 +. planned)
+  in
+  ok_energy
+  && List.for_all
+       (fun r ->
+         match Schedule.find plan r.job.Job.id with
+         | None -> false
+         | Some e ->
+           Float.abs (r.completion -. Schedule.completion e) <= tol *. (1.0 +. Schedule.completion e))
+       report.results

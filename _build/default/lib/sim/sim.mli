@@ -1,0 +1,43 @@
+(** Event-driven execution of schedule plans.
+
+    The paper's machine is an idealized continuous-speed processor; this
+    simulator is its stand-in.  Replaying a solver's plan with default
+    configuration must reproduce the analytic makespan/flow/energy
+    exactly (that agreement is a test invariant); enabling discrete
+    speed levels or switch overhead shows how the idealized solution
+    degrades on more realistic hardware (§6 of the paper). *)
+
+type config = {
+  levels : Discrete_levels.t option;
+      (** when set, each constant-speed run is emulated by the two
+          bracketing levels (same duration, more energy); speeds outside
+          the level range are clamped, which can change timing *)
+  switch_time : float;  (** stall per speed transition *)
+  switch_energy : float;  (** energy per speed transition *)
+}
+
+val default_config : config
+(** Idealized processor: continuous speeds, free switching. *)
+
+type job_result = { job : Job.t; proc : int; start : float; completion : float }
+
+type report = {
+  results : job_result list;  (** in completion order *)
+  makespan : float;
+  total_flow : float;
+  energy : float;
+  switches : int;
+  profiles : (int * Speed_profile.t) list;  (** per-processor executed profiles *)
+}
+
+val run : ?config:config -> Power_model.t -> Instance.t -> Schedule.t -> report
+(** Execute a plan.  Entries on each processor run in planned start
+    order; an entry whose planned start arrives while the processor is
+    still busy (possible under clamping/overhead) is pushed back.
+    @raise Invalid_argument if the plan references jobs missing from the
+    instance. *)
+
+val agrees_with_plan : ?tol:float -> report -> Power_model.t -> Schedule.t -> bool
+(** True when simulated completions and energy match the plan's analytic
+    values within tolerance — the soundness check between the algebraic
+    solvers and the executable model. *)

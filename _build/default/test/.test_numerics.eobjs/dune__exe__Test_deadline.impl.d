@@ -1,0 +1,1 @@
+test/test_deadline.ml: Alcotest Avr Compete Djob List Optimal_available Power_model Printf QCheck QCheck_alcotest String Workload Yds

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dag Discrete_levels Discrete_makespan Float Incmerge Instance Job List Power_model Precedence QCheck QCheck_alcotest Speed_profile Thermal Workload

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Flow Flow_frontier Flow_hardness Instance Job List Metrics Printf QCheck QCheck_alcotest Qpoly Random Rat String Sturm Validate

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Bigint Convex Float Integrate List Poly_ring Printf QCheck QCheck_alcotest Qpoly Rat Rootfind Stats String Sturm

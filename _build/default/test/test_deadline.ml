@@ -1,0 +1,174 @@
+(* Tests for the Yao-Demers-Shenker deadline substrate: YDS optimal
+   offline, and the AVR / Optimal Available online algorithms with their
+   competitive bounds (the related-work results quoted in §2). *)
+
+let check_bool = Alcotest.(check bool)
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let cube = Power_model.cube
+
+let jobs_of = Djob.of_triples
+
+(* ---------- YDS unit cases ---------- *)
+
+let test_yds_single_job () =
+  let jobs = jobs_of [ (0.0, 2.0, 4.0) ] in
+  let sol = Yds.solve cube jobs in
+  (* must run at density 2 over [0,2]: energy = 2 * 2^3 = 16 *)
+  checkf6 "speed" 2.0 (Yds.speed_of sol 0);
+  checkf6 "energy" 16.0 sol.Yds.energy;
+  check_bool "feasible" true (Yds.feasible jobs sol)
+
+let test_yds_two_disjoint () =
+  let jobs = jobs_of [ (0.0, 1.0, 1.0); (5.0, 7.0, 1.0) ] in
+  let sol = Yds.solve cube jobs in
+  checkf6 "tight job at 1" 1.0 (Yds.speed_of sol 0);
+  checkf6 "loose job at 0.5" 0.5 (Yds.speed_of sol 1);
+  check_bool "feasible" true (Yds.feasible jobs sol)
+
+let test_yds_nested () =
+  (* classic nested case: a long job with a short urgent one inside *)
+  let jobs = jobs_of [ (0.0, 10.0, 5.0); (4.0, 5.0, 2.0) ] in
+  let sol = Yds.solve cube jobs in
+  (* critical interval is [4,5] at speed 2; the long job then has 9 time
+     units of collapsed room: speed 5/9 *)
+  checkf6 "urgent speed" 2.0 (Yds.speed_of sol 1);
+  checkf6 "long job speed" (5.0 /. 9.0) (Yds.speed_of sol 0);
+  check_bool "feasible" true (Yds.feasible jobs sol)
+
+let test_yds_common_window () =
+  (* all jobs share a window: one critical interval at total density *)
+  let jobs = jobs_of [ (0.0, 4.0, 2.0); (0.0, 4.0, 3.0); (0.0, 4.0, 3.0) ] in
+  let sol = Yds.solve cube jobs in
+  List.iter (fun (j : Djob.t) -> checkf6 "uniform speed" 2.0 (Yds.speed_of sol j.Djob.id)) jobs;
+  checkf6 "energy = |I| P(g)" (4.0 *. 8.0) sol.Yds.energy;
+  checkf6 "matches lower bound" (Yds.intensity_lower_bound cube jobs) sol.Yds.energy
+
+let arb_deadline_jobs =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* seed = int_range 0 100000 in
+      return
+        (Workload.deadline_jobs ~seed ~n ~work:(0.5, 3.0) ~slack:(0.5, 4.0) (Workload.Poisson 1.0)))
+  in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; " (List.map (fun (r, d, w) -> Printf.sprintf "(%g,%g,%g)" r d w) l))
+    gen
+
+let prop_yds_feasible =
+  QCheck.Test.make ~count:150 ~name:"YDS schedules are feasible" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      Yds.feasible jobs (Yds.solve cube jobs))
+
+let prop_yds_above_lower_bound =
+  QCheck.Test.make ~count:150 ~name:"YDS energy >= intensity lower bound" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let sol = Yds.solve cube jobs in
+      sol.Yds.energy >= Yds.intensity_lower_bound cube jobs -. 1e-9)
+
+let prop_yds_beats_constant_speed =
+  (* any feasible constant-speed-per-job schedule derived from densities
+     scaled up uses at least as much energy *)
+  QCheck.Test.make ~count:100 ~name:"YDS no worse than the density heuristic" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let sol = Yds.solve cube jobs in
+      (* running every job at the AVR speed profile is feasible, so its
+         energy is an upper bound on optimal *)
+      let avr = Avr.run cube jobs in
+      sol.Yds.energy <= avr.Avr.energy +. 1e-9)
+
+(* local optimality of YDS speeds: moving work between two jobs' speeds
+   while keeping feasibility cannot reduce energy.  We test the cheap
+   direction: scaling any single job's speed down breaks feasibility or
+   was already possible — captured by comparing against a slightly
+   relaxed solve on jittered deadlines. *)
+let prop_yds_monotone_in_deadlines =
+  QCheck.Test.make ~count:100 ~name:"relaxing deadlines never increases YDS energy" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let relaxed = jobs_of (List.map (fun (r, d, w) -> (r, d +. 1.0, w)) triples) in
+      (Yds.solve cube relaxed).Yds.energy <= (Yds.solve cube jobs).Yds.energy +. 1e-9)
+
+(* ---------- online algorithms ---------- *)
+
+let prop_avr_feasible_and_bounded =
+  QCheck.Test.make ~count:100 ~name:"AVR feasible and within its competitive bound" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let out = Avr.run cube jobs in
+      Avr.feasible jobs out
+      && out.Avr.energy <= (Compete.avr_bound ~alpha:3.0 *. (Yds.solve cube jobs).Yds.energy) +. 1e-9)
+
+let prop_oa_feasible_and_bounded =
+  QCheck.Test.make ~count:60 ~name:"OA feasible and within its competitive bound" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let out = Optimal_available.run cube jobs in
+      Optimal_available.feasible jobs out
+      && out.Optimal_available.energy
+         <= (Compete.oa_bound ~alpha:3.0 *. (Yds.solve cube jobs).Yds.energy) +. 1e-9)
+
+let prop_online_at_least_offline =
+  QCheck.Test.make ~count:60 ~name:"online algorithms never beat YDS" arb_deadline_jobs
+    (fun triples ->
+      let jobs = jobs_of triples in
+      let yds = (Yds.solve cube jobs).Yds.energy in
+      (Avr.run cube jobs).Avr.energy >= yds -. (1e-6 *. (1.0 +. yds))
+      && (Optimal_available.run cube jobs).Optimal_available.energy >= yds -. (1e-6 *. (1.0 +. yds)))
+
+let test_oa_offline_instance_is_optimal () =
+  (* when all jobs arrive at time 0, OA recomputes YDS once: equal *)
+  let jobs = jobs_of [ (0.0, 4.0, 2.0); (0.0, 2.0, 1.0); (0.0, 8.0, 3.0) ] in
+  let oa = Optimal_available.run cube jobs in
+  checkf6 "OA = YDS on offline instances" (Yds.solve cube jobs).Yds.energy oa.Optimal_available.energy
+
+let test_compete_harness () =
+  let summaries = Compete.measure ~seed:42 ~trials:12 ~n:6 ~alpha:3.0 () in
+  List.iter
+    (fun s ->
+      check_bool (s.Compete.algorithm ^ " mean >= 1") true (s.Compete.mean_ratio >= 1.0 -. 1e-9);
+      check_bool (s.Compete.algorithm ^ " max within bound") true
+        (s.Compete.max_ratio <= s.Compete.theoretical_bound))
+    summaries;
+  (* theoretical bounds themselves *)
+  checkf6 "AVR bound at alpha 3" 108.0 (Compete.avr_bound ~alpha:3.0);
+  checkf6 "OA bound at alpha 3" 27.0 (Compete.oa_bound ~alpha:3.0)
+
+let test_djob_validation () =
+  Alcotest.check_raises "deadline before release"
+    (Invalid_argument "Djob.make: deadline must exceed release")
+    (fun () -> ignore (Djob.make ~id:0 ~release:2.0 ~deadline:1.0 ~work:1.0));
+  Alcotest.check_raises "zero work" (Invalid_argument "Djob.make: work must be finite and positive")
+    (fun () -> ignore (Djob.make ~id:0 ~release:0.0 ~deadline:1.0 ~work:0.0))
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "deadline"
+    [
+      ( "yds",
+        [
+          Alcotest.test_case "single job" `Quick test_yds_single_job;
+          Alcotest.test_case "disjoint jobs" `Quick test_yds_two_disjoint;
+          Alcotest.test_case "nested critical interval" `Quick test_yds_nested;
+          Alcotest.test_case "common window" `Quick test_yds_common_window;
+          Alcotest.test_case "djob validation" `Quick test_djob_validation;
+          qt prop_yds_feasible;
+          qt prop_yds_above_lower_bound;
+          qt prop_yds_beats_constant_speed;
+          qt prop_yds_monotone_in_deadlines;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "OA = YDS offline" `Quick test_oa_offline_instance_is_optimal;
+          Alcotest.test_case "competitive harness" `Quick test_compete_harness;
+          qt prop_avr_feasible_and_bounded;
+          qt prop_oa_feasible_and_bounded;
+          qt prop_online_at_least_offline;
+        ] );
+    ]

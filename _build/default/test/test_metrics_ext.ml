@@ -1,0 +1,311 @@
+(* Tests for the additional scheduling metrics built on the paper's
+   framework: max flow (symmetric, non-decreasing — Theorem 10 applies),
+   weighted flow (not symmetric — and a witness that cyclic distribution
+   fails for it), and the general multiprocessor heuristic. *)
+
+let check_bool = Alcotest.(check bool)
+let checkf6 = Alcotest.(check (float 1e-6))
+let checkf3 = Alcotest.(check (float 1e-3))
+
+let cube = Power_model.cube
+
+(* ---------- Max_flow ---------- *)
+
+let test_max_flow_single_job () =
+  (* one job: F = w/s with E = w s^2 -> s = sqrt(E/w) *)
+  let inst = Instance.of_pairs [ (2.0, 4.0) ] in
+  let f, s = Max_flow.solve cube ~energy:16.0 inst in
+  checkf6 "F = w / sqrt(E/w)" (4.0 /. 2.0) f;
+  check_bool "feasible" true (Validate.is_feasible inst s)
+
+let test_max_flow_server_duality () =
+  let inst = Instance.figure1 in
+  let f, _ = Max_flow.solve cube ~energy:12.0 inst in
+  checkf3 "server inverts laptop" 12.0 (Max_flow.energy_for_max_flow cube ~max_flow:f inst)
+
+let test_max_flow_vs_makespan () =
+  (* max flow <= makespan - first release for any schedule; and the
+     max-flow optimum cannot beat the energy needed for its own deadlines *)
+  let inst = Instance.figure1 in
+  let f, s = Max_flow.solve cube ~energy:12.0 inst in
+  check_bool "within makespan span" true (f <= Metrics.makespan s +. 1e-9);
+  checkf6 "schedule achieves the claimed max flow" f (Metrics.max_flow s)
+
+let prop_max_flow_decreasing_in_energy =
+  QCheck.Test.make ~count:60 ~name:"max flow decreases with energy"
+    QCheck.(pair (int_range 0 5000) (float_range 2.0 30.0))
+    (fun (seed, e) ->
+      let inst = Workload.uniform_work ~seed ~n:6 ~lo:0.5 ~hi:2.0 (Workload.Poisson 1.0) in
+      let f1, s1 = Max_flow.solve cube ~energy:e inst in
+      let f2, _ = Max_flow.solve cube ~energy:(1.4 *. e) inst in
+      f2 <= f1 +. 1e-6 && Validate.is_feasible inst s1
+      && Schedule.energy cube s1 <= e *. (1.0 +. 1e-6))
+
+let prop_max_flow_multi_helps =
+  QCheck.Test.make ~count:40 ~name:"multiprocessor max flow no worse than uniprocessor"
+    QCheck.(pair (int_range 0 5000) (float_range 4.0 30.0))
+    (fun (seed, e) ->
+      let inst = Workload.equal_work ~seed ~n:6 ~work:1.0 (Workload.Poisson 1.0) in
+      let f1, _ = Max_flow.solve cube ~energy:e inst in
+      let f2, s2 = Max_flow.solve_multi cube ~m:2 ~energy:e inst in
+      f2 <= f1 +. 1e-6 && Validate.is_feasible inst s2)
+
+(* ---------- Weighted_flow ---------- *)
+
+let test_weighted_flow_closed_form_single () =
+  (* one job, weight u: sigma from budget, WF = u * w / sigma *)
+  let s = Weighted_flow.solve ~alpha:3.0 ~energy:4.0 ~work:1.0 ~weights:[| 5.0 |] in
+  let sigma = Float.sqrt 4.0 in
+  checkf6 "speed" sigma s.Weighted_flow.speeds.(0);
+  checkf6 "wf" (5.0 /. sigma) s.Weighted_flow.weighted_flow
+
+let test_weighted_flow_order () =
+  let s = Weighted_flow.solve ~alpha:3.0 ~energy:9.0 ~work:1.0 ~weights:[| 1.0; 7.0; 3.0 |] in
+  Alcotest.(check (array int)) "heaviest first" [| 1; 2; 0 |] s.Weighted_flow.order;
+  (* speeds decrease along the execution order (suffix sums decrease) *)
+  check_bool "speeds decreasing" true
+    (s.Weighted_flow.speeds.(0) > s.Weighted_flow.speeds.(1)
+    && s.Weighted_flow.speeds.(1) > s.Weighted_flow.speeds.(2));
+  checkf6 "energy exhausted" 9.0
+    (Array.fold_left (fun acc sp -> acc +. (sp ** 2.0)) 0.0 s.Weighted_flow.speeds)
+
+let test_weighted_equal_weights_reduces_to_flow () =
+  (* equal weights: weighted flow = total flow; compare against the PUW
+     solver on a common-release instance *)
+  let n = 4 in
+  let s = Weighted_flow.solve ~alpha:3.0 ~energy:8.0 ~work:1.0 ~weights:(Array.make n 1.0) in
+  let inst = Workload.equal_work ~seed:0 ~n ~work:1.0 Workload.Immediate in
+  let flow_sol = Flow.solve_budget ~alpha:3.0 ~energy:8.0 inst in
+  checkf3 "matches PUW solver" flow_sol.Flow.flow s.Weighted_flow.weighted_flow
+
+let prop_weighted_flow_order_optimal =
+  QCheck.Test.make ~count:60 ~name:"weight order beats all permutations"
+    QCheck.(pair (list_of_size (Gen.int_range 1 6) (float_range 0.5 10.0)) (float_range 1.0 20.0))
+    (fun (weights, e) ->
+      let weights = Array.of_list weights in
+      let s = Weighted_flow.solve ~alpha:3.0 ~energy:e ~work:1.0 ~weights in
+      let b = Weighted_flow.brute ~alpha:3.0 ~energy:e ~work:1.0 ~weights in
+      Float.abs (s.Weighted_flow.weighted_flow -. b) <= 1e-6 *. (1.0 +. b))
+
+let prop_weighted_flow_kkt_perturbation =
+  QCheck.Test.make ~count:60 ~name:"no speed perturbation improves weighted flow"
+    QCheck.(triple (list_of_size (Gen.int_range 2 6) (float_range 0.5 10.0)) (float_range 2.0 20.0) (int_range 0 999))
+    (fun (weights, e, seed) ->
+      let weights = Array.of_list weights in
+      let n = Array.length weights in
+      let s = Weighted_flow.solve ~alpha:3.0 ~energy:e ~work:1.0 ~weights in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 15 do
+        let speeds = Array.map (fun v -> v *. (1.0 +. (Random.State.float st 0.1 -. 0.05))) s.Weighted_flow.speeds in
+        let energy = Array.fold_left (fun acc v -> acc +. (v ** 2.0)) 0.0 speeds in
+        let scale = Float.sqrt (e /. energy) in
+        let speeds = Array.map (fun v -> v *. scale) speeds in
+        let t = ref 0.0 and wf = ref 0.0 in
+        for p = 0 to n - 1 do
+          t := !t +. (1.0 /. speeds.(p));
+          wf := !wf +. (weights.(s.Weighted_flow.order.(p)) *. !t)
+        done;
+        if !wf < s.Weighted_flow.weighted_flow -. (1e-7 *. (1.0 +. !wf)) then ok := false
+      done;
+      !ok)
+
+let test_cyclic_fails_for_weighted_flow () =
+  (* with release dates: a provable lower bound on every cyclic schedule
+     exceeds an explicit schedule for a different assignment *)
+  let cyclic_lower, alternative_upper = Weighted_flow.cyclic_suboptimal_example ~alpha:3.0 () in
+  check_bool "cyclic strictly worse" true (cyclic_lower > alternative_upper *. 1.01);
+  check_bool "both positive" true (alternative_upper > 0.0)
+
+let test_common_release_balanced_split_wins () =
+  (* counterpoint: with a COMMON release, the balanced (cyclic-shaped)
+     split of (9,1,1,1) is the best of all splits — the failure of
+     Theorem 10 for weighted flow genuinely needs release dates *)
+  let v_cyclic = Weighted_flow.split_value ~alpha:3.0 ~energy:8.0 ~work:1.0 [ [ 9.0; 1.0 ]; [ 1.0; 1.0 ] ] in
+  let v_best = Weighted_flow.best_common_release_split ~alpha:3.0 ~energy:8.0 ~work:1.0 [ 9.0; 1.0; 1.0; 1.0 ] in
+  checkf6 "balanced split is optimal here" v_best v_cyclic
+
+(* ---------- Multi_general ---------- *)
+
+let test_multi_general_equal_work_matches_cyclic () =
+  let inst = Workload.equal_work ~seed:9 ~n:6 ~work:1.0 (Workload.Poisson 1.0) in
+  let g = Multi_general.makespan cube ~m:2 ~energy:10.0 inst in
+  let c = Multi.makespan cube ~m:2 ~energy:10.0 inst in
+  check_bool "no worse than cyclic" true (g <= c +. 1e-6)
+
+let prop_multi_general_sound =
+  QCheck.Test.make ~count:30 ~name:"general heuristic between brute optimum and feasibility"
+    QCheck.(triple (int_range 0 5000) (int_range 2 3) (float_range 5.0 30.0))
+    (fun (seed, m, e) ->
+      let inst = Workload.uniform_work ~seed ~n:6 ~lo:0.5 ~hi:3.0 (Workload.Poisson 1.0) in
+      let h = Multi_general.makespan cube ~m ~energy:e inst in
+      let opt = Multi.brute_makespan cube ~m ~energy:e inst in
+      let s = Multi_general.solve cube ~m ~energy:e inst in
+      h >= opt -. (1e-6 *. (1.0 +. opt))
+      && h <= opt *. 1.5
+      && Validate.is_feasible inst s
+      && Schedule.energy cube s <= e *. (1.0 +. 1e-5))
+
+let prop_multi_general_local_search_helps =
+  QCheck.Test.make ~count:30 ~name:"local search never hurts"
+    QCheck.(pair (int_range 0 5000) (float_range 5.0 25.0))
+    (fun (seed, e) ->
+      let inst = Workload.uniform_work ~seed ~n:7 ~lo:0.5 ~hi:3.0 (Workload.Poisson 1.0) in
+      let without = Multi_general.makespan cube ~m:2 ~energy:e ~local_search:false inst in
+      let with_ls = Multi_general.makespan cube ~m:2 ~energy:e inst in
+      with_ls <= without +. 1e-9)
+
+
+(* ---------- Flow_spt: unequal works, common release ---------- *)
+
+let test_spt_single_job () =
+  let sol = Flow_spt.solve ~alpha:3.0 ~energy:4.0 ~works:[| 1.0 |] in
+  checkf6 "speed" 2.0 sol.Flow_spt.speeds.(0);
+  checkf6 "flow" 0.5 sol.Flow_spt.flow
+
+let test_spt_order_and_budget () =
+  let sol = Flow_spt.solve ~alpha:3.0 ~energy:10.0 ~works:[| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (array int)) "SPT order" [| 1; 2; 0 |] sol.Flow_spt.order;
+  checkf6 "budget exhausted" 10.0
+    (Array.fold_left ( +. ) 0.0
+       (Array.mapi
+          (fun p idx -> [| 3.0; 1.0; 2.0 |].(idx) *. (sol.Flow_spt.speeds.(p) ** 2.0))
+          sol.Flow_spt.order));
+  (* speeds decrease along positions: sigma_p ~ (n-p)^(1/alpha) *)
+  check_bool "speeds decreasing" true
+    (sol.Flow_spt.speeds.(0) > sol.Flow_spt.speeds.(1)
+    && sol.Flow_spt.speeds.(1) > sol.Flow_spt.speeds.(2))
+
+let test_spt_schedule () =
+  let inst = Instance.of_works [ 2.0; 1.0; 3.0 ] in
+  let sol, sched = Flow_spt.solve_instance ~alpha:3.0 ~energy:8.0 inst in
+  check_bool "feasible" true (Validate.is_feasible inst sched);
+  checkf6 "flow agrees" sol.Flow_spt.flow (Metrics.total_flow sched)
+
+let test_spt_equal_works_match_flow_module () =
+  (* with equal works the SPT solver and the PUW solver coincide *)
+  let n = 5 in
+  let sol = Flow_spt.solve ~alpha:3.0 ~energy:7.0 ~works:(Array.make n 1.0) in
+  let inst = Workload.equal_work ~seed:0 ~n ~work:1.0 Workload.Immediate in
+  let puw = Flow.solve_budget ~alpha:3.0 ~energy:7.0 inst in
+  checkf3 "same optimal flow" puw.Flow.flow sol.Flow_spt.flow
+
+let prop_spt_beats_all_orders =
+  QCheck.Test.make ~count:60 ~name:"SPT order is optimal for unequal works"
+    QCheck.(pair (list_of_size (Gen.int_range 1 6) (float_range 0.3 5.0)) (float_range 1.0 20.0))
+    (fun (works, e) ->
+      let works = Array.of_list works in
+      let sol = Flow_spt.solve ~alpha:3.0 ~energy:e ~works in
+      let b = Flow_spt.brute ~alpha:3.0 ~energy:e ~works in
+      Float.abs (sol.Flow_spt.flow -. b) <= 1e-6 *. (1.0 +. b))
+
+let prop_spt_local_optimality =
+  QCheck.Test.make ~count:60 ~name:"no speed perturbation improves SPT flow"
+    QCheck.(triple (list_of_size (Gen.int_range 2 6) (float_range 0.3 5.0)) (float_range 2.0 20.0) (int_range 0 999))
+    (fun (works, e, seed) ->
+      let works = Array.of_list works in
+      let n = Array.length works in
+      let sol = Flow_spt.solve ~alpha:3.0 ~energy:e ~works in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 15 do
+        let speeds =
+          Array.map (fun v -> v *. (1.0 +. (Random.State.float st 0.1 -. 0.05))) sol.Flow_spt.speeds
+        in
+        let energy =
+          Array.fold_left ( +. ) 0.0
+            (Array.mapi (fun p idx -> works.(idx) *. (speeds.(p) ** 2.0)) sol.Flow_spt.order)
+        in
+        let scale = Float.sqrt (e /. energy) in
+        let speeds = Array.map (fun v -> v *. scale) speeds in
+        let t = ref 0.0 and fl = ref 0.0 in
+        for p = 0 to n - 1 do
+          t := !t +. (works.(sol.Flow_spt.order.(p)) /. speeds.(p));
+          fl := !fl +. !t
+        done;
+        if !fl < sol.Flow_spt.flow -. (1e-7 *. (1.0 +. !fl)) then ok := false
+      done;
+      !ok)
+
+(* ---------- energy-delay product ---------- *)
+
+let test_edp_matches_dense_scan () =
+  (* alpha = 2: elasticity is 1/(alpha-1) = 1, so ED2P (k=2) has an
+     interior optimum; compare against a dense scan *)
+  let model = Power_model.alpha 2.0 in
+  let f = Frontier.build model Instance.figure1 in
+  let e_star, obj = Frontier.min_energy_delay ~delay_exponent:2.0 f in
+  let best = ref Float.infinity and best_e = ref 0.0 in
+  for i = 1 to 20000 do
+    let e = 0.005 *. float_of_int i in
+    let v = e *. (Frontier.makespan_at f e ** 2.0) in
+    if v < !best then begin
+      best := v;
+      best_e := e
+    end
+  done;
+  check_bool "objective close to scan optimum" true (obj <= !best *. (1.0 +. 1e-4));
+  check_bool "argmin close" true (Float.abs (e_star -. !best_e) < 0.05 *. (1.0 +. !best_e))
+
+let test_edp_weight_shifts_optimum () =
+  (* weighting delay more favours faster (more energetic) operation *)
+  let model = Power_model.alpha 2.0 in
+  let f = Frontier.build model Instance.figure1 in
+  let e2, _ = Frontier.min_energy_delay ~delay_exponent:2.0 f in
+  let e4, _ = Frontier.min_energy_delay ~delay_exponent:4.0 f in
+  check_bool "more delay weight -> more energy" true (e4 > e2)
+
+let test_edp_degenerate_for_low_exponent () =
+  (* for alpha = 3 and k <= 2 slowing down always wins: the chosen
+     budget collapses to the bracket's low edge *)
+  let f = Frontier.build cube Instance.figure1 in
+  let e1, _ = Frontier.min_energy_delay ~delay_exponent:1.0 f in
+  let e3, _ = Frontier.min_energy_delay ~delay_exponent:3.5 f in
+  check_bool "EDP at alpha=3 degenerates to slow" true (e1 < 0.1);
+  check_bool "ED3.5P is interior" true (e3 > 1.0)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "metrics_ext"
+    [
+      ( "max-flow",
+        [
+          Alcotest.test_case "single job closed form" `Quick test_max_flow_single_job;
+          Alcotest.test_case "server duality" `Quick test_max_flow_server_duality;
+          Alcotest.test_case "achieves its claim" `Quick test_max_flow_vs_makespan;
+          qt prop_max_flow_decreasing_in_energy;
+          qt prop_max_flow_multi_helps;
+        ] );
+      ( "weighted-flow",
+        [
+          Alcotest.test_case "single job" `Quick test_weighted_flow_closed_form_single;
+          Alcotest.test_case "weight order and speeds" `Quick test_weighted_flow_order;
+          Alcotest.test_case "equal weights = total flow" `Quick test_weighted_equal_weights_reduces_to_flow;
+          Alcotest.test_case "cyclic fails (not symmetric)" `Quick test_cyclic_fails_for_weighted_flow;
+          Alcotest.test_case "common release: balanced split fine" `Quick test_common_release_balanced_split_wins;
+          qt prop_weighted_flow_order_optimal;
+          qt prop_weighted_flow_kkt_perturbation;
+        ] );
+      ( "flow-spt",
+        [
+          Alcotest.test_case "single job" `Quick test_spt_single_job;
+          Alcotest.test_case "order and budget" `Quick test_spt_order_and_budget;
+          Alcotest.test_case "schedule" `Quick test_spt_schedule;
+          Alcotest.test_case "equal works = PUW" `Quick test_spt_equal_works_match_flow_module;
+          qt prop_spt_beats_all_orders;
+          qt prop_spt_local_optimality;
+        ] );
+      ( "energy-delay-product",
+        [
+          Alcotest.test_case "matches dense scan" `Quick test_edp_matches_dense_scan;
+          Alcotest.test_case "weight shifts optimum" `Quick test_edp_weight_shifts_optimum;
+          Alcotest.test_case "degenerate regimes" `Quick test_edp_degenerate_for_low_exponent;
+        ] );
+      ( "multi-general",
+        [
+          Alcotest.test_case "equal work = cyclic" `Quick test_multi_general_equal_work_matches_cyclic;
+          qt prop_multi_general_sound;
+          qt prop_multi_general_local_search_helps;
+        ] );
+    ]

@@ -1,0 +1,369 @@
+(* Tests for §5: multiprocessor makespan/flow with cyclic assignment
+   (Theorem 10), NP-hardness via Partition (Theorem 11), and the
+   load-balancing reduction for common-release instances. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf6 = Alcotest.(check (float 1e-6))
+let checkf4 = Alcotest.(check (float 1e-4))
+
+let cube = Power_model.cube
+
+(* ---------- cyclic assignment ---------- *)
+
+let test_cyclic_assignment_shape () =
+  let inst = Workload.equal_work ~seed:1 ~n:7 ~work:1.0 (Workload.Uniform_span 5.0) in
+  let subs = Multi.cyclic_assignment ~m:3 inst in
+  check_int "3 sub-instances" 3 (Array.length subs);
+  check_int "proc 0 gets ceil(7/3)" 3 (Instance.n subs.(0));
+  check_int "proc 1" 2 (Instance.n subs.(1));
+  check_int "proc 2" 2 (Instance.n subs.(2));
+  (* job ids: 0,3,6 on proc 0 *)
+  let ids = Array.to_list (Instance.jobs subs.(0)) |> List.map (fun (j : Job.t) -> j.Job.id) in
+  Alcotest.(check (list int)) "cyclic ids" [ 0; 3; 6 ] ids
+
+(* ---------- equal-work multiproc makespan ---------- *)
+
+let test_multi_single_proc_reduces () =
+  let inst = Instance.figure1 in
+  checkf6 "m=1 equals incmerge" (Incmerge.makespan cube ~energy:12.0 inst)
+    (Multi.makespan_of_assignment cube ~energy:12.0 [| inst |])
+
+let test_multi_two_jobs_two_procs () =
+  (* two unit jobs at time 0 on two processors sharing E: each proc one
+     job; both finish together; by symmetry each gets E/2 *)
+  let inst = Instance.of_pairs [ (0.0, 1.0); (0.0, 1.0) ] in
+  let mk = Multi.makespan cube ~m:2 ~energy:8.0 inst in
+  (* each job: energy 4 = s^2 -> s = 2 -> finish 0.5 *)
+  checkf6 "makespan" 0.5 mk;
+  let split = Multi.energy_split cube ~m:2 ~energy:8.0 inst in
+  checkf6 "even split" 4.0 split.(0);
+  checkf6 "even split" 4.0 split.(1)
+
+let test_multi_schedule_valid () =
+  let inst = Workload.equal_work ~seed:7 ~n:9 ~work:1.5 (Workload.Poisson 0.8) in
+  let s = Multi.solve cube ~m:3 ~energy:20.0 inst in
+  check_bool "feasible" true (Validate.is_feasible inst s);
+  checkf4 "budget spent" 20.0 (Schedule.energy cube s);
+  (* observation 1: all non-empty processors finish together *)
+  let finish p =
+    List.fold_left (fun acc e -> Float.max acc (Schedule.completion e)) 0.0 (Schedule.entries_of_proc s p)
+  in
+  let mk = Metrics.makespan s in
+  for p = 0 to 2 do
+    if Schedule.entries_of_proc s p <> [] then checkf4 "common finish" mk (finish p)
+  done
+
+let test_multi_rejects_unequal () =
+  Alcotest.check_raises "unequal rejected"
+    (Invalid_argument "Multi: exact algorithm requires equal-work jobs (general case is NP-hard)")
+    (fun () -> ignore (Multi.makespan cube ~m:2 ~energy:4.0 (Instance.of_pairs [ (0.0, 1.0); (0.0, 2.0) ])))
+
+let arb_equal_multi =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* m = int_range 1 3 in
+      let* gaps = list_size (return n) (float_range 0.0 2.0) in
+      let* w = float_range 0.3 2.0 in
+      let* e = float_range 1.0 30.0 in
+      let releases =
+        List.fold_left (fun acc g -> match acc with [] -> [ g ] | r :: _ -> (r +. g) :: acc) [] gaps
+      in
+      return (List.map (fun r -> (r, w)) (List.rev releases), m, e))
+  in
+  QCheck.make
+    ~print:(fun (l, m, e) ->
+      Printf.sprintf "m=%d e=%g [%s]" m e
+        (String.concat "; " (List.map (fun (r, w) -> Printf.sprintf "(%g,%g)" r w) l)))
+    gen
+
+let prop_cyclic_optimal_equal_work =
+  QCheck.Test.make ~count:60 ~name:"theorem 10: cyclic = brute force over assignments" arb_equal_multi
+    (fun (pairs, m, e) ->
+      let inst = Instance.of_pairs pairs in
+      let cyc = Multi.makespan cube ~m ~energy:e inst in
+      let opt = Multi.brute_makespan cube ~m ~energy:e inst in
+      Float.abs (cyc -. opt) <= 1e-5 *. (1.0 +. opt))
+
+let prop_multi_more_procs_help =
+  QCheck.Test.make ~count:60 ~name:"more processors never hurt makespan" arb_equal_multi
+    (fun (pairs, m, e) ->
+      let inst = Instance.of_pairs pairs in
+      let m1 = Multi.makespan cube ~m ~energy:e inst in
+      let m2 = Multi.makespan cube ~m:(m + 1) ~energy:e inst in
+      m2 <= m1 +. 1e-6)
+
+let prop_multi_flow_cyclic_optimal =
+  QCheck.Test.make ~count:40 ~name:"theorem 10 for flow: cyclic = brute force" arb_equal_multi
+    (fun (pairs, m, e) ->
+      let inst = Instance.of_pairs pairs in
+      let cyc = (Multi_flow.solve_budget ~alpha:3.0 ~m ~energy:e inst).Multi_flow.flow in
+      let opt = Multi_flow.brute_flow ~alpha:3.0 ~m ~energy:e inst in
+      (* cyclic is one of the assignments, so it cannot beat brute *)
+      cyc >= opt -. (1e-6 *. (1.0 +. opt)) && cyc <= opt +. (1e-4 *. (1.0 +. opt)))
+
+let test_multi_flow_schedule () =
+  let inst = Workload.equal_work ~seed:3 ~n:8 ~work:1.0 (Workload.Poisson 1.0) in
+  let sol = Multi_flow.solve_budget ~alpha:3.0 ~m:2 ~energy:15.0 inst in
+  checkf4 "budget spent" 15.0 sol.Multi_flow.energy;
+  let s = Multi_flow.schedule ~m:2 inst sol in
+  check_bool "feasible" true (Validate.is_feasible inst s);
+  checkf4 "flow metric matches" sol.Multi_flow.flow (Metrics.total_flow s);
+  (* observation 2: last job of each non-empty processor at speed s *)
+  Array.iter
+    (fun (p : Flow.solution) ->
+      if Array.length p.Flow.speeds > 0 then
+        checkf4 "common last speed" sol.Multi_flow.last_speed
+          p.Flow.speeds.(Array.length p.Flow.speeds - 1))
+    sol.Multi_flow.per_proc
+
+(* metric classification used by Theorem 10's hypothesis *)
+let test_metric_classification () =
+  let pairs = [| (3.0, 0.0); (5.0, 1.0); (2.0, 0.5) |] in
+  check_bool "makespan symmetric" true (Metrics.is_symmetric_on Metrics.makespan_metric pairs);
+  check_bool "flow symmetric" true (Metrics.is_symmetric_on Metrics.total_flow_metric pairs);
+  check_bool "makespan non-decreasing" true (Metrics.is_non_decreasing_on Metrics.makespan_metric pairs);
+  check_bool "flow non-decreasing" true (Metrics.is_non_decreasing_on Metrics.total_flow_metric pairs);
+  (* weighted flow with unequal weights is NOT symmetric *)
+  let weighted pairs =
+    let acc = ref 0.0 in
+    Array.iteri (fun i (c, r) -> acc := !acc +. (float_of_int (i + 1) *. (c -. r))) pairs;
+    !acc
+  in
+  check_bool "weighted flow not symmetric" false (Metrics.is_symmetric_on weighted pairs)
+
+(* ---------- theorem 11: partition reduction ---------- *)
+
+let test_partition_solvers_agree () =
+  List.iter
+    (fun values ->
+      let expected = Partition_solver.brute values in
+      check_bool "dp = brute" expected (Partition_solver.exists values);
+      (match Partition_solver.find values with
+      | Some side ->
+        check_bool "found implies exists" true expected;
+        let s1 = List.fold_left2 (fun a v s -> if s then a + v else a) 0 values side in
+        check_int "perfect split" (List.fold_left ( + ) 0 values) (2 * s1)
+      | None -> check_bool "not found implies not exists" false expected);
+      if expected then check_int "KK finds 0 on yes-instances ... not guaranteed; skip" 0 0)
+    [ [ 1; 2; 3 ]; [ 3; 1; 1; 2; 2; 1 ]; [ 5; 5; 5 ]; [ 2; 2; 2; 2 ]; [ 7; 3; 2; 1; 1 ]; [ 100; 1; 99; 2 ] ]
+
+let test_karmarkar_karp () =
+  (* KK difference is always >= optimal difference and has the right parity *)
+  List.iter
+    (fun values ->
+      let kk = Partition_solver.karmarkar_karp values in
+      let greedy = Partition_solver.greedy_difference values in
+      let total = List.fold_left ( + ) 0 values in
+      check_bool "kk parity" true ((kk - total) mod 2 = 0);
+      check_bool "kk >= 0" true (kk >= 0);
+      check_bool "greedy >= 0" true (greedy >= 0);
+      if Partition_solver.exists values then check_bool "exists -> kk can be 0 or positive" true (kk >= 0)
+      else check_bool "no partition -> kk > 0" true (kk > 0))
+    [ [ 1; 2; 3 ]; [ 3; 1; 1; 2; 2; 1 ]; [ 5; 5; 5 ]; [ 4; 5; 6; 7; 8 ]; [ 10; 9; 8; 7; 6; 5 ] ]
+
+let test_reduction_forward () =
+  (* a yes-instance gives a schedule meeting the target exactly *)
+  let values = [ 3; 1; 1; 2; 2; 1 ] in
+  let r = Hardness.reduce cube values in
+  (match Partition_solver.find values with
+  | None -> Alcotest.fail "expected a partition"
+  | Some side ->
+    let s = Hardness.schedule_of_partition values side in
+    check_bool "feasible" true (Validate.is_feasible r.Hardness.instance s);
+    checkf6 "meets makespan target" r.Hardness.makespan_target (Metrics.makespan s);
+    check_bool "within energy budget" true
+      (Schedule.energy cube s <= r.Hardness.energy_budget +. 1e-9));
+  (* round trip through partition_of_schedule *)
+  (match Partition_solver.find values with
+  | Some side ->
+    let s = Hardness.schedule_of_partition values side in
+    let side' = Hardness.partition_of_schedule s in
+    let sum_of sd = List.fold_left2 (fun a v b -> if b then a + v else a) 0 values sd in
+    check_int "recovered partition is perfect" (sum_of side) (sum_of side')
+  | None -> ())
+
+let test_reduction_decision_equivalence () =
+  List.iter
+    (fun values ->
+      check_bool
+        (Printf.sprintf "reduction decides [%s]" (String.concat ";" (List.map string_of_int values)))
+        (Partition_solver.exists values)
+        (Hardness.decide_via_scheduling cube values))
+    [ [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 2; 2; 2 ]; [ 5; 4; 3; 2; 2 ]; [ 3; 3; 5; 7 ] ]
+
+let prop_partition_dp_equals_brute =
+  QCheck.Test.make ~count:200 ~name:"partition DP = exhaustive"
+    QCheck.(list_of_size (Gen.int_range 1 12) (int_range 1 30))
+    (fun values -> Partition_solver.exists values = Partition_solver.brute values)
+
+let prop_kk_never_below_optimal =
+  QCheck.Test.make ~count:200 ~name:"KK difference is an upper bound on the optimum"
+    QCheck.(list_of_size (Gen.int_range 1 10) (int_range 1 25))
+    (fun values ->
+      let kk = Partition_solver.karmarkar_karp values in
+      (* brute-force the true optimal difference *)
+      let arr = Array.of_list values in
+      let n = Array.length arr in
+      let total = Array.fold_left ( + ) 0 arr in
+      let best = ref total in
+      for mask = 0 to (1 lsl n) - 1 do
+        let s = ref 0 in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then s := !s + arr.(i)
+        done;
+        best := min !best (abs (total - (2 * !s)))
+      done;
+      kk >= !best && Partition_solver.greedy_difference values >= !best)
+
+(* ---------- load balancing (common release, unequal works) ---------- *)
+
+let test_load_balance_basics () =
+  (* loads (3,1) vs (2,2) at alpha 3: norms 28 vs 16 *)
+  checkf6 "norm" 28.0 (Load_balance.norm_alpha ~alpha:3.0 [| 3.0; 1.0 |]);
+  checkf6 "norm balanced" 16.0 (Load_balance.norm_alpha ~alpha:3.0 [| 2.0; 2.0 |]);
+  (* makespan for loads (2,2), E = 16: M = (16/16)^(1/2) = 1 *)
+  checkf6 "makespan of loads" 1.0 (Load_balance.makespan_of_loads ~alpha:3.0 ~energy:16.0 [| 2.0; 2.0 |])
+
+let test_load_balance_schedule () =
+  let inst = Instance.of_works [ 4.0; 3.0; 3.0; 2.0; 2.0; 2.0 ] in
+  let s = Load_balance.solve ~alpha:3.0 ~m:2 ~energy:30.0 inst in
+  check_bool "feasible" true (Validate.is_feasible inst s);
+  checkf4 "uses the budget" 30.0 (Schedule.energy cube s);
+  checkf4 "achieves claimed makespan" (Load_balance.makespan ~alpha:3.0 ~m:2 ~energy:30.0 inst)
+    (Metrics.makespan s)
+
+let test_load_balance_rejects_releases () =
+  Alcotest.check_raises "release > 0 rejected"
+    (Invalid_argument "Load_balance: requires all releases at time 0")
+    (fun () -> ignore (Load_balance.makespan ~alpha:3.0 ~m:2 ~energy:4.0 (Instance.of_pairs [ (0.0, 1.0); (1.0, 1.0) ])))
+
+let prop_lpt_local_search_near_exact =
+  QCheck.Test.make ~count:80 ~name:"LPT + local search close to exact norm"
+    QCheck.(pair (list_of_size (Gen.int_range 1 9) (float_range 0.5 5.0)) (int_range 2 3))
+    (fun (works, m) ->
+      let alpha = 3.0 in
+      let heur = Load_balance.local_search ~alpha ~m works (Load_balance.lpt ~m works) in
+      let exact = Load_balance.exact ~alpha ~m works in
+      let loads a =
+        let l = Array.make m 0.0 in
+        List.iteri (fun i w -> l.(a.(i)) <- l.(a.(i)) +. w) works;
+        l
+      in
+      let nh = Load_balance.norm_alpha ~alpha (loads heur) in
+      let ne = Load_balance.norm_alpha ~alpha (loads exact) in
+      nh >= ne -. 1e-9 && nh <= ne *. 1.15)
+
+let prop_load_balance_consistent_with_brute_multi =
+  (* for common-release instances the load-balance makespan formula must
+     agree with the generic multiprocessor search *)
+  QCheck.Test.make ~count:30 ~name:"load-balance exact = generic brute force"
+    QCheck.(pair (list_of_size (Gen.int_range 1 5) (float_range 0.5 3.0)) (float_range 2.0 20.0))
+    (fun (works, e) ->
+      let inst = Instance.of_works works in
+      let m = 2 in
+      let alpha = 3.0 in
+      let a = Load_balance.exact ~alpha ~m works in
+      let loads = Array.make m 0.0 in
+      List.iteri (fun i w -> loads.(a.(i)) <- loads.(a.(i)) +. w) works;
+      let lb = Load_balance.makespan_of_loads ~alpha ~energy:e loads in
+      let brute = Multi.brute_makespan cube ~m ~energy:e inst in
+      Float.abs (lb -. brute) <= 1e-4 *. (1.0 +. brute))
+
+(* ---------- online makespan heuristics ---------- *)
+
+let test_online_race_single_job () =
+  (* one job: racing is offline-optimal *)
+  let inst = Instance.of_pairs [ (0.0, 2.0) ] in
+  let ratio = Online_makespan.competitive_ratio cube (Online_makespan.race cube ~budget:8.0) ~energy:8.0 inst in
+  checkf4 "ratio 1 on single job" 1.0 ratio
+
+let test_online_race_burned_by_arrival () =
+  (* racing spends everything on the first job; a later arrival then
+     crawls -> ratio far above 1 (the paper's §6 tension, made concrete) *)
+  let inst = Instance.of_pairs [ (0.0, 1.0); (5.0, 1.0) ] in
+  let ratio = Online_makespan.competitive_ratio cube (Online_makespan.race cube ~budget:4.0) ~energy:4.0 inst in
+  check_bool "racing punished" true (ratio > 1.5)
+
+let test_online_hedged_beats_race_on_arrivals () =
+  let inst = Instance.of_pairs [ (0.0, 1.0); (5.0, 1.0); (6.0, 1.0) ] in
+  let r_race = Online_makespan.competitive_ratio cube (Online_makespan.race cube ~budget:6.0) ~energy:6.0 inst in
+  let r_hedged =
+    Online_makespan.competitive_ratio cube (Online_makespan.hedged cube ~budget:6.0 ~reserve:0.5) ~energy:6.0 inst
+  in
+  check_bool "hedging helps here" true (r_hedged < r_race)
+
+let prop_online_policies_feasible =
+  QCheck.Test.make ~count:80 ~name:"online policies stay within budget and complete all jobs"
+    arb_equal_multi
+    (fun (pairs, _, e) ->
+      let inst = Instance.of_pairs pairs in
+      let outcome = Online_driver.run cube inst (Online_makespan.race cube ~budget:e) in
+      List.length outcome.Online_driver.completions = Instance.n inst
+      && outcome.Online_driver.energy <= e *. (1.0 +. 1e-6)
+      && outcome.Online_driver.makespan +. 1e-9 >= Incmerge.makespan cube ~energy:e inst)
+
+
+let test_sim_replays_multi_schedule () =
+  (* multiprocessor plans execute exactly in the event-driven simulator *)
+  let inst = Workload.equal_work ~seed:17 ~n:9 ~work:1.2 (Workload.Poisson 0.9) in
+  let plan = Multi.solve cube ~m:3 ~energy:18.0 inst in
+  let report = Sim.run cube inst plan in
+  check_bool "simulator agrees" true (Sim.agrees_with_plan report cube plan);
+  checkf4 "same makespan" (Metrics.makespan plan) report.Sim.makespan
+
+let test_sim_replays_multi_general () =
+  let inst = Workload.uniform_work ~seed:23 ~n:8 ~lo:0.5 ~hi:3.0 (Workload.Poisson 0.8) in
+  let plan = Multi_general.solve cube ~m:2 ~energy:20.0 inst in
+  let report = Sim.run cube inst plan in
+  check_bool "simulator agrees" true (Sim.agrees_with_plan report cube plan)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "cyclic",
+        [
+          Alcotest.test_case "assignment shape" `Quick test_cyclic_assignment_shape;
+          Alcotest.test_case "m=1 reduces to incmerge" `Quick test_multi_single_proc_reduces;
+          Alcotest.test_case "two jobs two procs" `Quick test_multi_two_jobs_two_procs;
+          Alcotest.test_case "schedule valid, common finish" `Quick test_multi_schedule_valid;
+          Alcotest.test_case "sim replays multi plan" `Quick test_sim_replays_multi_schedule;
+          Alcotest.test_case "sim replays general plan" `Quick test_sim_replays_multi_general;
+          Alcotest.test_case "unequal work rejected" `Quick test_multi_rejects_unequal;
+          qt prop_cyclic_optimal_equal_work;
+          qt prop_multi_more_procs_help;
+        ] );
+      ( "multi-flow",
+        [
+          Alcotest.test_case "schedule and observation 2" `Quick test_multi_flow_schedule;
+          Alcotest.test_case "metric classification" `Quick test_metric_classification;
+          qt prop_multi_flow_cyclic_optimal;
+        ] );
+      ( "hardness",
+        [
+          Alcotest.test_case "partition solvers agree" `Quick test_partition_solvers_agree;
+          Alcotest.test_case "karmarkar-karp" `Quick test_karmarkar_karp;
+          Alcotest.test_case "reduction forward" `Quick test_reduction_forward;
+          Alcotest.test_case "reduction decides partition" `Quick test_reduction_decision_equivalence;
+          qt prop_partition_dp_equals_brute;
+          qt prop_kk_never_below_optimal;
+        ] );
+      ( "load-balance",
+        [
+          Alcotest.test_case "norms and makespan formula" `Quick test_load_balance_basics;
+          Alcotest.test_case "schedule" `Quick test_load_balance_schedule;
+          Alcotest.test_case "rejects releases" `Quick test_load_balance_rejects_releases;
+          qt prop_lpt_local_search_near_exact;
+          qt prop_load_balance_consistent_with_brute_multi;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "race optimal on single job" `Quick test_online_race_single_job;
+          Alcotest.test_case "race punished by arrivals" `Quick test_online_race_burned_by_arrival;
+          Alcotest.test_case "hedging helps" `Quick test_online_hedged_beats_race_on_arrivals;
+          qt prop_online_policies_feasible;
+        ] );
+    ]
