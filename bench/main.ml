@@ -7,7 +7,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig1 perf  # selected sections
 
-   Sections: fig1 fig2 fig3 thm1 thm8 thm10 thm11 perf sim online ext *)
+   Sections: fig1 fig2 fig3 thm1 thm8 thm10 thm11 perf sim online ext fuzz *)
 
 let cube = Power_model.cube
 let fig1_instance = Instance.figure1
@@ -377,6 +377,39 @@ let section_ext () =
           ] );
     ]
 
+(* ---------------------------------------------------------------- *)
+(* FUZZ: throughput of the property-based differential tester. *)
+
+let section_fuzz () =
+  header "FUZZ  pasched.check throughput (cases and property-checks per second)";
+  (* warm-up covers any lazy initialization *)
+  ignore (Runner.run ~seed:1 ~runs:20 ());
+  let campaign runs =
+    let t0 = Unix.gettimeofday () in
+    let s = Runner.run ~seed:42 ~runs () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (s, dt)
+  in
+  Printf.printf "%-8s %-10s %-12s %-14s %-14s %-10s\n" "runs" "checks" "seconds" "cases/s" "checks/s" "failures";
+  List.iter
+    (fun runs ->
+      let s, dt = campaign runs in
+      Printf.printf "%-8d %-10d %-12.4f %-14.0f %-14.0f %-10d\n" runs s.Runner.checks dt
+        (float_of_int s.Runner.cases /. dt)
+        (float_of_int s.Runner.checks /. dt)
+        (List.length s.Runner.failures))
+    [ 100; 500; 2000 ];
+  (* per-property cost at a fixed campaign *)
+  Printf.printf "\nper-property time, 300 cases each:\n";
+  Printf.printf "%-26s %-12s %-12s\n" "property" "seconds" "checks/s";
+  List.iter
+    (fun (p : Oracle.property) ->
+      let t0 = Unix.gettimeofday () in
+      let s = Runner.run ~props:[ p.Oracle.name ] ~seed:42 ~runs:300 () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-26s %-12.4f %-12.0f\n" p.Oracle.name dt (float_of_int s.Runner.checks /. dt))
+    (Properties.registered ())
+
 let sections =
   [
     ("fig1", section_fig1);
@@ -390,6 +423,7 @@ let sections =
     ("sim", section_sim);
     ("online", section_online);
     ("ext", section_ext);
+    ("fuzz", section_fuzz);
   ]
 
 let () =

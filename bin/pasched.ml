@@ -326,9 +326,60 @@ let thermal_cmd =
     (Cmd.info "thermal" ~doc:"Temperature trace of the optimal plan (Newton cooling).")
     Term.(const run $ alpha_term $ instance_term $ energy_term $ heating $ cooling)
 
+let fuzz_cmd =
+  let run seed runs props list_props replay =
+    let all = Properties.registered () in
+    if list_props then begin
+      List.iter (fun p -> Printf.printf "%-26s %s\n" p.Oracle.name p.Oracle.doc) all;
+      `Ok ()
+    end
+    else
+      match replay with
+      | Some line -> begin
+        match Replay.run_line line with
+        | Error msg -> `Error (false, msg)
+        | Ok (name, Oracle.Pass) ->
+          Printf.printf "replay %s: PASS\n" name;
+          `Ok ()
+        | Ok (name, Oracle.Skip why) ->
+          Printf.printf "replay %s: SKIP (%s)\n" name why;
+          `Ok ()
+        | Ok (name, Oracle.Fail msg) ->
+          Printf.printf "replay %s: FAIL (%s)\n" name msg;
+          Stdlib.exit 1
+      end
+      | None -> begin
+        match Runner.run ?props:(match props with [] -> None | ps -> Some ps) ~seed ~runs () with
+        | summary ->
+          Runner.report summary;
+          if Runner.ok summary then `Ok () else Stdlib.exit 1
+        | exception Invalid_argument msg -> `Error (false, msg)
+      end
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Campaign PRNG seed.") in
+  let runs =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let props =
+    Arg.(
+      value & opt_all string []
+      & info [ "prop" ] ~docv:"NAME" ~doc:"Check only this property (repeatable; default all).")
+  in
+  let list_props = Arg.(value & flag & info [ "list" ] ~doc:"List registered properties and exit.") in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"LINE" ~doc:"Re-run one serialized counterexample line and exit.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Property-based differential testing: random instances against the oracle registry.")
+    Term.(ret (const run $ seed $ runs $ props $ list_props $ replay))
+
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
   let info = Cmd.info "pasched" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd; workload_cmd;
-      deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd ]))
+      deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]))

@@ -1,0 +1,45 @@
+type case = {
+  seed : int;
+  alpha : float;
+  energy : float;
+  m : int;
+  inst : Instance.t;
+}
+
+type outcome = Pass | Fail of string | Skip of string
+
+type property = { name : string; doc : string; run : case -> outcome }
+
+let model c = Power_model.alpha c.alpha
+
+let pairs_of_instance inst =
+  Array.to_list (Array.map (fun (j : Job.t) -> (j.Job.release, j.Job.work)) (Instance.jobs inst))
+
+let truncate k c =
+  let pairs = pairs_of_instance c.inst in
+  let rec take k = function [] -> [] | x :: tl -> if k = 0 then [] else x :: take (k - 1) tl in
+  { c with inst = Instance.of_pairs (take (Stdlib.max 0 k) pairs) }
+
+let equal_work_view c =
+  match pairs_of_instance c.inst with
+  | [] -> c
+  | (_, w0) :: _ as pairs -> { c with inst = Instance.of_pairs (List.map (fun (r, _) -> (r, w0)) pairs) }
+
+let aux_float c ~salt ~index =
+  let rng = Rng.of_pair (c.seed lxor (salt * 0x1f1f1f)) index in
+  Rng.float rng 1.0
+
+let fail_eq what ~expected ~got = Fail (Printf.sprintf "%s: expected %.12g, got %.12g" what expected got)
+
+let close ?(tol = 1e-6) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let registry : property list ref = ref []
+
+let register p =
+  if List.exists (fun q -> q.name = p.name) !registry then
+    invalid_arg (Printf.sprintf "Oracle.register: duplicate property %S" p.name);
+  registry := !registry @ [ p ]
+
+let registered () = !registry
+let find name = List.find_opt (fun p -> p.name = name) !registry

@@ -1,0 +1,64 @@
+(** Executable properties over generated scheduling cases.
+
+    A {!case} bundles one instance with the model parameters every
+    solver family needs (power exponent, energy budget, processor
+    count) plus the seed that derives any auxiliary randomness — so a
+    single generated value can be fed to differential, metamorphic and
+    structural properties alike.
+
+    Properties must depend only on the case's {e values and job order},
+    never on raw job ids: the shrinker and the replay parser both
+    renumber ids [0..n-1] in release order, and a property keyed on ids
+    would change verdict under that renumbering. *)
+
+type case = {
+  seed : int;  (** derives auxiliary randomness (e.g. deadline slack) *)
+  alpha : float;  (** power exponent, [> 1] *)
+  energy : float;  (** energy budget, [> 0] *)
+  m : int;  (** processor count, [>= 1] *)
+  inst : Instance.t;
+}
+
+type outcome =
+  | Pass
+  | Fail of string  (** human-readable reason, shown with the replay line *)
+  | Skip of string  (** case outside the property's precondition *)
+
+type property = {
+  name : string;  (** unique key, used by [--prop] and replay lines *)
+  doc : string;
+  run : case -> outcome;
+}
+
+val model : case -> Power_model.t
+(** The α-power model of the case. *)
+
+val truncate : int -> case -> case
+(** Keep only the first [k] jobs (release order, ids renumbered) — how
+    properties with exponential oracles bound their input instead of
+    skipping large cases. *)
+
+val equal_work_view : case -> case
+(** Same releases, every work replaced by the first job's work — the
+    deterministic projection into the equal-work setting that [Flow] and
+    [Multi] require. *)
+
+val aux_float : case -> salt:int -> index:int -> float
+(** Deterministic uniform [[0,1)] value derived from [(case.seed, salt,
+    index)] — per-job auxiliary randomness that survives shrinking of
+    the other jobs. *)
+
+val fail_eq : string -> expected:float -> got:float -> outcome
+(** [Fail] with a standard "expected x, got y" message. *)
+
+val close : ?tol:float -> float -> float -> bool
+(** Relative comparison: [|a - b| <= tol * max 1 (max |a| |b|)]
+    (default [tol = 1e-6]). *)
+
+val register : property -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val registered : unit -> property list
+(** In registration order. *)
+
+val find : string -> property option

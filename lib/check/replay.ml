@@ -1,0 +1,63 @@
+let float_str x = Printf.sprintf "%.17g" x
+
+let to_line ~prop (c : Oracle.case) =
+  let jobs =
+    Instance.jobs c.Oracle.inst
+    |> Array.map (fun (j : Job.t) -> Printf.sprintf "%s:%s" (float_str j.Job.release) (float_str j.Job.work))
+    |> Array.to_list
+    |> String.concat ","
+  in
+  Printf.sprintf "prop=%s seed=%d alpha=%s energy=%s m=%d jobs=%s" prop c.Oracle.seed
+    (float_str c.Oracle.alpha) (float_str c.Oracle.energy) c.Oracle.m jobs
+
+let parse_jobs spec =
+  if String.trim spec = "" then []
+  else
+    String.split_on_char ',' spec
+    |> List.map (fun part ->
+           match String.split_on_char ':' (String.trim part) with
+           | [ r; w ] -> (float_of_string r, float_of_string w)
+           | _ -> failwith (Printf.sprintf "bad job %S, expected release:work" part))
+
+let of_line line =
+  try
+    let tokens = String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") in
+    let kvs =
+      List.map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i -> (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+          | None -> failwith (Printf.sprintf "token %S is not key=value" tok))
+        tokens
+    in
+    let get k =
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "missing key %S" k)
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k [ "prop"; "seed"; "alpha"; "energy"; "m"; "jobs" ]) then
+          failwith (Printf.sprintf "unknown key %S" k))
+      kvs;
+    let case =
+      {
+        Oracle.seed = int_of_string (get "seed");
+        alpha = float_of_string (get "alpha");
+        energy = float_of_string (get "energy");
+        m = int_of_string (get "m");
+        inst = Instance.of_pairs (parse_jobs (get "jobs"));
+      }
+    in
+    Ok (get "prop", case)
+  with
+  | Failure msg -> Error (Printf.sprintf "Replay.of_line: %s" msg)
+  | Invalid_argument msg -> Error (Printf.sprintf "Replay.of_line: %s" msg)
+
+let run_line line =
+  match of_line line with
+  | Error _ as e -> e
+  | Ok (name, case) ->
+    (match Oracle.find name with
+    | None -> Error (Printf.sprintf "Replay.run_line: unknown property %S" name)
+    | Some p -> Ok (name, p.Oracle.run case))

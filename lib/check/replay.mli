@@ -1,0 +1,22 @@
+(** Replayable counterexamples.
+
+    A failure serializes to one line of [key=value] tokens — no
+    s-expressions, greppable, and stable enough to paste into a
+    regression test or a bug report:
+
+    {v prop=incmerge_vs_brute seed=123 alpha=3 energy=7.25 m=2 jobs=0:5,5:2,6:1 v}
+
+    [jobs] lists [release:work] pairs in release order; floats print
+    with 17 significant digits so parsing reproduces them bit-exactly.
+    Ids are assigned [0..n-1] in listed order on load, matching the
+    shrinker's normalization. *)
+
+val to_line : prop:string -> Oracle.case -> string
+
+val of_line : string -> (string * Oracle.case, string) result
+(** Parses a line produced by {!to_line} (property name, case).
+    Unknown keys are rejected; [Error] carries a parse diagnostic. *)
+
+val run_line : string -> (string * Oracle.outcome, string) result
+(** Parse and re-run: the property named on the line is looked up in
+    the {!Oracle} registry and applied to the case. *)

@@ -1,0 +1,104 @@
+type prop_stats = { name : string; passed : int; skipped : int; failed : int }
+
+type failure = {
+  prop : string;
+  case_index : int;
+  message : string;
+  original : Oracle.case;
+  shrunk : Oracle.case;
+  shrink_steps : int;
+  replay : string;
+}
+
+type summary = {
+  seed : int;
+  cases : int;
+  checks : int;
+  stats : prop_stats list;
+  failures : failure list;
+}
+
+let guard run case =
+  match run case with
+  | outcome -> outcome
+  | exception e -> Oracle.Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+let run_props ?(size = 25) ~props ~seed ~runs () =
+  let size = Stdlib.max 3 size in
+  let tally = Hashtbl.create 16 in
+  List.iter (fun (p : Oracle.property) -> Hashtbl.replace tally p.Oracle.name (ref 0, ref 0, ref 0)) props;
+  let checks = ref 0 in
+  let failures = ref [] in
+  for k = 0 to runs - 1 do
+    let rng = Rng.of_pair seed k in
+    let case = Gen.case ~size:(3 + (k mod (size - 2))) rng in
+    List.iter
+      (fun (p : Oracle.property) ->
+        let passed, skipped, failed = Hashtbl.find tally p.Oracle.name in
+        incr checks;
+        match guard p.Oracle.run case with
+        | Oracle.Pass -> incr passed
+        | Oracle.Skip _ -> incr skipped
+        | Oracle.Fail message ->
+          incr failed;
+          let shrunk, st = Shrink.minimize ~prop:(guard p.Oracle.run) case in
+          let message =
+            match guard p.Oracle.run shrunk with Oracle.Fail m -> m | _ -> message
+          in
+          failures :=
+            {
+              prop = p.Oracle.name;
+              case_index = k;
+              message;
+              original = case;
+              shrunk;
+              shrink_steps = st.Shrink.steps;
+              replay = Replay.to_line ~prop:p.Oracle.name shrunk;
+            }
+            :: !failures)
+      props
+  done;
+  let stats =
+    List.map
+      (fun (p : Oracle.property) ->
+        let passed, skipped, failed = Hashtbl.find tally p.Oracle.name in
+        { name = p.Oracle.name; passed = !passed; skipped = !skipped; failed = !failed })
+      props
+  in
+  { seed; cases = runs; checks = !checks; stats; failures = List.rev !failures }
+
+let run ?size ?props ~seed ~runs () =
+  let selected =
+    match props with
+    | None -> Oracle.registered ()
+    | Some names ->
+      List.map
+        (fun name ->
+          match Oracle.find name with
+          | Some p -> p
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Runner.run: unknown property %S (known: %s)" name
+                 (String.concat ", " (List.map (fun p -> p.Oracle.name) (Oracle.registered ())))))
+        names
+  in
+  run_props ?size ~props:selected ~seed ~runs ()
+
+let ok s = s.failures = []
+
+let report ?(out = stdout) s =
+  Printf.fprintf out "fuzz: seed=%d cases=%d property-checks=%d\n" s.seed s.cases s.checks;
+  Printf.fprintf out "%-26s %8s %8s %8s\n" "property" "pass" "skip" "fail";
+  List.iter
+    (fun st -> Printf.fprintf out "%-26s %8d %8d %8d\n" st.name st.passed st.skipped st.failed)
+    s.stats;
+  List.iter
+    (fun f ->
+      Printf.fprintf out "\nFAIL %s (case %d, shrunk in %d steps): %s\n" f.prop f.case_index
+        f.shrink_steps f.message;
+      Printf.fprintf out "  shrunk instance (%d jobs): %s\n" (Instance.n f.shrunk.Oracle.inst)
+        (Format.asprintf "%a" Instance.pp f.shrunk.Oracle.inst);
+      Printf.fprintf out "  replay: %s\n" f.replay)
+    s.failures;
+  if s.failures = [] then Printf.fprintf out "all properties passed\n"
+  else Printf.fprintf out "\n%d failure(s)\n" (List.length s.failures)

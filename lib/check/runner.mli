@@ -1,0 +1,46 @@
+(** The fuzz loop: generate cases, run every property, shrink and
+    serialize failures.
+
+    Deterministic: case [k] of a campaign is generated from the
+    independent stream [Rng.of_pair seed k], so any campaign — and any
+    single failure inside it — replays from [(seed, runs)] alone.  An
+    exception escaping a property is converted to a [Fail] (solvers
+    raising on a generated case is exactly the kind of disagreement the
+    harness exists to find). *)
+
+type prop_stats = { name : string; passed : int; skipped : int; failed : int }
+
+type failure = {
+  prop : string;
+  case_index : int;  (** which generated case triggered it *)
+  message : string;
+  original : Oracle.case;
+  shrunk : Oracle.case;
+  shrink_steps : int;
+  replay : string;  (** {!Replay.to_line} of the shrunk case *)
+}
+
+type summary = {
+  seed : int;
+  cases : int;  (** generated cases *)
+  checks : int;  (** property evaluations, excluding shrinking *)
+  stats : prop_stats list;  (** one per property, registry order *)
+  failures : failure list;
+}
+
+val run_props :
+  ?size:int -> props:Oracle.property list -> seed:int -> runs:int -> unit -> summary
+(** Run [runs] generated cases through each property.  [size] caps the
+    generator's size parameter (default 25); case sizes cycle through
+    [3..size] so small and large instances both appear early. *)
+
+val run : ?size:int -> ?props:string list -> seed:int -> runs:int -> unit -> summary
+(** Like {!run_props} with properties named from the {!Oracle} registry
+    (all of them by default).
+    @raise Invalid_argument on an unknown property name. *)
+
+val ok : summary -> bool
+
+val report : ?out:out_channel -> summary -> unit
+(** Stats table on [out] (default stdout), then one block per failure
+    with the shrunk instance and its replay line. *)

@@ -5,6 +5,7 @@ type violation =
   | Starts_before_release of int
   | Overlap of { proc : int; job_a : int; job_b : int }
   | Exceeds_budget of { energy : float; budget : float }
+  | Nonfinite_entry of { job : int; field : string }
 
 let to_string = function
   | Missing_job id -> Printf.sprintf "job %d from the instance is not scheduled" id
@@ -15,6 +16,8 @@ let to_string = function
     Printf.sprintf "jobs %d and %d overlap on processor %d" job_a job_b proc
   | Exceeds_budget { energy; budget } ->
     Printf.sprintf "schedule uses energy %g > budget %g" energy budget
+  | Nonfinite_entry { job; field } ->
+    Printf.sprintf "job %d has a non-finite %s" job field
 
 let check inst sched =
   let violations = ref [] in
@@ -27,6 +30,9 @@ let check inst sched =
   List.iter
     (fun (e : Schedule.entry) ->
       let id = e.Schedule.job.Job.id in
+      (* NaN slips past every ordering comparison below, so rule it out first *)
+      if not (Float.is_finite e.Schedule.start) then add (Nonfinite_entry { job = id; field = "start" });
+      if not (Float.is_finite e.Schedule.speed) then add (Nonfinite_entry { job = id; field = "speed" });
       (match Hashtbl.find_opt by_id id with
       | None -> add (Unknown_job id)
       | Some j ->
@@ -51,7 +57,9 @@ let check inst sched =
 let check_with_budget model ~budget ?(tol = 1e-6) inst sched =
   let base = match check inst sched with Ok () -> [] | Error vs -> vs in
   let energy = Schedule.energy model sched in
-  let vs = if energy > budget *. (1.0 +. tol) then base @ [ Exceeds_budget { energy; budget } ] else base in
+  (* [nan > budget] is false, so a NaN energy would otherwise pass silently *)
+  let over = (not (Float.is_finite energy)) || energy > budget *. (1.0 +. tol) in
+  let vs = if over then base @ [ Exceeds_budget { energy; budget } ] else base in
   match vs with [] -> Ok () | vs -> Error vs
 
 let is_feasible inst sched = match check inst sched with Ok () -> true | Error _ -> false

@@ -12,6 +12,9 @@ type violation =
   | Starts_before_release of int
   | Overlap of { proc : int; job_a : int; job_b : int }
   | Exceeds_budget of { energy : float; budget : float }
+  | Nonfinite_entry of { job : int; field : string }
+      (** NaN/infinite [start] or [speed]: such values defeat the other
+          checks because every ordering comparison with NaN is false *)
 
 val to_string : violation -> string
 
@@ -20,6 +23,7 @@ val check : Instance.t -> Schedule.t -> (unit, violation list) result
 val check_with_budget :
   Power_model.t -> budget:float -> ?tol:float -> Instance.t -> Schedule.t -> (unit, violation list) result
 (** Additionally requires total energy at most [budget·(1 + tol)]
-    (default [tol = 1e-6]). *)
+    (default [tol = 1e-6]); a NaN or infinite total energy is reported
+    as {!Exceeds_budget}. *)
 
 val is_feasible : Instance.t -> Schedule.t -> bool

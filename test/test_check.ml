@@ -1,0 +1,282 @@
+(* Tests for the pasched.check fuzzing subsystem: the splittable PRNG,
+   generator combinators, the oracle registry, shrinking, replay
+   round-trips, and a bounded deterministic fuzz sweep (fixed seeds, so
+   CI results are reproducible). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 50 do
+    check_bool "same seed, same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done;
+  let c = Rng.make 8 in
+  check_bool "different seed differs" false
+    (List.init 8 (fun _ -> Rng.bits64 (Rng.copy c)) = List.init 8 (fun _ -> Rng.bits64 c))
+
+let test_rng_split_independent () =
+  let parent = Rng.make 11 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  check_bool "split streams disagree" true (xs <> ys);
+  (* splitting must not be sensitive to draws made after the split *)
+  let p1 = Rng.make 11 in
+  let c1 = Rng.split p1 in
+  ignore (Rng.bits64 p1);
+  let p2 = Rng.make 11 in
+  let c2 = Rng.split p2 in
+  check_bool "child independent of parent's later draws" true (Rng.bits64 c1 = Rng.bits64 c2)
+
+let test_rng_ranges () =
+  let t = Rng.make 3 in
+  for _ = 1 to 200 do
+    let k = Rng.int t 7 in
+    check_bool "int in range" true (k >= 0 && k < 7);
+    let x = Rng.float t 2.5 in
+    check_bool "float in range" true (x >= 0.0 && x < 2.5)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int t 0))
+
+let test_rng_of_pair () =
+  let streams = List.init 10 (fun i -> Rng.bits64 (Rng.of_pair 42 i)) in
+  check_bool "per-index streams all distinct" true
+    (List.length (List.sort_uniq compare streams) = 10)
+
+(* ---------- Gen ---------- *)
+
+let test_gen_deterministic () =
+  let line seed = Replay.to_line ~prop:"p" (Gen.run ~size:12 ~seed Gen.case) in
+  check_string "same seed, same case" (line 5) (line 5);
+  check_bool "different seed, different case" true (line 5 <> line 6)
+
+let test_gen_case_sane () =
+  for seed = 0 to 60 do
+    let c = Gen.run ~size:15 ~seed Gen.case in
+    check_bool "alpha > 1" true (c.Oracle.alpha > 1.0);
+    check_bool "energy > 0" true (c.Oracle.energy > 0.0);
+    check_bool "m in 1..4" true (c.Oracle.m >= 1 && c.Oracle.m <= 4);
+    check_bool "non-empty instance" true (Instance.n c.Oracle.inst >= 1);
+    let jobs = Instance.jobs c.Oracle.inst in
+    for i = 0 to Array.length jobs - 2 do
+      check_bool "sorted by release" true (jobs.(i).Job.release <= jobs.(i + 1).Job.release)
+    done
+  done
+
+let test_gen_combinators () =
+  let g = Gen.frequency [ (3, Gen.return "a"); (1, Gen.return "b") ] in
+  let xs = List.init 200 (fun seed -> Gen.run ~size:1 ~seed g) in
+  check_bool "frequency hits both" true (List.mem "a" xs && List.mem "b" xs);
+  let n = Gen.run ~size:9 ~seed:1 (Gen.int_range 4 4) in
+  check_int "degenerate range" 4 n;
+  let lst = Gen.run ~size:9 ~seed:2 (Gen.list_n (Gen.return 5) (Gen.int_range 0 9)) in
+  check_int "list_n length" 5 (List.length lst);
+  Alcotest.check_raises "empty oneof" (Invalid_argument "Gen.oneof: empty list") (fun () ->
+      ignore (Gen.run ~size:1 ~seed:0 (Gen.oneof ([] : int Gen.t list))))
+
+(* ---------- registry ---------- *)
+
+let test_registry () =
+  let names = List.map (fun p -> p.Oracle.name) (Properties.registered ()) in
+  check_int "twelve properties" 12 (List.length names);
+  check_bool "unique names" true (List.length (List.sort_uniq compare names) = 12);
+  check_bool "find known" true (Oracle.find "incmerge_vs_brute" <> None);
+  check_bool "find unknown" true (Oracle.find "no_such_prop" = None)
+
+let test_properties_on_figure1 () =
+  let case = { Oracle.seed = 1; alpha = 3.0; energy = 12.0; m = 2; inst = Instance.figure1 } in
+  List.iter
+    (fun p ->
+      match p.Oracle.run case with
+      | Oracle.Pass | Oracle.Skip _ -> ()
+      | Oracle.Fail msg -> Alcotest.failf "%s failed on figure1: %s" p.Oracle.name msg)
+    (Properties.registered ())
+
+(* ---------- deterministic sweep (the CI fuzz gate) ---------- *)
+
+let sweep seed runs =
+  let s = Runner.run ~seed ~runs () in
+  check_int "cases" runs s.Runner.cases;
+  if not (Runner.ok s) then begin
+    Runner.report s;
+    Alcotest.failf "fuzz sweep (seed %d) found %d failure(s)" seed (List.length s.Runner.failures)
+  end
+
+let test_sweep_seed42 () = sweep 42 60
+let test_sweep_seed7 () = sweep 7 40
+
+let test_sweep_deterministic () =
+  let a = Runner.run ~seed:13 ~runs:15 () in
+  let b = Runner.run ~seed:13 ~runs:15 () in
+  check_bool "summaries identical" true (a = b)
+
+(* ---------- broken oracles: catching and shrinking ---------- *)
+
+(* A "forgot the release times" oracle: claims the optimal makespan is
+   always the common-release single-block value.  True at release 0,
+   false as soon as any release is positive. *)
+let broken_no_releases =
+  {
+    Oracle.name = "broken_no_releases";
+    doc = "deliberately wrong: ignores release times";
+    run =
+      (fun c ->
+        let m = Oracle.model c in
+        let claimed =
+          Power_model.duration_for_energy m ~work:(Instance.total_work c.Oracle.inst)
+            ~energy:c.Oracle.energy
+        in
+        let got = Incmerge.makespan m ~energy:c.Oracle.energy c.Oracle.inst in
+        if Oracle.close ~tol:1e-6 claimed got then Oracle.Pass
+        else Oracle.fail_eq "single-block claim" ~expected:claimed ~got);
+  }
+
+(* A size-triggered oracle: fails on any instance with three or more
+   jobs; the minimal counterexample has exactly three. *)
+let broken_small_only =
+  {
+    Oracle.name = "broken_small_only";
+    doc = "deliberately wrong: only accepts tiny instances";
+    run =
+      (fun c -> if Instance.n c.Oracle.inst <= 2 then Oracle.Pass else Oracle.Fail "n >= 3");
+  }
+
+let test_mutation_caught_and_shrunk () =
+  let s = Runner.run_props ~props:[ broken_no_releases ] ~seed:42 ~runs:60 () in
+  check_bool "broken oracle is caught" false (Runner.ok s);
+  List.iter
+    (fun f ->
+      let n = Instance.n f.Runner.shrunk.Oracle.inst in
+      check_bool "shrunk to at most 4 jobs" true (n <= 4);
+      (* the shrunk case must still fail, and its replay line must
+         reproduce that failure from the serialized text alone *)
+      (match broken_no_releases.Oracle.run f.Runner.shrunk with
+      | Oracle.Fail _ -> ()
+      | _ -> Alcotest.fail "shrunk case no longer fails");
+      match Replay.of_line f.Runner.replay with
+      | Error e -> Alcotest.fail e
+      | Ok (prop, case) ->
+        check_string "replay names the property" "broken_no_releases" prop;
+        (match broken_no_releases.Oracle.run case with
+        | Oracle.Fail _ -> ()
+        | _ -> Alcotest.fail "replayed case no longer fails"))
+    s.Runner.failures
+
+let test_shrink_to_three_jobs () =
+  let big =
+    {
+      Oracle.seed = 0;
+      alpha = 3.0;
+      energy = 10.0;
+      m = 1;
+      inst = Instance.of_pairs (List.init 10 (fun i -> (float_of_int i, 1.0 +. (0.37 *. float_of_int i))));
+    }
+  in
+  let shrunk, st = Shrink.minimize ~prop:broken_small_only.Oracle.run big in
+  check_int "minimal counterexample size" 3 (Instance.n shrunk.Oracle.inst);
+  check_bool "took shrinking steps" true (st.Shrink.steps >= 7)
+
+let test_shrink_keeps_failure_alive () =
+  (* fails iff some release is positive: zeroing every release would
+     make it pass, so the shrinker must stop at one surviving job with
+     a positive release *)
+  let prop c =
+    if Instance.last_release c.Oracle.inst > 0.0 then Oracle.Fail "has a positive release"
+    else Oracle.Pass
+  in
+  let case =
+    { Oracle.seed = 0; alpha = 2.0; energy = 5.0; m = 1;
+      inst = Instance.of_pairs [ (0.0, 1.0); (1.5, 2.0); (3.0, 1.0); (7.0, 0.5) ] }
+  in
+  let shrunk, _ = Shrink.minimize ~prop case in
+  check_int "one job left" 1 (Instance.n shrunk.Oracle.inst);
+  check_bool "still failing" true (prop shrunk = Oracle.Fail "has a positive release")
+
+let test_shrink_passes_untouched () =
+  let case = Gen.run ~size:10 ~seed:3 Gen.case in
+  let shrunk, st = Shrink.minimize ~prop:(fun _ -> Oracle.Pass) case in
+  check_bool "passing case unchanged" true (shrunk = case);
+  check_int "no steps" 0 st.Shrink.steps
+
+(* ---------- replay ---------- *)
+
+let test_replay_roundtrip () =
+  for seed = 0 to 30 do
+    let c = Gen.run ~size:14 ~seed Gen.case in
+    let line = Replay.to_line ~prop:"incmerge_vs_brute" c in
+    match Replay.of_line line with
+    | Error e -> Alcotest.fail e
+    | Ok (prop, c') ->
+      check_string "prop survives" "incmerge_vs_brute" prop;
+      check_string "line is canonical" line (Replay.to_line ~prop c');
+      check_bool "scalar fields survive bit-exactly" true
+        (c'.Oracle.seed = c.Oracle.seed && c'.Oracle.alpha = c.Oracle.alpha
+        && c'.Oracle.energy = c.Oracle.energy && c'.Oracle.m = c.Oracle.m);
+      check_int "same job count" (Instance.n c.Oracle.inst) (Instance.n c'.Oracle.inst)
+  done
+
+let test_replay_rejects_junk () =
+  let bad l = match Replay.of_line l with Error _ -> true | Ok _ -> false in
+  check_bool "empty" true (bad "");
+  check_bool "not key=value" true (bad "hello world");
+  check_bool "unknown key" true (bad "prop=x seed=1 alpha=2 energy=1 m=1 jobs=0:1 extra=9");
+  check_bool "missing key" true (bad "prop=x seed=1 alpha=2 m=1 jobs=0:1");
+  check_bool "malformed job" true (bad "prop=x seed=1 alpha=2 energy=1 m=1 jobs=0:1:2");
+  check_bool "negative work rejected by the model" true (bad "prop=x seed=1 alpha=2 energy=1 m=1 jobs=0:-1")
+
+let test_replay_run_line () =
+  let c = { Oracle.seed = 5; alpha = 3.0; energy = 12.0; m = 1; inst = Instance.figure1 } in
+  (match Replay.run_line (Replay.to_line ~prop:"incmerge_vs_brute" c) with
+  | Ok ("incmerge_vs_brute", Oracle.Pass) -> ()
+  | Ok (_, _) -> Alcotest.fail "expected a pass"
+  | Error e -> Alcotest.fail e);
+  match Replay.run_line (Replay.to_line ~prop:"no_such_prop" c) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown property must not run"
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounded draws" `Quick test_rng_ranges;
+          Alcotest.test_case "of_pair streams" `Quick test_rng_of_pair;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic cases" `Quick test_gen_deterministic;
+          Alcotest.test_case "case invariants" `Quick test_gen_case_sane;
+          Alcotest.test_case "combinators" `Quick test_gen_combinators;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "names and lookup" `Quick test_registry;
+          Alcotest.test_case "all pass on figure1" `Quick test_properties_on_figure1;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "seed 42" `Quick test_sweep_seed42;
+          Alcotest.test_case "seed 7" `Quick test_sweep_seed7;
+          Alcotest.test_case "deterministic summary" `Quick test_sweep_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "mutation caught, shrunk, replayable" `Quick test_mutation_caught_and_shrunk;
+          Alcotest.test_case "greedy descent to minimum" `Quick test_shrink_to_three_jobs;
+          Alcotest.test_case "keeps the failure alive" `Quick test_shrink_keeps_failure_alive;
+          Alcotest.test_case "passing case untouched" `Quick test_shrink_passes_untouched;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "round trip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "rejects junk" `Quick test_replay_rejects_junk;
+          Alcotest.test_case "run_line" `Quick test_replay_run_line;
+        ] );
+    ]

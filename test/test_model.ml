@@ -211,6 +211,139 @@ let test_validate_catches_violations () =
     check_bool "budget reported" true
       (List.exists (function Validate.Exceeds_budget _ -> true | _ -> false) vs))
 
+(* ---------- Validate: one test per violation constructor ---------- *)
+
+let has pred vs = List.exists pred vs
+let expect_error what = function
+  | Ok () -> Alcotest.failf "expected %s violation" what
+  | Error vs -> vs
+
+let validate_inst () = Instance.of_pairs [ (0.0, 2.0); (1.0, 1.0) ]
+
+let test_violation_missing () =
+  let inst = validate_inst () in
+  let s = Schedule.of_entries [ { Schedule.job = Instance.job inst 0; proc = 0; start = 0.0; speed = 1.0 } ] in
+  check_bool "Missing_job 1" true
+    (has (function Validate.Missing_job 1 -> true | _ -> false) (expect_error "missing" (Validate.check inst s)))
+
+let test_violation_unknown () =
+  let inst = validate_inst () in
+  let stranger = Job.make ~id:9 ~release:0.0 ~work:1.0 in
+  let s =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = 0.0; speed = 1.0 };
+        { Schedule.job = Instance.job inst 1; proc = 1; start = 1.0; speed = 1.0 };
+        { Schedule.job = stranger; proc = 2; start = 0.0; speed = 1.0 };
+      ]
+  in
+  check_bool "Unknown_job 9" true
+    (has (function Validate.Unknown_job 9 -> true | _ -> false) (expect_error "unknown" (Validate.check inst s)));
+  (* same id as an instance job but different data is also unknown *)
+  let imposter = Job.make ~id:1 ~release:0.0 ~work:5.0 in
+  let s2 =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = 0.0; speed = 1.0 };
+        { Schedule.job = imposter; proc = 1; start = 0.0; speed = 1.0 };
+      ]
+  in
+  check_bool "imposter job 1" true
+    (has (function Validate.Unknown_job 1 -> true | _ -> false) (expect_error "unknown" (Validate.check inst s2)))
+
+let test_violation_duplicate () =
+  let inst = validate_inst () in
+  let j0 = Instance.job inst 0 and j1 = Instance.job inst 1 in
+  let s =
+    Schedule.of_entries
+      [
+        { Schedule.job = j0; proc = 0; start = 0.0; speed = 1.0 };
+        { Schedule.job = j1; proc = 1; start = 1.0; speed = 1.0 };
+        { Schedule.job = j1; proc = 2; start = 1.0; speed = 1.0 };
+      ]
+  in
+  check_bool "Duplicate_job 1" true
+    (has (function Validate.Duplicate_job 1 -> true | _ -> false) (expect_error "duplicate" (Validate.check inst s)))
+
+let test_violation_starts_before_release () =
+  (* Schedule.of_entries enforces start >= release with the same 1e-9
+     tolerance, so this violation is defense in depth: unreachable
+     through the public constructors (Job.equal is structural, so a
+     mismatched release reports Unknown_job instead).  Pin down both
+     the constructor-level guarantee and the rendering. *)
+  let j = Job.make ~id:0 ~release:2.0 ~work:1.0 in
+  Alcotest.check_raises "constructor rejects early starts"
+    (Invalid_argument "Schedule.of_entries: job starts before its release") (fun () ->
+      ignore (Schedule.of_entries [ { Schedule.job = j; proc = 0; start = 0.0; speed = 1.0 } ]));
+  Alcotest.(check string) "to_string" "job 3 starts before its release time"
+    (Validate.to_string (Validate.Starts_before_release 3))
+
+let test_violation_overlap () =
+  let inst = validate_inst () in
+  let s =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = 0.0; speed = 1.0 };
+        { Schedule.job = Instance.job inst 1; proc = 0; start = 1.0; speed = 1.0 };
+      ]
+  in
+  check_bool "Overlap on proc 0" true
+    (has
+       (function Validate.Overlap { proc = 0; job_a = 0; job_b = 1 } -> true | _ -> false)
+       (expect_error "overlap" (Validate.check inst s)))
+
+let test_violation_exceeds_budget () =
+  let inst = validate_inst () in
+  let s = Incmerge.solve cube ~energy:10.0 inst in
+  check_bool "Exceeds_budget" true
+    (has
+       (function Validate.Exceeds_budget { budget = 5.0; _ } -> true | _ -> false)
+       (expect_error "budget" (Validate.check_with_budget cube ~budget:5.0 inst s)))
+
+let test_violation_nonfinite_entry () =
+  let inst = validate_inst () in
+  (* NaN start passes every ordering comparison in Schedule.of_entries,
+     so it really can reach the validator *)
+  let s =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = Float.nan; speed = 1.0 };
+        { Schedule.job = Instance.job inst 1; proc = 1; start = 1.0; speed = 1.0 };
+      ]
+  in
+  check_bool "Nonfinite_entry start" true
+    (has
+       (function Validate.Nonfinite_entry { job = 0; field = "start" } -> true | _ -> false)
+       (expect_error "nonfinite" (Validate.check inst s)));
+  let s2 =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = Float.infinity; speed = 1.0 };
+        { Schedule.job = Instance.job inst 1; proc = 1; start = 1.0; speed = 1.0 };
+      ]
+  in
+  check_bool "Nonfinite_entry infinite start" true
+    (has
+       (function Validate.Nonfinite_entry { job = 0; _ } -> true | _ -> false)
+       (expect_error "nonfinite" (Validate.check inst s2)))
+
+let test_violation_nonfinite_budget () =
+  (* a NaN energy must not slip past the budget check: nan > budget is
+     false, so the comparison alone would accept it *)
+  let inst = validate_inst () in
+  let nan_power = Power_model.custom ~name:"nan" (fun s -> s *. Float.nan) in
+  let s =
+    Schedule.of_entries
+      [
+        { Schedule.job = Instance.job inst 0; proc = 0; start = 0.0; speed = 1.0 };
+        { Schedule.job = Instance.job inst 1; proc = 1; start = 1.0; speed = 1.0 };
+      ]
+  in
+  check_bool "NaN energy rejected" true
+    (has
+       (function Validate.Exceeds_budget _ -> true | _ -> false)
+       (expect_error "nan budget" (Validate.check_with_budget nan_power ~budget:100.0 inst s)))
+
 (* ---------- Workload ---------- *)
 
 let test_workload_deterministic () =
@@ -232,6 +365,49 @@ let test_workload_shapes () =
     (Array.for_all (fun (j : Job.t) -> j.Job.work >= 1.0 -. 1e-9) (Instance.jobs heavy));
   let triples = Workload.deadline_jobs ~seed:1 ~n:20 ~work:(1.0, 2.0) ~slack:(0.5, 1.0) (Workload.Poisson 1.0) in
   check_bool "deadlines after releases" true (List.for_all (fun (r, d, _) -> d > r) triples)
+
+let all_arrivals =
+  [
+    ("immediate", Workload.Immediate);
+    ("poisson", Workload.Poisson 1.3);
+    ("uniform", Workload.Uniform_span 8.0);
+    ("bursty", Workload.Bursty { bursts = 3; span = 9.0; jitter = 0.4 });
+    ("staircase", Workload.Staircase 0.7);
+  ]
+
+let test_releases_all_patterns () =
+  List.iter
+    (fun (name, arr) ->
+      let a = Workload.releases ~seed:11 arr 25 in
+      let b = Workload.releases ~seed:11 arr 25 in
+      check_bool (name ^ " deterministic in seed") true (a = b);
+      let sorted = ref true in
+      Array.iteri (fun i r -> if i > 0 && r < a.(i - 1) then sorted := false) a;
+      check_bool (name ^ " sorted increasing") true !sorted;
+      check_bool (name ^ " non-negative") true (Array.for_all (fun r -> r >= 0.0) a))
+    all_arrivals
+
+let test_generators_deterministic_all_patterns () =
+  let same_inst a b = Array.for_all2 Job.equal (Instance.jobs a) (Instance.jobs b) in
+  List.iter
+    (fun (name, arr) ->
+      check_bool (name ^ " equal_work") true
+        (same_inst (Workload.equal_work ~seed:5 ~n:12 ~work:1.5 arr)
+           (Workload.equal_work ~seed:5 ~n:12 ~work:1.5 arr));
+      check_bool (name ^ " uniform_work") true
+        (same_inst (Workload.uniform_work ~seed:5 ~n:12 ~lo:0.5 ~hi:2.0 arr)
+           (Workload.uniform_work ~seed:5 ~n:12 ~lo:0.5 ~hi:2.0 arr));
+      check_bool (name ^ " heavy_tailed") true
+        (same_inst (Workload.heavy_tailed ~seed:5 ~n:12 ~shape:2.0 ~scale:1.0 arr)
+           (Workload.heavy_tailed ~seed:5 ~n:12 ~shape:2.0 ~scale:1.0 arr));
+      check_bool (name ^ " deadline_jobs") true
+        (Workload.deadline_jobs ~seed:5 ~n:12 ~work:(0.5, 2.0) ~slack:(0.5, 2.0) arr
+        = Workload.deadline_jobs ~seed:5 ~n:12 ~work:(0.5, 2.0) ~slack:(0.5, 2.0) arr))
+    all_arrivals;
+  check_bool "partition_style" true
+    (same_inst
+       (Workload.partition_style ~seed:5 ~n:12 ~max_value:9)
+       (Workload.partition_style ~seed:5 ~n:12 ~max_value:9))
 
 let prop_workload_sorted =
   QCheck.Test.make ~count:100 ~name:"generated instances are sorted by release"
@@ -379,10 +555,24 @@ let () =
           Alcotest.test_case "accessors and metrics" `Quick test_schedule_accessors;
           Alcotest.test_case "validator catches violations" `Quick test_validate_catches_violations;
         ] );
+      ( "validate-violations",
+        [
+          Alcotest.test_case "missing job" `Quick test_violation_missing;
+          Alcotest.test_case "unknown job" `Quick test_violation_unknown;
+          Alcotest.test_case "duplicate job" `Quick test_violation_duplicate;
+          Alcotest.test_case "starts before release" `Quick test_violation_starts_before_release;
+          Alcotest.test_case "overlap" `Quick test_violation_overlap;
+          Alcotest.test_case "exceeds budget" `Quick test_violation_exceeds_budget;
+          Alcotest.test_case "non-finite entry" `Quick test_violation_nonfinite_entry;
+          Alcotest.test_case "non-finite energy vs budget" `Quick test_violation_nonfinite_budget;
+        ] );
       ( "workload",
         [
           Alcotest.test_case "deterministic in seed" `Quick test_workload_deterministic;
           Alcotest.test_case "arrival shapes" `Quick test_workload_shapes;
+          Alcotest.test_case "releases: all five patterns" `Quick test_releases_all_patterns;
+          Alcotest.test_case "generators deterministic: all patterns" `Quick
+            test_generators_deterministic_all_patterns;
           qt prop_workload_sorted;
         ] );
       ("render", [ Alcotest.test_case "gantt and tsv" `Quick test_render_outputs ]);
