@@ -426,8 +426,55 @@ let sections =
     ("fuzz", section_fuzz);
   ]
 
+(* ---------------------------------------------------------------- *)
+(* Entry point.  Plain arguments select sections; two flags control
+   the machine-readable artifact:
+
+     --json PATH   write a BENCH_*.json artifact (schema in Obs_bench)
+     --obs         enable pasched.obs counters so the artifact's
+                   per-section counter deltas are populated
+
+   Without --obs the instrumentation stays compiled-away-cheap and the
+   wall_s numbers are directly comparable to historical runs. *)
+
+let git_commit () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, sha when sha <> "" -> sha
+      | _ -> "unknown"
+    with _ -> "unknown")
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let json_path = ref None in
+  let obs = ref false in
+  let requested = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a PATH argument";
+      exit 2
+    | "--obs" :: rest ->
+      obs := true;
+      parse rest
+    | name :: rest ->
+      requested := name :: !requested;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let requested = List.rev !requested in
   let chosen =
     if requested = [] then sections
     else
@@ -441,4 +488,10 @@ let () =
             None)
         requested
   in
-  List.iter (fun (_, f) -> f ()) chosen
+  if !obs then Obs.set_enabled true;
+  let results = List.map (fun (name, f) -> Obs_bench.measure ~name f) chosen in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    Obs_bench.write_file ~path ~commit:(git_commit ()) ~date:(iso8601_now ()) results;
+    Printf.eprintf "bench: wrote %d section result(s) to %s\n%!" (List.length results) path

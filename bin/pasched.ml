@@ -8,6 +8,54 @@
 
 open Cmdliner
 
+(* ---------- observability flags (every subcommand) ---------- *)
+
+(* --trace / --metrics are accepted by all subcommands: they flip the
+   global Obs switch on, wrap the command in a root span, and export
+   afterwards.  Without them the instrumentation stays disabled and
+   costs nothing. *)
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write a Chrome trace_event JSON profile of this run to $(docv); open it in \
+             chrome://tracing or https://ui.perfetto.dev.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the observability report (counters, spans) after the command.")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+let with_obs (trace, metrics) name f =
+  let active = trace <> None || metrics in
+  if active then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Obs.write_trace path;
+      Printf.eprintf "trace: wrote %d events to %s\n%!" (List.length (Obs.trace_events ())) path);
+    if metrics then print_string (Obs.metrics_report ())
+  in
+  match Obs.span ("pasched." ^ name) f with
+  | result ->
+    finish ();
+    result
+  | exception e ->
+    (* still flush what was recorded: a trace of a failing run is the
+       one you want most *)
+    if active then finish ();
+    raise e
+
 (* ---------- shared argument parsing ---------- *)
 
 let parse_jobs_spec spec =
@@ -77,7 +125,8 @@ let print_schedule model ~gantt schedule =
 (* ---------- commands ---------- *)
 
 let frontier_cmd =
-  let run alpha inst points =
+  let run obs alpha inst points =
+    with_obs obs "frontier" @@ fun () ->
     let model = model_of_alpha alpha in
     let f = Frontier.build model inst in
     Printf.printf "# breakpoints: %s\n"
@@ -92,19 +141,21 @@ let frontier_cmd =
   in
   Cmd.v
     (Cmd.info "frontier" ~doc:"All non-dominated energy/makespan points (paper Figure 1).")
-    Term.(const run $ alpha_term $ instance_term $ points)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ points)
 
 let laptop_cmd =
-  let run alpha inst energy gantt =
+  let run obs alpha inst energy gantt =
+    with_obs obs "laptop" @@ fun () ->
     let model = model_of_alpha alpha in
     print_schedule model ~gantt (Incmerge.solve model ~energy inst)
   in
   Cmd.v
     (Cmd.info "laptop" ~doc:"Minimize makespan within an energy budget (IncMerge).")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag)
 
 let server_cmd =
-  let run alpha inst makespan gantt =
+  let run obs alpha inst makespan gantt =
+    with_obs obs "server" @@ fun () ->
     let model = model_of_alpha alpha in
     let e = Server.min_energy model ~makespan inst in
     Printf.printf "# minimum energy for makespan %g: %.8g\n" makespan e;
@@ -115,10 +166,11 @@ let server_cmd =
   in
   Cmd.v
     (Cmd.info "server" ~doc:"Minimize energy for a makespan target.")
-    Term.(const run $ alpha_term $ instance_term $ makespan $ gantt_flag)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ makespan $ gantt_flag)
 
 let flow_cmd =
-  let run alpha inst energy gantt =
+  let run obs alpha inst energy gantt =
+    with_obs obs "flow" @@ fun () ->
     let model = model_of_alpha alpha in
     let sol = Flow.solve_budget ~alpha ~energy inst in
     Printf.printf "# total flow %.8g with energy %.8g (last speed %.8g)\n" sol.Flow.flow
@@ -127,10 +179,11 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Minimize total flow within an energy budget (equal-work jobs).")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag)
 
 let multi_cmd =
-  let run alpha inst energy m use_flow gantt =
+  let run obs alpha inst energy m use_flow gantt =
+    with_obs obs "multi" @@ fun () ->
     let model = model_of_alpha alpha in
     if use_flow then begin
       let sol = Multi_flow.solve_budget ~alpha ~m ~energy inst in
@@ -147,10 +200,11 @@ let multi_cmd =
   let use_flow = Arg.(value & flag & info [ "flow" ] ~doc:"Optimize total flow instead of makespan.") in
   Cmd.v
     (Cmd.info "multi" ~doc:"Multiprocessor scheduling for equal-work jobs (cyclic, Theorem 10).")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag)
 
 let simulate_cmd =
-  let run alpha inst energy levels switch_time switch_energy =
+  let run obs alpha inst energy levels switch_time switch_energy =
+    with_obs obs "simulate" @@ fun () ->
     let model = model_of_alpha alpha in
     let plan = Incmerge.solve model ~energy inst in
     let config =
@@ -189,10 +243,13 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay the optimal plan on a simulated DVFS processor.")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ levels $ switch_time $ switch_energy)
+    Term.(
+      const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels $ switch_time
+      $ switch_energy)
 
 let workload_cmd =
-  let run kind n seed work span rate =
+  let run obs kind n seed work span rate =
+    with_obs obs "workload" @@ fun () ->
     let arrival =
       match kind with
       | "immediate" -> Workload.Immediate
@@ -218,10 +275,11 @@ let workload_cmd =
   let rate = Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"R" ~doc:"Poisson rate.") in
   Cmd.v
     (Cmd.info "workload" ~doc:"Generate a synthetic instance (stdout, '--file' format).")
-    Term.(const run $ kind $ n $ seed $ work $ span $ rate)
+    Term.(const run $ obs_term $ kind $ n $ seed $ work $ span $ rate)
 
 let deadline_cmd =
-  let run alpha n seed =
+  let run obs alpha n seed =
+    with_obs obs "deadline" @@ fun () ->
     let model = model_of_alpha alpha in
     let jobs =
       Djob.of_triples
@@ -243,10 +301,11 @@ let deadline_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "deadline" ~doc:"Deadline scheduling: YDS vs the online AVR / OA algorithms.")
-    Term.(const run $ alpha_term $ n $ seed)
+    Term.(const run $ obs_term $ alpha_term $ n $ seed)
 
 let maxflow_cmd =
-  let run alpha inst energy m gantt =
+  let run obs alpha inst energy m gantt =
+    with_obs obs "maxflow" @@ fun () ->
     let model = model_of_alpha alpha in
     let f, schedule =
       if m <= 1 then Max_flow.solve model ~energy inst else Max_flow.solve_multi model ~m ~energy inst
@@ -257,10 +316,11 @@ let maxflow_cmd =
   let m = Arg.(value & opt int 1 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
   Cmd.v
     (Cmd.info "maxflow" ~doc:"Minimize the worst response time within an energy budget (YDS duality).")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag)
 
 let discrete_cmd =
-  let run alpha inst energy levels =
+  let run obs alpha inst energy levels =
+    with_obs obs "discrete" @@ fun () ->
     let model = model_of_alpha alpha in
     let levels =
       Discrete_levels.create (List.map float_of_string (String.split_on_char ',' levels))
@@ -286,10 +346,11 @@ let discrete_cmd =
   in
   Cmd.v
     (Cmd.info "discrete" ~doc:"Laptop problem on a processor with discrete speed levels.")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ levels)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels)
 
 let precedence_cmd =
-  let run alpha energy m n seed layers prob =
+  let run obs alpha energy m n seed layers prob =
+    with_obs obs "precedence" @@ fun () ->
     let dag = Dag.random ~seed ~n ~layers ~edge_prob:prob ~work_range:(0.5, 2.5) in
     Printf.printf "random DAG: n=%d total work %.2f critical path %.2f\n" n (Dag.total_work dag)
       (Dag.critical_path_work dag);
@@ -306,10 +367,11 @@ let precedence_cmd =
   let prob = Arg.(value & opt float 0.4 & info [ "edge-prob" ] ~docv:"P" ~doc:"Edge probability.") in
   Cmd.v
     (Cmd.info "precedence" ~doc:"Power-aware makespan with precedence constraints (heuristics + bounds).")
-    Term.(const run $ alpha_term $ energy_term $ m $ n $ seed $ layers $ prob)
+    Term.(const run $ obs_term $ alpha_term $ energy_term $ m $ n $ seed $ layers $ prob)
 
 let thermal_cmd =
-  let run alpha inst energy heating cooling =
+  let run obs alpha inst energy heating cooling =
+    with_obs obs "thermal" @@ fun () ->
     let model = model_of_alpha alpha in
     let plan = Incmerge.solve model ~energy inst in
     let profile = Schedule.profile_of_proc plan 0 in
@@ -324,37 +386,45 @@ let thermal_cmd =
   let cooling = Arg.(value & opt float 0.5 & info [ "cooling" ] ~docv:"B" ~doc:"Cooling coefficient.") in
   Cmd.v
     (Cmd.info "thermal" ~doc:"Temperature trace of the optimal plan (Newton cooling).")
-    Term.(const run $ alpha_term $ instance_term $ energy_term $ heating $ cooling)
+    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ heating $ cooling)
 
 let fuzz_cmd =
-  let run seed runs props list_props replay =
-    let all = Properties.registered () in
-    if list_props then begin
-      List.iter (fun p -> Printf.printf "%-26s %s\n" p.Oracle.name p.Oracle.doc) all;
-      `Ok ()
-    end
-    else
-      match replay with
-      | Some line -> begin
-        match Replay.run_line line with
-        | Error msg -> `Error (false, msg)
-        | Ok (name, Oracle.Pass) ->
-          Printf.printf "replay %s: PASS\n" name;
-          `Ok ()
-        | Ok (name, Oracle.Skip why) ->
-          Printf.printf "replay %s: SKIP (%s)\n" name why;
-          `Ok ()
-        | Ok (name, Oracle.Fail msg) ->
-          Printf.printf "replay %s: FAIL (%s)\n" name msg;
-          Stdlib.exit 1
+  let run obs seed runs props list_props replay =
+    (* run the campaign under [with_obs] but defer [exit] until after the
+       trace/metrics have been flushed *)
+    let outcome =
+      with_obs obs "fuzz" @@ fun () ->
+      let all = Properties.registered () in
+      if list_props then begin
+        List.iter (fun p -> Printf.printf "%-26s %s\n" p.Oracle.name p.Oracle.doc) all;
+        `Ok ()
       end
-      | None -> begin
-        match Runner.run ?props:(match props with [] -> None | ps -> Some ps) ~seed ~runs () with
-        | summary ->
-          Runner.report summary;
-          if Runner.ok summary then `Ok () else Stdlib.exit 1
-        | exception Invalid_argument msg -> `Error (false, msg)
-      end
+      else
+        match replay with
+        | Some line -> begin
+          match Replay.run_line line with
+          | Error msg -> `Error (false, msg)
+          | Ok (name, Oracle.Pass) ->
+            Printf.printf "replay %s: PASS\n" name;
+            `Ok ()
+          | Ok (name, Oracle.Skip why) ->
+            Printf.printf "replay %s: SKIP (%s)\n" name why;
+            `Ok ()
+          | Ok (name, Oracle.Fail msg) ->
+            Printf.printf "replay %s: FAIL (%s)\n" name msg;
+            `Exit 1
+        end
+        | None -> begin
+          match Runner.run ?props:(match props with [] -> None | ps -> Some ps) ~seed ~runs () with
+          | summary ->
+            Runner.report summary;
+            if Runner.ok summary then `Ok () else `Exit 1
+          | exception Invalid_argument msg -> `Error (false, msg)
+        end
+    in
+    match outcome with
+    | `Exit code -> Stdlib.exit code
+    | (`Ok () | `Error _) as r -> r
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Campaign PRNG seed.") in
   let runs =
@@ -375,7 +445,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Property-based differential testing: random instances against the oracle registry.")
-    Term.(ret (const run $ seed $ runs $ props $ list_props $ replay))
+    Term.(ret (const run $ obs_term $ seed $ runs $ props $ list_props $ replay))
 
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in

@@ -1,0 +1,76 @@
+(* The code blocks from README.md and the Obs docstrings, compiled and
+   asserted, so the documentation cannot silently rot.  CI runs this
+   (`dune exec examples/doc_snippets.exe`); if a documented snippet
+   stops compiling or its claimed outputs drift, this file fails. *)
+
+(* README "Quickstart" *)
+let quickstart () =
+  let model = Power_model.cube in
+  let inst = Instance.of_pairs [ (0.0, 5.0); (5.0, 2.0); (6.0, 1.0) ] in
+
+  (* laptop problem: best makespan for 21 J *)
+  let schedule = Incmerge.solve model ~energy:21.0 inst in
+  assert (Metrics.makespan schedule < 6.36);
+
+  (* server problem: least energy to finish by t = 6.5 *)
+  let e = Server.min_energy model ~makespan:6.5 inst in
+  assert (abs_float (e -. 17.0) < 1e-9);
+
+  (* the whole Pareto curve, with configuration breakpoints at 8 and 17 *)
+  let f = Frontier.build model inst in
+  let bps = Frontier.breakpoints f in
+  assert (List.length bps = 2);
+  assert (abs_float (List.nth bps 0 -. 8.0) < 1e-6);
+  assert (abs_float (List.nth bps 1 -. 17.0) < 1e-6)
+
+(* README "Observability" — metrics report and trace file from code *)
+let observability () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let plan = Incmerge.solve Power_model.cube ~energy:12.0 Instance.figure1 in
+  ignore plan;
+  let report = Obs.metrics_report () in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  assert (contains "incmerge.merge_rounds" report);
+  assert (contains "incmerge.solve" report);
+  let path = Filename.temp_file "doc_snippets_trace" ".json" in
+  Obs.write_trace path;
+  (* the documented claim: the file is valid JSON with a traceEvents list *)
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Obs_json.of_string raw with
+  | Ok doc -> assert (Obs_json.member "traceEvents" doc <> None)
+  | Error msg -> failwith ("trace JSON failed to parse: " ^ msg));
+  Obs.set_enabled false;
+  Obs.reset ()
+
+(* Obs docstring usage pattern: a counter handle at module init, spans
+   and batched adds on the measured path *)
+let c_rounds = Obs.counter "doc_snippets.rounds"
+
+let obs_usage_pattern () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let result =
+    Obs.span "doc_snippets.work" @@ fun () ->
+    let merges = ref 0 in
+    for _ = 1 to 10 do incr merges done;
+    Obs.add c_rounds !merges;
+    !merges
+  in
+  assert (result = 10);
+  assert (Obs_metrics.value c_rounds = 10);
+  Obs.set_enabled false;
+  Obs.reset ()
+
+let () =
+  quickstart ();
+  observability ();
+  obs_usage_pattern ();
+  print_endline "doc snippets OK"

@@ -1,3 +1,7 @@
+let c_cases = Obs.counter "check.cases_generated"
+let c_checks = Obs.counter "check.property_checks"
+let c_failures = Obs.counter "check.failures"
+
 type prop_stats = { name : string; passed : int; skipped : int; failed : int }
 
 type failure = {
@@ -24,6 +28,7 @@ let guard run case =
   | exception e -> Oracle.Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
 
 let run_props ?(size = 25) ~props ~seed ~runs () =
+  Obs.span "check.campaign" @@ fun () ->
   let size = Stdlib.max 3 size in
   let tally = Hashtbl.create 16 in
   List.iter (fun (p : Oracle.property) -> Hashtbl.replace tally p.Oracle.name (ref 0, ref 0, ref 0)) props;
@@ -32,15 +37,18 @@ let run_props ?(size = 25) ~props ~seed ~runs () =
   for k = 0 to runs - 1 do
     let rng = Rng.of_pair seed k in
     let case = Gen.case ~size:(3 + (k mod (size - 2))) rng in
+    Obs.incr c_cases;
     List.iter
       (fun (p : Oracle.property) ->
         let passed, skipped, failed = Hashtbl.find tally p.Oracle.name in
         incr checks;
+        Obs.incr c_checks;
         match guard p.Oracle.run case with
         | Oracle.Pass -> incr passed
         | Oracle.Skip _ -> incr skipped
         | Oracle.Fail message ->
           incr failed;
+          Obs.incr c_failures;
           let shrunk, st = Shrink.minimize ~prop:(guard p.Oracle.run) case in
           let message =
             match guard p.Oracle.run shrunk with Oracle.Fail m -> m | _ -> message

@@ -1,3 +1,6 @@
+let c_steps = Obs.counter "check.shrink_steps"
+let c_evals = Obs.counter "check.shrink_evals"
+
 type stats = { steps : int; evals : int }
 
 let pairs_of c =
@@ -36,7 +39,10 @@ let minimize ?(max_evals = 2000) ~prop case =
     incr evals;
     match prop c with Oracle.Fail _ -> true | Oracle.Pass | Oracle.Skip _ -> false
   in
-  if not (fails case) then (case, { steps = 0; evals = !evals })
+  if not (fails case) then begin
+    Obs.add c_evals !evals;
+    (case, { steps = 0; evals = !evals })
+  end
   else begin
     let steps = ref 0 in
     let current = ref case in
@@ -50,5 +56,7 @@ let minimize ?(max_evals = 2000) ~prop case =
         progress := true
       | None -> ());
     done;
+    Obs.add c_steps !steps;
+    Obs.add c_evals !evals;
     (!current, { steps = !steps; evals = !evals })
   end

@@ -1,3 +1,6 @@
+let c_states = Obs.counter "brute.states_expanded"
+let c_feasible = Obs.counter "brute.feasible_partitions"
+
 let partitions n =
   (* all lists of cut positions: a cut after index i means blocks split there *)
   let rec go i acc =
@@ -58,14 +61,20 @@ let all_feasible_partitions model ~energy inst =
   else begin
     if n > 20 then invalid_arg "Brute: instance too large for exponential search";
     if energy <= 0.0 then invalid_arg "Brute: energy budget must be positive";
-    List.filter_map
-      (fun cuts ->
-        match blocks_of_cuts model ~energy inst cuts with
-        | None -> None
-        | Some bs ->
-          let last = List.nth bs (List.length bs - 1) in
-          Some (bs, Block.finish last))
-      (partitions n)
+    Obs.span "brute.search" @@ fun () ->
+    let feasible =
+      List.filter_map
+        (fun cuts ->
+          Obs.incr c_states;
+          match blocks_of_cuts model ~energy inst cuts with
+          | None -> None
+          | Some bs ->
+            let last = List.nth bs (List.length bs - 1) in
+            Some (bs, Block.finish last))
+        (partitions n)
+    in
+    Obs.add c_feasible (List.length feasible);
+    feasible
   end
 
 let best model ~energy inst =

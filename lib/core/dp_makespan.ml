@@ -1,3 +1,5 @@
+let c_states = Obs.counter "dp_makespan.states_expanded"
+
 let block_feasible inst ~first ~last ~speed =
   Block.jobs_feasible inst
     { Block.first; last; work = 0.0 (* unused *); start = (Instance.job inst first).Job.release; speed }
@@ -12,6 +14,8 @@ let min_prefix_energy model inst =
   let work_range i j = prefix_work.(j + 1) -. prefix_work.(i) in
   let dp = Array.make n Float.infinity in
   (* dp.(j): min energy for jobs 0..j, each block ending at the next release *)
+  (* O(n^2) states; counted in one batch below to keep the loop clean *)
+  if n >= 2 then Obs.add c_states (n * (n - 1) / 2);
   for j = 0 to n - 2 do
     for i = 0 to j do
       let before = if i = 0 then 0.0 else dp.(i - 1) in
@@ -28,6 +32,7 @@ let min_prefix_energy model inst =
   dp
 
 let best_split model ~energy inst =
+  Obs.span "dp_makespan.best_split" @@ fun () ->
   let n = Instance.n inst in
   if n = 0 then None
   else begin

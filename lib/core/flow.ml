@@ -1,3 +1,6 @@
+let c_runs = Obs.counter "flow.runs_formed"
+let c_run_merges = Obs.counter "flow.run_merges"
+
 type run = { first : int; last : int; pinned : bool; end_speed : float }
 
 type solution = {
@@ -76,6 +79,7 @@ let solve_for_last_speed ~alpha inst s =
     (* forward pass with merging: a pinned run whose end speed exceeds
        the Theorem 1 upper bound against its successor merges with it *)
     let stack = ref [] in
+    let merges = ref 0 in
     for i = 0 to n - 1 do
       let cur = ref (make_run i i) in
       let merging = ref true in
@@ -84,12 +88,15 @@ let solve_for_last_speed ~alpha inst s =
         | prev :: rest
           when prev.pinned
                && (prev.end_speed ** alpha) > (first_speed !cur ** alpha) +. sa +. (1e-9 *. sa) ->
+          incr merges;
           stack := rest;
           cur := make_run prev.first !cur.last
         | _ -> merging := false
       done;
       stack := !cur :: !stack
     done;
+    Obs.add c_run_merges !merges;
+    Obs.add c_runs (List.length !stack);
     let runs = List.rev !stack in
     (* materialize per-job speeds and completions *)
     let speeds = Array.make n 0.0 in
@@ -113,6 +120,7 @@ let solve_for_last_speed ~alpha inst s =
   end
 
 let solve_budget ?(eps = 1e-12) ~alpha ~energy inst =
+  Obs.span "flow.solve_budget" @@ fun () ->
   if energy <= 0.0 then invalid_arg "Flow.solve_budget: energy must be positive";
   if Instance.n inst = 0 then
     { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
@@ -132,6 +140,7 @@ let solve_budget ?(eps = 1e-12) ~alpha ~energy inst =
   end
 
 let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
+  Obs.span "flow.solve_flow_target" @@ fun () ->
   if flow <= 0.0 then invalid_arg "Flow.solve_flow_target: flow target must be positive";
   if Instance.n inst = 0 then
     { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }

@@ -1,18 +1,24 @@
+let c_points = Obs.counter "flow_frontier.points_evaluated"
+
 type point = { last_speed : float; energy : float; flow : float }
 
 let sweep ~alpha inst ~s_lo ~s_hi ~n =
   if not (0.0 < s_lo && s_lo < s_hi) then invalid_arg "Flow_frontier.sweep: need 0 < s_lo < s_hi";
   if n < 2 then invalid_arg "Flow_frontier.sweep: need n >= 2";
   let ratio = (s_hi /. s_lo) ** (1.0 /. float_of_int (n - 1)) in
+  Obs.span "flow_frontier.sweep" @@ fun () ->
   List.init n (fun i ->
       let s = s_lo *. (ratio ** float_of_int i) in
       let sol = Flow.solve_for_last_speed ~alpha inst s in
+      Obs.incr c_points;
       { last_speed = s; energy = sol.Flow.energy; flow = sol.Flow.flow })
 
 let flow_at ~alpha ~energy inst = (Flow.solve_budget ~alpha ~energy inst).Flow.flow
 
 let curve ~alpha inst ~e_lo ~e_hi ~n =
   if n < 2 then invalid_arg "Flow_frontier.curve: need n >= 2";
+  Obs.span "flow_frontier.curve" @@ fun () ->
   List.init n (fun i ->
       let e = e_lo +. ((e_hi -. e_lo) *. float_of_int i /. float_of_int (n - 1)) in
+      Obs.incr c_points;
       (e, flow_at ~alpha ~energy:e inst))

@@ -1,3 +1,6 @@
+let c_points = Obs.counter "frontier.points_evaluated"
+let c_segments = Obs.counter "frontier.segments_emitted"
+
 type segment = {
   prefix : Block.t list;
   e_fixed : float;
@@ -11,6 +14,7 @@ type segment = {
 type t = { model : Power_model.t; inst : Instance.t; segs : segment list (* decreasing energy *) }
 
 let build model inst =
+  Obs.span "frontier.build" @@ fun () ->
   let n = Instance.n inst in
   if n = 0 then { model; inst; segs = [] }
   else begin
@@ -66,6 +70,7 @@ let build model inst =
         last_work := !last_work +. prev.Block.work;
         last_start := prev.Block.start
     done;
+    Obs.add c_segments (List.length !segs);
     { model; inst; segs = List.rev !segs }
   end
 
@@ -89,6 +94,7 @@ let segment_at t e =
 let last_speed t s e = Power_model.speed_for_energy t.model ~work:s.last_work ~energy:(e -. s.e_fixed)
 
 let makespan_at t e =
+  Obs.incr c_points;
   let s = segment_at t e in
   s.last_start +. (s.last_work /. last_speed t s e)
 
@@ -188,6 +194,7 @@ let min_energy_delay ?(delay_exponent = 1.0) t =
   (e_star, e_star *. (makespan_at t e_star ** delay_exponent))
 
 let sample t ~lo ~hi ~n =
+  Obs.span "frontier.sample" @@ fun () ->
   if n < 2 then invalid_arg "Frontier.sample: need at least two points";
   List.init n (fun i ->
       let e = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in

@@ -7,6 +7,11 @@
    infinite-speed block; the next push always merges it away, so infinite
    energies never reach the remaining-budget computation. *)
 
+let c_merges = Obs.counter "incmerge.merge_rounds"
+let c_blocks = Obs.counter "incmerge.blocks_emitted"
+let c_jobs = Obs.counter "incmerge.jobs_processed"
+let c_splits = Obs.counter "incmerge.block_splits"
+
 type cell = { block : Block.t; energy : float; cum : float }
 (* [cum] is the total energy of this cell and everything below it on the
    stack.  Using per-cell cumulative sums (instead of a mutable running
@@ -30,6 +35,7 @@ let blocks model ~energy inst =
     let release i = (Instance.job inst i).Job.release in
     let work i = (Instance.job inst i).Job.work in
     (* stack of settled cells, top first *)
+    let merges = ref 0 in
     let stack = ref [] in
     let e_sum () = match !stack with [] -> 0.0 | c :: _ -> c.cum in
     let push c = stack := { c with cum = e_sum () +. c.energy } :: !stack in
@@ -65,6 +71,7 @@ let blocks model ~energy inst =
       while !merging do
         match !stack with
         | prev :: _ when !cell.block.Block.speed < prev.block.Block.speed ->
+          incr merges;
           let prev = pop () in
           let first = prev.block.Block.first in
           let last = !cell.block.Block.last in
@@ -78,12 +85,19 @@ let blocks model ~energy inst =
     | { block = { Block.speed; _ }; _ } :: _ when speed <= 0.0 ->
       invalid_arg "Incmerge.blocks: budget below the power model's energy floor"
     | _ -> ());
+    Obs.add c_jobs n;
+    Obs.add c_merges !merges;
+    Obs.add c_blocks (List.length !stack);
+    (* every block holding more than one job records the splits it
+       absorbed: n jobs collapse into k blocks via n - k merges *)
+    Obs.add c_splits (n - List.length !stack);
     List.rev_map (fun c -> c.block) !stack
   end
 
 let energy_used model bs = List.fold_left (fun acc b -> acc +. Block.energy model b) 0.0 bs
 
 let window_blocks inst ~upto =
+  Obs.span "incmerge.window_blocks" @@ fun () ->
   let n = Instance.n inst in
   if upto >= n - 1 || upto < -1 then invalid_arg "Incmerge.window_blocks: upto out of range";
   let release i = (Instance.job inst i).Job.release in
@@ -112,10 +126,12 @@ let window_blocks inst ~upto =
   List.rev !stack
 
 let solve model ~energy inst =
+  Obs.span "incmerge.solve" @@ fun () ->
   let bs = blocks model ~energy inst in
   Schedule.of_entries (List.concat_map (Block.entries inst 0) bs)
 
 let makespan model ~energy inst =
+  Obs.span "incmerge.makespan" @@ fun () ->
   match List.rev (blocks model ~energy inst) with
   | [] -> 0.0
   | last :: _ -> Block.finish last

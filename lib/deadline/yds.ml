@@ -1,3 +1,7 @@
+let c_intervals = Obs.counter "yds.intervals_peeled"
+let c_candidates = Obs.counter "yds.candidate_intervals"
+let c_segments = Obs.counter "yds.edf_segments"
+
 type t = {
   speeds : (int * float) list;
   segments : (int * Speed_profile.segment) list;
@@ -33,13 +37,15 @@ let assign_speeds jobs =
   let speeds = Hashtbl.create 16 in
   let remaining = ref items in
   while !remaining <> [] do
+    Obs.incr c_intervals;
+    let candidates = candidate_intervals !remaining in
+    Obs.add c_candidates (List.length candidates);
     let best =
       List.fold_left
         (fun acc iv ->
           let g = intensity !remaining iv in
           match acc with Some (_, g') when g' >= g -> acc | _ -> Some (iv, g))
-        None
-        (candidate_intervals !remaining)
+        None candidates
     in
     match best with
     | None -> remaining := [] (* unreachable: non-empty items give intervals *)
@@ -98,6 +104,7 @@ let edf_segments jobs speeds =
   List.rev !segments
 
 let solve model jobs =
+  Obs.span "yds.solve" @@ fun () ->
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (j : Djob.t) ->
@@ -106,6 +113,7 @@ let solve model jobs =
     jobs;
   let speeds = assign_speeds jobs in
   let segments = edf_segments jobs speeds in
+  Obs.add c_segments (List.length segments);
   let energy =
     List.fold_left
       (fun acc (j : Djob.t) ->

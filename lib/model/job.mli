@@ -1,15 +1,33 @@
 (** A job in the speed-scaling model: a release time and a work
     requirement.  Processing time is not an input — it is decided by the
-    scheduler through the speed it assigns (work / speed). *)
+    scheduler through the speed it assigns (work / speed).
+
+    Jobs are value types: plain records with structural {!equal}.  They
+    are aggregated into {!Instance.t} for the solvers and referenced by
+    [id] from {!Schedule.entry}. *)
 
 type t = { id : int; release : float; work : float }
+(** Invariants (established by {!make}, assumed everywhere):
+    [release >= 0.], [work > 0.], both finite.  [id] is any integer;
+    {!Instance.create} additionally requires ids to be unique within an
+    instance. *)
 
 val make : id:int -> release:float -> work:float -> t
-(** @raise Invalid_argument on negative release or non-positive work. *)
+(** [make ~id ~release ~work] is the job record after validation.
+    @param release arrival time; the job may not start earlier
+    (enforced by {!Schedule.of_entries} and {!Validate.check}).
+    @param work total work to process; at speed [s] it takes
+    [work /. s] time units.
+    @raise Invalid_argument on negative or non-finite [release], or
+    non-positive or non-finite [work]. *)
 
 val equal : t -> t -> bool
+(** Structural equality on all three fields. *)
+
 val compare_by_release : t -> t -> int
 (** Orders by release time, breaking ties by id (the paper's indexing
-    convention [r1 <= r2 <= ...]). *)
+    convention [r1 <= r2 <= ...]).  This is the order {!Instance.jobs}
+    stores and every solver consumes. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints as [job <id> (r=<release>, w=<work>)]. *)

@@ -1,16 +1,27 @@
-(** Text rendering of schedules: ASCII Gantt charts and TSV export. *)
+(** Text rendering of schedules: ASCII Gantt charts and TSV export.
+
+    Pure formatting on top of {!Schedule} and {!Metrics} — no solver
+    logic.  The [pasched] CLI's [--gantt] flag and the benchmark
+    harness are the consumers. *)
 
 val gantt : ?width:int -> Schedule.t -> string
-(** One row per processor, time flowing right; each job drawn with its
-    id (letters a–z then digits, cycling), idle drawn as ['.'].
-    [width] is the chart width in characters (default 72). *)
+(** [gantt s] draws one row per processor, time flowing right; each
+    job drawn with its id (letters a–z then digits, cycling), idle
+    drawn as ['.'].
+    @param width chart width in characters (default 72); time is
+    scaled so the makespan spans the full width. *)
 
 val entries_tsv : Schedule.t -> string
-(** Header + one line per entry: job, proc, release, work, start, speed,
-    completion, flow. *)
+(** Header + one line per entry: job, proc, release, work, start,
+    speed, completion, flow.  Tab-separated, suitable for
+    spreadsheet import or [gnuplot]. *)
 
 val summary : Power_model.t -> Schedule.t -> string
-(** One-line metrics summary: n, makespan, total flow, energy. *)
+(** One-line metrics summary: n, makespan ({!Metrics.makespan}),
+    total flow ({!Metrics.total_flow}), energy
+    ({!Schedule.energy}). *)
 
 val series_tsv : header:string * string -> (float * float) list -> string
-(** Two-column TSV for plotting (e.g. the Figure 1 curve). *)
+(** [series_tsv ~header:(x, y) points] is a two-column TSV for
+    plotting (e.g. the Figure 1 energy/makespan curve).
+    @param header the two column names. *)

@@ -1,10 +1,14 @@
 type entry = { job : Job.t; proc : int; start : float; speed : float }
 type t = entry list (* sorted by (proc, start) *)
 
+let c_entries = Obs.counter "schedule.entries_built"
+
 let duration e = e.job.Job.work /. e.speed
 let completion e = e.start +. duration e
 
 let of_entries entries_list =
+  Obs.span "schedule.of_entries" @@ fun () ->
+  Obs.add c_entries (List.length entries_list);
   List.iter
     (fun e ->
       if e.proc < 0 then invalid_arg "Schedule.of_entries: negative processor index";

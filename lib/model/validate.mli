@@ -1,29 +1,48 @@
 (** Feasibility checking of schedules against instances.
 
-    Every solver output in the test suite goes through [check]; it
+    Every solver output in the test suite goes through {!check}; it
     verifies exactly the constraints of the paper's model: jobs start at
     or after release, each processor runs at most one job at a time, and
-    every job of the instance appears exactly once (nonpreemptive). *)
+    every job of the instance appears exactly once (nonpreemptive).
+
+    This is the independent referee between a {!Schedule.t} and the
+    {!Instance.t} it claims to solve — solvers enforce their own
+    invariants, but only [Validate] cross-checks the pairing, so tests
+    and the fuzzing oracles ([pasched.check]) rely on it rather than on
+    solver-internal assertions. *)
 
 type violation =
-  | Missing_job of int
-  | Unknown_job of int
-  | Duplicate_job of int
+  | Missing_job of int  (** instance job absent from the schedule *)
+  | Unknown_job of int  (** scheduled job not in the instance *)
+  | Duplicate_job of int  (** job scheduled more than once *)
   | Starts_before_release of int
+      (** entry starts before its job's {!Job.t.release} *)
   | Overlap of { proc : int; job_a : int; job_b : int }
+      (** two entries on [proc] overlap in time *)
   | Exceeds_budget of { energy : float; budget : float }
+      (** total energy above the budget (only from
+          {!check_with_budget}) *)
   | Nonfinite_entry of { job : int; field : string }
       (** NaN/infinite [start] or [speed]: such values defeat the other
           checks because every ordering comparison with NaN is false *)
 
 val to_string : violation -> string
+(** Human-readable one-line description of a violation. *)
 
 val check : Instance.t -> Schedule.t -> (unit, violation list) result
+(** [check inst s] is [Ok ()] iff [s] is a feasible nonpreemptive
+    schedule of [inst].
+    @return [Error vs] with {e all} violations found (never an empty
+    list), so a test failure names every broken constraint at once. *)
 
 val check_with_budget :
   Power_model.t -> budget:float -> ?tol:float -> Instance.t -> Schedule.t -> (unit, violation list) result
-(** Additionally requires total energy at most [budget·(1 + tol)]
-    (default [tol = 1e-6]); a NaN or infinite total energy is reported
-    as {!Exceeds_budget}. *)
+(** [check_with_budget m ~budget inst s] is {!check} plus the energy
+    constraint: total energy at most [budget·(1 + tol)].
+    @param tol relative slack on the budget (default [1e-6]),
+    absorbing the root-finder tolerances of the solvers.
+    A NaN or infinite total energy is reported as
+    {!constructor:Exceeds_budget}. *)
 
 val is_feasible : Instance.t -> Schedule.t -> bool
+(** [is_feasible inst s] is [check inst s = Ok ()]. *)

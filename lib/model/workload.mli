@@ -3,8 +3,11 @@
     The paper has no trace-driven evaluation (its experiments are worked
     instances), but exercising the algorithms at scale — and the online /
     simulator extensions — needs realistic arrival patterns.  All
-    generators are deterministic in the [seed]. *)
+    generators are deterministic in the [seed]: the same arguments
+    always produce the same {!Instance.t}, which is what makes the
+    benchmark sections and EXPERIMENTS.md reproducible. *)
 
+(** Arrival-time processes for {!releases}. *)
 type arrival =
   | Immediate  (** all jobs released at time 0 (the Theorem 11 setting) *)
   | Poisson of float  (** exponential inter-arrival times with the given rate *)
@@ -16,21 +19,31 @@ type arrival =
           block-structured input for IncMerge *)
 
 val releases : seed:int -> arrival -> int -> float array
-(** [n] release times, sorted increasing. *)
+(** [releases ~seed arrival n] is [n] release times, sorted
+    increasing, all [>= 0.]. *)
 
 val equal_work : seed:int -> n:int -> work:float -> arrival -> Instance.t
+(** [n] jobs of identical [work] — the hypothesis of the paper's flow
+    results ({!Instance.is_equal_work} holds by construction). *)
+
 val uniform_work : seed:int -> n:int -> lo:float -> hi:float -> arrival -> Instance.t
+(** Works drawn uniformly from [[lo, hi]].
+    @raise Invalid_argument unless [0. < lo <= hi]. *)
 
 val heavy_tailed : seed:int -> n:int -> shape:float -> scale:float -> arrival -> Instance.t
-(** Pareto(shape, scale) works: a few huge jobs among many small ones.
+(** Pareto(shape, scale) works: a few huge jobs among many small ones —
+    stress input for the block structure of [Incmerge].
     @raise Invalid_argument unless [shape > 0] and [scale > 0]. *)
 
 val partition_style : seed:int -> n:int -> max_value:int -> Instance.t
 (** Integer works in [[1, max_value]], all released at 0 — the shape of
-    instances produced by the Theorem 11 reduction. *)
+    instances produced by the Theorem 11 reduction (see [Hardness] and
+    [Partition_solver]). *)
 
 val deadline_jobs :
   seed:int -> n:int -> work:float * float -> slack:float * float -> arrival -> (float * float * float) list
 (** [(release, deadline, work)] triples for the Yao–Demers–Shenker
-    substrate; each deadline is release + work-scaled slack drawn from
-    the [slack] range. *)
+    substrate ([Yds], [Avr], [Optimal_available]); each deadline is
+    release + work-scaled slack drawn from the [slack] range.
+    @param work range [(lo, hi)] for uniform work draws.
+    @param slack range [(lo, hi)] for the per-unit-work slack. *)

@@ -1,5 +1,13 @@
 exception No_bracket
 
+(* iteration counters are batched: one [Obs.add] per solver call, so
+   the per-iteration cost of instrumentation is zero *)
+let c_bisect = Obs.counter "rootfind.bisect_iters"
+let c_brent = Obs.counter "rootfind.brent_iters"
+let c_newton = Obs.counter "rootfind.newton_iters"
+let c_bracket = Obs.counter "rootfind.bracket_steps"
+let c_calls = Obs.counter "rootfind.calls"
+
 let default_eps = 1e-12
 
 let opposite fa fb = (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0)
@@ -26,6 +34,8 @@ let bisect ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
       else hi := mid;
       incr i
     done;
+    Obs.incr c_calls;
+    Obs.add c_bisect !i;
     0.5 *. (!lo +. !hi)
   end
 
@@ -87,10 +97,14 @@ let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
     end;
     incr iter
   done;
+  Obs.incr c_calls;
+  Obs.add c_brent !iter;
   !b
 
 let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
+  let steps = ref 0 in
   let rec go x i =
+    steps := i;
     if i >= max_iter then failwith "Rootfind.newton: no convergence"
     else begin
       let fx = f x in
@@ -107,7 +121,10 @@ let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
       end
     end
   in
-  go x0 0
+  let root = go x0 0 in
+  Obs.incr c_calls;
+  Obs.add c_newton !steps;
+  root
 
 let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
   if lo >= hi then raise No_bracket;
@@ -126,6 +143,7 @@ let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
     end;
     incr i
   done;
+  Obs.add c_bracket !i;
   if opposite !fa !fb then (!lo, !hi) else raise No_bracket
 
 let find_root ~f ~lo ~hi ?(eps = default_eps) () =

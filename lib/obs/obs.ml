@@ -1,0 +1,57 @@
+(* The facade: one global switch in front of the unconditional
+   machinery in Obs_metrics / Obs_trace.
+
+   Every operation here starts with [if not !on then ...], so with
+   instrumentation disabled an instrumented hot path pays one load and
+   one conditional branch per call site — nothing is allocated, no
+   clock is read, no hash table is touched.  Instrumented modules
+   additionally batch loop-iteration counts into a local int and call
+   [add] once per solve, so even the branch is off the innermost
+   loops. *)
+
+let on = ref false
+
+let enabled () = !on
+let set_enabled b = on := b
+
+let reset () =
+  Obs_metrics.reset ();
+  Obs_trace.clear ()
+
+type counter = Obs_metrics.counter
+type gauge = Obs_metrics.gauge
+type histogram = Obs_metrics.histogram
+
+let counter = Obs_metrics.counter
+let gauge = Obs_metrics.gauge
+let histogram = Obs_metrics.histogram
+
+let incr c = if !on then Obs_metrics.incr c
+let add c k = if !on then Obs_metrics.add c k
+let set g v = if !on then Obs_metrics.set g v
+let observe h v = if !on then Obs_metrics.observe h v
+
+let span ?args name f = if !on then Obs_trace.with_span ?args name f else f ()
+
+let time h f =
+  if !on then begin
+    let sw = Obs_clock.start () in
+    let finally () = Obs_metrics.observe h (Obs_clock.elapsed_s sw) in
+    Fun.protect ~finally f
+  end
+  else f ()
+
+let snapshot = Obs_metrics.snapshot
+let trace_events = Obs_trace.events
+
+let metrics_report () = Obs_report.render (Obs_metrics.snapshot ()) (Obs_trace.events ())
+
+let trace_json_string () = Obs_json.to_string (Obs_trace.to_json ())
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (trace_json_string ());
+      output_char oc '\n')

@@ -1,0 +1,47 @@
+(** Machine-readable benchmark artifacts ([BENCH_*.json]).
+
+    Wraps a benchmark section in wall-clock ({!Obs_clock}) and
+    allocation ([Gc.quick_stat]) measurement plus a counter-delta
+    snapshot, and serializes the results in the fixed schema
+
+    {v
+{ "commit": "<sha>", "date": "<iso8601>",
+  "results": [ { "name":    "<section>",
+                 "wall_s":    1.23,
+                 "allocs_mb": 4.56,
+                 "counters": { "incmerge.merge_rounds": 42, ... } } ] }
+    v}
+
+    so successive CI runs are diffable by any JSON tool.  The perf
+    trajectory of the repo is tracked by committing/uploading one such
+    file per PR (this PR's is [BENCH_PR2.json]). *)
+
+type result = {
+  name : string;  (** section name, e.g. ["perf"] or ["fig1"] *)
+  wall_s : float;  (** wall-clock seconds, monotonic clock *)
+  allocs_mb : float;
+      (** megabytes allocated on the OCaml heap during the section:
+          minor + major − promoted words, times the word size *)
+  counters : (string * int) list;
+      (** {!Obs_metrics} counters that changed during the section,
+          as deltas; empty when instrumentation is disabled *)
+}
+
+val measure : name:string -> (unit -> unit) -> result
+(** [measure ~name f] runs [f ()] once and reports its cost.  The
+    counter delta is computed from registry snapshots taken before and
+    after, so concurrent updates from outside [f] would be attributed
+    to it — run sections one at a time. *)
+
+val result_to_json : result -> Obs_json.t
+(** [result_to_json r] is one element of the [results] list above. *)
+
+val to_json : commit:string -> date:string -> result list -> Obs_json.t
+(** [to_json ~commit ~date results] assembles the full artifact.
+    @param commit the git revision being measured (or ["unknown"])
+    @param date an ISO-8601 UTC timestamp *)
+
+val write_file : path:string -> commit:string -> date:string -> result list -> unit
+(** [write_file ~path ~commit ~date results] writes the artifact as
+    pretty-printed JSON, with a trailing newline, creating or
+    truncating [path]. *)

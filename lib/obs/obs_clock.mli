@@ -1,0 +1,42 @@
+(** Monotonic time source for the observability layer.
+
+    All timers, spans and benchmark measurements in {!Obs} read this
+    clock and no other, so durations are immune to wall-clock steps
+    (NTP adjustments, manual changes).  The epoch is unspecified —
+    typically boot time — so absolute values are only meaningful as
+    differences.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via the C stub shipped
+    with bechamel; resolution is nanoseconds, cost of a read is a few
+    tens of nanoseconds. *)
+
+val now_ns : unit -> int64
+(** [now_ns ()] is the current monotonic time in nanoseconds since an
+    unspecified epoch.  Non-decreasing across calls within a process. *)
+
+val now_us : unit -> float
+(** [now_us ()] is {!now_ns} converted to microseconds as a float (the
+    unit Chrome's [trace_event] format expects in its [ts] field). *)
+
+val ns_to_s : int64 -> float
+(** [ns_to_s ns] converts a nanosecond count to seconds. *)
+
+val ns_to_us : int64 -> float
+(** [ns_to_us ns] converts a nanosecond count to microseconds. *)
+
+type stopwatch
+(** A started timer: the instant {!start} was called. *)
+
+val start : unit -> stopwatch
+(** [start ()] begins timing now. *)
+
+val elapsed_ns : stopwatch -> int64
+(** [elapsed_ns sw] is the nanoseconds elapsed since [start] created
+    [sw].  Always [>= 0L]; calling it does not stop the stopwatch, so
+    repeated reads give increasing values. *)
+
+val elapsed_us : stopwatch -> float
+(** [elapsed_us sw] is {!elapsed_ns} in microseconds. *)
+
+val elapsed_s : stopwatch -> float
+(** [elapsed_s sw] is {!elapsed_ns} in seconds. *)

@@ -1,0 +1,50 @@
+(** Minimal JSON values: enough to emit Chrome traces and benchmark
+    artifacts, and to parse them back in tests — with no dependency on
+    an external JSON library.
+
+    The printer always produces syntactically valid JSON: strings are
+    escaped per RFC 8259, control characters become [\uXXXX] escapes,
+    and non-finite floats (which JSON cannot represent) are mapped to
+    [null] (NaN) or [±1e999] (infinities, which parse back as such).
+
+    The parser accepts any RFC 8259 document, including [\uXXXX]
+    escapes and surrogate pairs (decoded to UTF-8).  It is meant for
+    round-trip testing and small artifacts, not for streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Object fields in insertion order; duplicate keys are kept
+          as-is (the accessors return the first). *)
+
+val to_string : ?pretty:bool -> t -> string
+(** [to_string v] serializes [v] to a valid JSON document.
+    @param pretty when [true], indent with two spaces per level
+    (default [false]: single line, no spaces). *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses one JSON document occupying all of [s]
+    (surrounding whitespace allowed).
+    @return [Error msg] — with a character position — on malformed
+    input or trailing garbage; never raises. *)
+
+val member : string -> t -> t option
+(** [member key v] is the value of field [key] if [v] is an [Obj]
+    containing it, else [None]. *)
+
+val to_list : t -> t list option
+(** [to_list v] is the elements if [v] is a [List]. *)
+
+val to_float : t -> float option
+(** [to_float v] is the numeric value of an [Int] or [Float]. *)
+
+val to_int : t -> int option
+(** [to_int v] is the value of an [Int] (floats are not coerced). *)
+
+val to_string_val : t -> string option
+(** [to_string_val v] is the payload of a [String]. *)

@@ -1,0 +1,123 @@
+(* Named instruments backed by a global registry.
+
+   Handles are interned once (typically at module initialization) and
+   then updated by plain mutable-field writes: no lock, no allocation,
+   no hash lookup on the hot path.  OCaml's memory model makes each
+   such write atomic; under parallel domains concurrent increments may
+   lose updates but can never corrupt a value or the registry, which is
+   the right trade-off for best-effort telemetry. *)
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable value : float; mutable touched : bool }
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type histogram_stats = {
+  count : int;
+  total : float;
+  mean : float;
+  stddev : float;
+  min_v : float;
+  max_v : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = c.c_count <- c.c_count + 1
+let add c k = c.c_count <- c.c_count + k
+let value c = c.c_count
+let counter_name c = c.c_name
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; value = 0.0; touched = false } in
+    Hashtbl.replace gauges name g;
+    g
+
+let set g v =
+  g.value <- v;
+  g.touched <- true
+
+let gauge_value g = g.value
+let gauge_name g = g.g_name
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; n = 0; sum = 0.0; sumsq = 0.0; lo = Float.infinity; hi = Float.neg_infinity } in
+    Hashtbl.replace histograms name h;
+    h
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  h.sumsq <- h.sumsq +. (v *. v);
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v
+
+let histogram_name h = h.h_name
+
+let stats h =
+  if h.n = 0 then { count = 0; total = 0.0; mean = 0.0; stddev = 0.0; min_v = 0.0; max_v = 0.0 }
+  else begin
+    let nf = float_of_int h.n in
+    let mean = h.sum /. nf in
+    let var = Float.max 0.0 ((h.sumsq /. nf) -. (mean *. mean)) in
+    { count = h.n; total = h.sum; mean; stddev = sqrt var; min_v = h.lo; max_v = h.hi }
+  end
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  {
+    counters =
+      Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) counters [] |> List.sort by_name;
+    gauges =
+      Hashtbl.fold (fun name g acc -> if g.touched then (name, g.value) :: acc else acc) gauges []
+      |> List.sort by_name;
+    histograms =
+      Hashtbl.fold (fun name h acc -> if h.n > 0 then (name, stats h) :: acc else acc) histograms []
+      |> List.sort by_name;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0.0;
+      g.touched <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.sumsq <- 0.0;
+      h.lo <- Float.infinity;
+      h.hi <- Float.neg_infinity)
+    histograms

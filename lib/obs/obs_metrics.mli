@@ -1,0 +1,94 @@
+(** Named counters, gauges and histograms with a global registry.
+
+    Instruments are {e interned}: [counter "x"] returns the same
+    handle every time, so modules create their handles once at
+    initialization and the hot path is a single mutable-field write —
+    no locking, no hashing, no allocation.  Under OCaml 5 parallel
+    domains, concurrent updates are "lock-free-ish": individual writes
+    are atomic (no torn values, no registry corruption) but racing
+    increments may drop counts — acceptable for telemetry, not for
+    program logic.
+
+    This module is {e unconditional}: updates always land.  The
+    enabled/disabled policy (and hence the zero-cost-when-off
+    guarantee) lives in the {!Obs} facade, which gates every call on
+    one boolean.
+
+    Naming convention used throughout the library:
+    ["<module>.<quantity>"], e.g. ["incmerge.merge_rounds"] —
+    {!Obs_report} and tests group by the prefix before the dot. *)
+
+type counter
+(** A monotonically increasing integer (events, iterations, items). *)
+
+type gauge
+(** A float that holds its last set value (sizes, levels). *)
+
+type histogram
+(** A running summary of observed floats: count, sum, sum of squares,
+    min and max (so mean and standard deviation are derivable without
+    storing samples). *)
+
+type histogram_stats = {
+  count : int;
+  total : float;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min_v : float;
+  max_v : float;
+}
+(** Derived view of a histogram.  All fields are [0.0] when
+    [count = 0]. *)
+
+val counter : string -> counter
+(** [counter name] interns and returns the counter registered under
+    [name], creating it (at zero) on first use. *)
+
+val incr : counter -> unit
+(** [incr c] adds one. *)
+
+val add : counter -> int -> unit
+(** [add c k] adds [k] (negative [k] is permitted but unconventional). *)
+
+val value : counter -> int
+(** [value c] reads the current count. *)
+
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+(** [gauge name] interns the gauge registered under [name]. *)
+
+val set : gauge -> float -> unit
+(** [set g v] records [v] as the gauge's current value. *)
+
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val histogram : string -> histogram
+(** [histogram name] interns the histogram registered under [name]. *)
+
+val observe : histogram -> float -> unit
+(** [observe h v] folds [v] into the running summary. *)
+
+val histogram_name : histogram -> string
+
+val stats : histogram -> histogram_stats
+(** [stats h] is the current summary of [h]. *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+(** A point-in-time copy of the registry, each section sorted by name.
+    Counters appear even at zero (their registration is a static
+    fact); gauges that were never [set] and histograms with no
+    observations are omitted. *)
+
+val snapshot : unit -> snapshot
+(** [snapshot ()] copies the registry.  O(instruments); safe to call
+    repeatedly (e.g. for before/after deltas in {!Obs_bench}). *)
+
+val reset : unit -> unit
+(** [reset ()] zeroes every registered instrument without forgetting
+    the handles, so previously interned handles remain valid. *)

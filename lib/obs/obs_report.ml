@@ -1,0 +1,55 @@
+let span_aggregate events =
+  (* name -> (calls, total_us, max_us), insertion-ordered by first use *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (ev : Obs_trace.event) ->
+      match Hashtbl.find_opt tbl ev.Obs_trace.name with
+      | None ->
+        Hashtbl.replace tbl ev.Obs_trace.name (1, ev.Obs_trace.dur_us, ev.Obs_trace.dur_us);
+        order := ev.Obs_trace.name :: !order
+      | Some (n, total, mx) ->
+        Hashtbl.replace tbl ev.Obs_trace.name
+          (n + 1, total +. ev.Obs_trace.dur_us, Float.max mx ev.Obs_trace.dur_us))
+    events;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  |> List.sort (fun (_, (_, ta, _)) (_, (_, tb, _)) -> compare tb ta)
+
+let render (snap : Obs_metrics.snapshot) events =
+  let b = Buffer.create 1024 in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) snap.Obs_metrics.counters in
+  if nonzero <> [] then begin
+    Buffer.add_string b "== counters ==\n";
+    List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-36s %12d\n" name v)) nonzero
+  end;
+  if snap.Obs_metrics.gauges <> [] then begin
+    Buffer.add_string b "== gauges ==\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-36s %12.6g\n" name v))
+      snap.Obs_metrics.gauges
+  end;
+  if snap.Obs_metrics.histograms <> [] then begin
+    Buffer.add_string b "== histograms ==\n";
+    Buffer.add_string b
+      (Printf.sprintf "%-36s %8s %12s %12s %12s %12s\n" "name" "count" "mean" "stddev" "min" "max");
+    List.iter
+      (fun (name, (s : Obs_metrics.histogram_stats)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-36s %8d %12.6g %12.6g %12.6g %12.6g\n" name s.Obs_metrics.count
+             s.Obs_metrics.mean s.Obs_metrics.stddev s.Obs_metrics.min_v s.Obs_metrics.max_v))
+      snap.Obs_metrics.histograms
+  end;
+  (match span_aggregate events with
+  | [] -> ()
+  | rows ->
+    Buffer.add_string b "== spans ==\n";
+    Buffer.add_string b (Printf.sprintf "%-36s %8s %12s %12s %12s\n" "name" "calls" "total_ms" "mean_ms" "max_ms");
+    List.iter
+      (fun (name, (calls, total_us, max_us)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-36s %8d %12.4f %12.4f %12.4f\n" name calls (total_us /. 1e3)
+             (total_us /. 1e3 /. float_of_int calls)
+             (max_us /. 1e3)))
+      rows);
+  if Buffer.length b = 0 then Buffer.add_string b "(no observations recorded)\n";
+  Buffer.contents b

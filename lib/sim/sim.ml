@@ -1,3 +1,8 @@
+let c_events = Obs.counter "sim.events_dispatched"
+let c_preempt = Obs.counter "sim.preemptions"
+let c_switches = Obs.counter "sim.speed_changes"
+let c_clamped = Obs.counter "sim.level_clamps"
+
 type config = {
   levels : Discrete_levels.t option;
   switch_time : float;
@@ -18,6 +23,7 @@ type report = {
 }
 
 let run ?(config = default_config) model inst plan =
+  Obs.span "sim.run" @@ fun () ->
   let inst_ids = Hashtbl.create 16 in
   Array.iter (fun (j : Job.t) -> Hashtbl.replace inst_ids j.Job.id ()) (Instance.jobs inst);
   List.iter
@@ -31,11 +37,16 @@ let run ?(config = default_config) model inst plan =
       (Processor.create ~switch_time:config.switch_time ~switch_energy:config.switch_energy model)
   in
   let results = ref [] in
+  let started = Hashtbl.create 16 in
   (* entries are sorted by (proc, start); replay each processor in order *)
   List.iter
     (fun (e : Schedule.entry) ->
+      Obs.incr c_events;
       let p = procs.(e.Schedule.proc) in
       let job = e.Schedule.job in
+      (* a job appearing in a second entry was preempted in between *)
+      if Hashtbl.mem started job.Job.id then Obs.incr c_preempt
+      else Hashtbl.replace started job.Job.id ();
       let release = job.Job.release in
       let earliest = Float.max e.Schedule.start release in
       let work = job.Job.work in
@@ -48,6 +59,7 @@ let run ?(config = default_config) model inst plan =
           | Some split -> Processor.run_split p ~start:earliest ~split
           | None ->
             (* outside the level range: clamp *)
+            Obs.incr c_clamped;
             let speed =
               if e.Schedule.speed > Discrete_levels.max_speed levels then
                 Discrete_levels.max_speed levels
@@ -62,6 +74,7 @@ let run ?(config = default_config) model inst plan =
   let total_flow = List.fold_left (fun acc r -> acc +. (r.completion -. r.job.Job.release)) 0.0 results in
   let energy = Array.fold_left (fun acc p -> acc +. Processor.energy p) 0.0 procs in
   let switches = Array.fold_left (fun acc p -> acc + Processor.switches p) 0 procs in
+  Obs.add c_switches switches;
   let profiles = Array.to_list (Array.mapi (fun i p -> (i, Processor.profile p)) procs) in
   { results; makespan; total_flow; energy; switches; profiles }
 

@@ -1,0 +1,368 @@
+(* Tests for the pasched.obs observability layer: counter arithmetic,
+   span nesting, trace JSON round-trips, the disabled-mode contract,
+   the JSON codec itself, and a CLI integration check that the
+   `--trace` flag of the real binary writes a parseable Chrome trace. *)
+
+(* unwrap the option-returning Obs_json accessors, failing the test on
+   a shape mismatch *)
+let jmem key v =
+  match Obs_json.member key v with
+  | Some x -> x
+  | None -> Alcotest.fail ("missing JSON field " ^ key)
+
+let jlist v = match Obs_json.to_list v with Some l -> l | None -> Alcotest.fail "expected JSON list"
+let jint v = match Obs_json.to_int v with Some i -> i | None -> Alcotest.fail "expected JSON int"
+let jfloat v =
+  match Obs_json.to_float v with Some f -> f | None -> Alcotest.fail "expected JSON number"
+let jstr v =
+  match Obs_json.to_string_val v with Some s -> s | None -> Alcotest.fail "expected JSON string"
+
+let with_obs_on f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false; Obs.reset ()) f
+
+(* ---------------------------------------------------------------- *)
+(* counters, gauges, histograms *)
+
+let test_counter_arithmetic () =
+  with_obs_on @@ fun () ->
+  let c = Obs.counter "test.counter_arith" in
+  Alcotest.(check int) "starts at zero" 0 (Obs_metrics.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  Alcotest.(check int) "incr and add accumulate" 42 (Obs_metrics.value c);
+  let c' = Obs.counter "test.counter_arith" in
+  Obs.incr c';
+  Alcotest.(check int) "same name interns to the same handle" 43 (Obs_metrics.value c)
+
+let test_counter_reset () =
+  with_obs_on @@ fun () ->
+  let c = Obs.counter "test.counter_reset" in
+  Obs.add c 7;
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs_metrics.value c);
+  Obs.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Obs_metrics.value c)
+
+let test_gauge_and_histogram () =
+  with_obs_on @@ fun () ->
+  let g = Obs.gauge "test.gauge" in
+  Obs.set g 1.5;
+  Obs.set g 2.5;
+  Alcotest.(check (float 1e-12)) "gauge keeps last value" 2.5 (Obs_metrics.gauge_value g);
+  let h = Obs.histogram "test.hist" in
+  List.iter (Obs.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  let st = Obs_metrics.stats h in
+  Alcotest.(check int) "histogram count" 4 st.Obs_metrics.count;
+  Alcotest.(check (float 1e-12)) "histogram mean" 2.5 st.Obs_metrics.mean;
+  Alcotest.(check (float 1e-12)) "histogram min" 1.0 st.Obs_metrics.min_v;
+  Alcotest.(check (float 1e-12)) "histogram max" 4.0 st.Obs_metrics.max_v
+
+let test_snapshot_contents () =
+  with_obs_on @@ fun () ->
+  let c = Obs.counter "test.snapshot_counter" in
+  Obs.add c 3;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "snapshot sees the counter" 3
+    (List.assoc "test.snapshot_counter" snap.Obs_metrics.counters);
+  Alcotest.(check bool) "untouched gauges are omitted" false
+    (List.mem_assoc "test.never_set_gauge" snap.Obs_metrics.gauges)
+
+(* ---------------------------------------------------------------- *)
+(* disabled mode: updates must not land *)
+
+let test_disabled_mode_is_inert () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let c = Obs.counter "test.disabled_counter" in
+  Obs.incr c;
+  Obs.add c 100;
+  Alcotest.(check int) "disabled incr/add do nothing" 0 (Obs_metrics.value c);
+  let before = List.length (Obs.trace_events ()) in
+  let r = Obs.span "test.disabled_span" (fun () -> 17) in
+  Alcotest.(check int) "disabled span is exactly f ()" 17 r;
+  Alcotest.(check int) "disabled span records no event" before
+    (List.length (Obs.trace_events ()))
+
+(* ---------------------------------------------------------------- *)
+(* span nesting and trace export *)
+
+let test_span_nesting () =
+  with_obs_on @@ fun () ->
+  let r =
+    Obs.span "outer" @@ fun () ->
+    Obs.span "inner_a" (fun () -> ()) ;
+    Obs.span "inner_b" (fun () -> Obs.span "leaf" (fun () -> ())) ;
+    5
+  in
+  Alcotest.(check int) "span returns f's result" 5 r;
+  let events = Obs.trace_events () in
+  let depth name =
+    (List.find (fun (e : Obs_trace.event) -> e.Obs_trace.name = name) events).Obs_trace.depth
+  in
+  Alcotest.(check int) "four spans recorded" 4 (List.length events);
+  Alcotest.(check int) "outer is a root span" 0 (depth "outer");
+  Alcotest.(check int) "inner_a nests once" 1 (depth "inner_a");
+  Alcotest.(check int) "inner_b nests once" 1 (depth "inner_b");
+  Alcotest.(check int) "leaf nests twice" 2 (depth "leaf");
+  (* timestamp containment: leaf inside inner_b inside outer *)
+  let ev name = List.find (fun (e : Obs_trace.event) -> e.Obs_trace.name = name) events in
+  let contains (a : Obs_trace.event) (b : Obs_trace.event) =
+    a.Obs_trace.ts_us <= b.Obs_trace.ts_us
+    && b.Obs_trace.ts_us +. b.Obs_trace.dur_us <= a.Obs_trace.ts_us +. a.Obs_trace.dur_us +. 1e-6
+  in
+  Alcotest.(check bool) "outer contains leaf" true (contains (ev "outer") (ev "leaf"));
+  Alcotest.(check bool) "inner_b contains leaf" true (contains (ev "inner_b") (ev "leaf"))
+
+let test_span_exception_safety () =
+  with_obs_on @@ fun () ->
+  (match Obs.span "raises" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  let events = Obs.trace_events () in
+  Alcotest.(check int) "span closed despite the exception" 1 (List.length events);
+  Obs.span "after" (fun () -> ());
+  let depth_after =
+    (List.find (fun (e : Obs_trace.event) -> e.Obs_trace.name = "after") (Obs.trace_events ()))
+      .Obs_trace.depth
+  in
+  Alcotest.(check int) "depth restored after the exception" 0 depth_after
+
+let test_trace_json_roundtrip () =
+  with_obs_on @@ fun () ->
+  Obs.span "round_outer" (fun () -> Obs.span "round_inner" (fun () -> ()));
+  let raw = Obs.trace_json_string () in
+  match Obs_json.of_string raw with
+  | Error msg -> Alcotest.fail ("trace JSON does not parse: " ^ msg)
+  | Ok doc ->
+    let events = jlist (jmem "traceEvents" doc) in
+    (* one metadata event + two span events *)
+    Alcotest.(check int) "metadata + 2 spans" 3 (List.length events);
+    let phases =
+      List.map (fun e -> jstr (jmem "ph" e)) events
+    in
+    Alcotest.(check bool) "has a metadata event" true (List.mem "M" phases);
+    Alcotest.(check int) "two complete events" 2
+      (List.length (List.filter (fun p -> p = "X") phases));
+    let span_names =
+      List.filter_map
+        (fun e ->
+          if jstr (jmem "ph" e) = "X" then
+            Some (jstr (jmem "name" e))
+          else None)
+        events
+    in
+    Alcotest.(check bool) "inner span present" true (List.mem "round_inner" span_names);
+    Alcotest.(check bool) "outer span present" true (List.mem "round_outer" span_names);
+    List.iter
+      (fun e ->
+        if jstr (jmem "ph" e) = "X" then begin
+          ignore (jfloat (jmem "ts" e));
+          ignore (jfloat (jmem "dur" e));
+          ignore (jint (jmem "pid" e));
+          ignore (jint (jmem "tid" e))
+        end)
+      events
+
+let test_trace_event_cap () =
+  with_obs_on @@ fun () ->
+  Obs_trace.set_max_events 5;
+  Fun.protect
+    ~finally:(fun () -> Obs_trace.set_max_events 1_000_000)
+    (fun () ->
+      for _ = 1 to 10 do
+        Obs.span "capped" (fun () -> ())
+      done;
+      Alcotest.(check int) "buffer capped" 5 (List.length (Obs.trace_events ()));
+      Alcotest.(check int) "overflow counted" 5 (Obs_trace.dropped_events ()))
+
+(* ---------------------------------------------------------------- *)
+(* the JSON codec *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs_json.Obj
+      [
+        ("s", Obs_json.String "hello \"world\"\nline2");
+        ("i", Obs_json.Int (-42));
+        ("f", Obs_json.Float 1.5);
+        ("b", Obs_json.Bool true);
+        ("nil", Obs_json.Null);
+        ("xs", Obs_json.List [ Obs_json.Int 1; Obs_json.Int 2; Obs_json.Int 3 ]);
+        ("nested", Obs_json.Obj [ ("k", Obs_json.String "v") ]);
+      ]
+  in
+  match Obs_json.of_string (Obs_json.to_string ~pretty:true doc) with
+  | Error msg -> Alcotest.fail ("round-trip parse failed: " ^ msg)
+  | Ok doc' ->
+    Alcotest.(check string) "string field" "hello \"world\"\nline2"
+      (jstr (jmem "s" doc'));
+    Alcotest.(check int) "int field" (-42) (jint (jmem "i" doc'));
+    Alcotest.(check (float 1e-12)) "float field" 1.5
+      (jfloat (jmem "f" doc'));
+    Alcotest.(check int) "list length" 3
+      (List.length (jlist (jmem "xs" doc')));
+    Alcotest.(check string) "nested object" "v"
+      (jstr (jmem "k" (jmem "nested" doc')))
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs_json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" s)
+      | Error _ -> ())
+    bad
+
+let test_json_unicode_escapes () =
+  match Obs_json.of_string {|"aé😀b"|} with
+  | Error msg -> Alcotest.fail ("unicode parse failed: " ^ msg)
+  | Ok v ->
+    Alcotest.(check string) "BMP + surrogate pair decode to UTF-8" "a\xc3\xa9\xf0\x9f\x98\x80b"
+      (jstr v)
+
+(* ---------------------------------------------------------------- *)
+(* instrumented solvers feed the registry *)
+
+let test_solver_counters_populate () =
+  with_obs_on @@ fun () ->
+  let inst = Instance.figure1 in
+  ignore (Incmerge.solve Power_model.cube ~energy:12.0 inst);
+  let snap = Obs.snapshot () in
+  let get name = try List.assoc name snap.Obs_metrics.counters with Not_found -> 0 in
+  Alcotest.(check bool) "incmerge.jobs_processed > 0" true (get "incmerge.jobs_processed" > 0);
+  Alcotest.(check bool) "schedule.entries_built > 0" true (get "schedule.entries_built" > 0)
+
+let test_bench_measure_delta () =
+  with_obs_on @@ fun () ->
+  let r =
+    Obs_bench.measure ~name:"unit" (fun () ->
+        ignore (Incmerge.makespan Power_model.cube ~energy:12.0 Instance.figure1))
+  in
+  Alcotest.(check string) "section name recorded" "unit" r.Obs_bench.name;
+  Alcotest.(check bool) "wall time nonnegative" true (r.Obs_bench.wall_s >= 0.0);
+  Alcotest.(check bool) "counter deltas captured" true
+    (List.mem_assoc "incmerge.jobs_processed" r.Obs_bench.counters);
+  (* a second identical measurement reports deltas, not totals *)
+  let r2 =
+    Obs_bench.measure ~name:"unit2" (fun () ->
+        ignore (Incmerge.makespan Power_model.cube ~energy:12.0 Instance.figure1))
+  in
+  Alcotest.(check int) "deltas equal across identical runs"
+    (List.assoc "incmerge.jobs_processed" r.Obs_bench.counters)
+    (List.assoc "incmerge.jobs_processed" r2.Obs_bench.counters)
+
+let test_report_renders () =
+  with_obs_on @@ fun () ->
+  let c = Obs.counter "test.report_counter" in
+  Obs.add c 9;
+  Obs.span "test.report_span" (fun () -> ());
+  let report = Obs.metrics_report () in
+  let mem needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report lists the counter" true (mem "test.report_counter" report);
+  Alcotest.(check bool) "report lists the span" true (mem "test.report_span" report)
+
+(* ---------------------------------------------------------------- *)
+(* integration: the real binary's --trace output parses *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_cli_trace_integration () =
+  (* under `dune runtest` the cwd is _build/default/test (the CLI is a
+     declared dep); under `dune exec` it is the project root *)
+  let exe =
+    let candidates =
+      [
+        Filename.concat Filename.parent_dir_name "bin/pasched.exe";
+        Filename.concat "_build/default/bin" "pasched.exe";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.fail "pasched.exe not found next to the test"
+  in
+  let out = Filename.temp_file "pasched_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s simulate --trace %s > %s 2> %s" (Filename.quote exe)
+          (Filename.quote out) Filename.null Filename.null
+      in
+      Alcotest.(check int) "pasched simulate --trace exits 0" 0 (Sys.command cmd);
+      match Obs_json.of_string (read_file out) with
+      | Error msg -> Alcotest.fail ("CLI trace does not parse: " ^ msg)
+      | Ok doc ->
+        let events = jlist (jmem "traceEvents" doc) in
+        let span_names =
+          List.filter_map
+            (fun e ->
+              if jstr (jmem "ph" e) = "X" then
+                Some (jstr (jmem "name" e))
+              else None)
+            events
+        in
+        let module_of name =
+          match String.index_opt name '.' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        let modules = List.sort_uniq compare (List.map module_of span_names) in
+        Alcotest.(check bool)
+          (Printf.sprintf "spans from >= 3 modules (got: %s)" (String.concat ", " modules))
+          true
+          (List.length modules >= 3);
+        let depths =
+          List.filter_map
+            (fun e ->
+              if jstr (jmem "ph" e) = "X" then
+                Some (jint (jmem "depth" (jmem "args" e)))
+              else None)
+            events
+        in
+        Alcotest.(check bool) "trace contains nested spans" true
+          (List.exists (fun d -> d > 0) depths))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+          Alcotest.test_case "counter reset" `Quick test_counter_reset;
+          Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+          Alcotest.test_case "snapshot contents" `Quick test_snapshot_contents;
+          Alcotest.test_case "disabled mode is inert" `Quick test_disabled_mode_is_inert;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "trace JSON round-trip" `Quick test_trace_json_roundtrip;
+          Alcotest.test_case "event buffer cap" `Quick test_trace_event_cap;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "solver counters populate" `Quick test_solver_counters_populate;
+          Alcotest.test_case "bench measure deltas" `Quick test_bench_measure_delta;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+      ( "cli",
+        [ Alcotest.test_case "--trace output parses" `Quick test_cli_trace_integration ] );
+    ]
