@@ -7,7 +7,11 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig1 perf  # selected sections
 
-   Sections: fig1 fig2 fig3 thm1 thm8 thm10 thm11 perf sim online ext fuzz *)
+   Sections: fig1 fig2 fig3 thm1 thm8 thm10 thm11 perf sim online ext fuzz registry
+
+   The [registry] section is not hand-listed: it enumerates the
+   pasched.engine solver registry, so newly registered solvers are
+   benchmarked without touching this file. *)
 
 let cube = Power_model.cube
 let fig1_instance = Instance.figure1
@@ -410,6 +414,82 @@ let section_fuzz () =
       Printf.printf "%-26s %-12.4f %-12.0f\n" p.Oracle.name dt (float_of_int s.Runner.checks /. dt))
     (Properties.registered ())
 
+(* ---------------------------------------------------------------- *)
+(* REGISTRY: time every solver in the pasched.engine registry on a
+   capability-matched instance.  Nothing here names a solver: the
+   instance, problem and timing are derived from the registered
+   capability, so a newly registered solver shows up on the next run. *)
+
+let section_registry () =
+  header "REGISTRY  every pasched.engine solver, capability-matched instance";
+  Builtin.init ();
+  let alpha = 3.0 in
+  let requires cap r = List.mem r cap.Capability.requires in
+  let bench_one solver =
+    let cap = Engine.capability_of solver in
+    let procs = match cap.Capability.settings with Capability.Uni_only -> 1 | _ -> 2 in
+    let n =
+      List.fold_left
+        (fun acc -> function Capability.Max_jobs k -> Stdlib.min acc k | _ -> acc)
+        64 cap.Capability.requires
+    in
+    let inst =
+      if requires cap Capability.Equal_work then
+        Workload.equal_work ~seed:17 ~n ~work:1.0 (Workload.Poisson 1.0)
+      else Workload.uniform_work ~seed:17 ~n ~lo:0.5 ~hi:2.0 (Workload.Poisson 1.0)
+    in
+    let inst =
+      if requires cap Capability.Common_release then
+        Instance.of_pairs
+          (Array.to_list (Array.map (fun (j : Job.t) -> (0.0, j.Job.work)) (Instance.jobs inst)))
+      else inst
+    in
+    let energy = 1.5 *. float_of_int n in
+    let mode =
+      match cap.Capability.modes with
+      | Capability.Target_mode :: _ ->
+        Problem.Target (Incmerge.makespan (Power_model.alpha alpha) ~energy inst)
+      | Capability.Feasible_mode :: _ -> Problem.Feasible
+      | _ -> Problem.Budget energy
+    in
+    let speed_cap = if requires cap Capability.Needs_speed_cap then Some 2.0 else None in
+    let levels =
+      if requires cap Capability.Needs_levels then
+        Some (List.init 8 (fun i -> 0.5 *. float_of_int (i + 1)))
+      else None
+    in
+    let weights =
+      if requires cap Capability.Needs_weights then
+        Some (Array.init n (fun i -> 1.0 +. float_of_int (i mod 3)))
+      else None
+    in
+    let deadlines =
+      if requires cap Capability.Needs_deadlines then
+        Some
+          (Array.map
+             (fun (j : Job.t) -> j.Job.release +. (3.0 *. j.Job.work))
+             (Instance.jobs inst))
+      else None
+    in
+    let problem =
+      Problem.make ~procs ?speed_cap ?levels ?weights ?deadlines
+        ~objective:cap.Capability.objective ~mode ~alpha ()
+    in
+    let t = time_best ~reps:3 (fun () -> Engine.solve_with solver problem inst) in
+    let r = Engine.solve_with solver problem inst in
+    let value =
+      match r.Solve_result.pareto with
+      | Some p -> p.Solve_result.value_at energy
+      | None -> r.Solve_result.value
+    in
+    Printf.printf "%-18s %-9s %-6d %-3d %-14.6f %-14.6f %-12.6f\n" (Engine.name_of solver)
+      (Problem.objective_to_string cap.Capability.objective)
+      n procs value r.Solve_result.energy t
+  in
+  Printf.printf "%-18s %-9s %-6s %-3s %-14s %-14s %-12s\n" "solver" "class" "n" "m" "value" "energy"
+    "seconds";
+  List.iter bench_one (Engine.all ())
+
 let sections =
   [
     ("fig1", section_fig1);
@@ -424,6 +504,7 @@ let sections =
     ("online", section_online);
     ("ext", section_ext);
     ("fuzz", section_fuzz);
+    ("registry", section_registry);
   ]
 
 (* ---------------------------------------------------------------- *)

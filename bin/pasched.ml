@@ -2,11 +2,19 @@
 
    dune exec bin/pasched.exe -- <command> [options]
 
-   Commands: frontier, laptop, server, flow, multi, simulate, workload,
-   deadline.  Instances are given inline ("r:w,r:w,...") or as a file of
-   "release work" lines. *)
+   Commands: solve (generic registry front end), frontier, laptop,
+   server, flow, multi, simulate, workload, deadline, maxflow, discrete,
+   precedence, thermal, fuzz.  Instances are given inline
+   ("r:w,r:w,...") or as a file of "release work" lines.
+
+   Solver-backed subcommands are thin lookups into the pasched.engine
+   registry: the historical commands (laptop, flow, ...) pin the solver
+   that has always answered them, while `solve` picks any registered
+   solver by name or capability. *)
 
 open Cmdliner
+
+let () = Builtin.init ()
 
 (* ---------- observability flags (every subcommand) ---------- *)
 
@@ -56,33 +64,45 @@ let with_obs (trace, metrics) name f =
     if active then finish ();
     raise e
 
+(* [`Ok] / [`Error] conversion for solver preconditions: the registry
+   and the model constructors signal misuse with [Invalid_argument]
+   (e.g. an equal-work-only solver on unequal works), which should be a
+   clean CLI error, not a crash. *)
+let wrap_errors f = try f () with Invalid_argument msg | Failure msg -> `Error (false, msg)
+
 (* ---------- shared argument parsing ---------- *)
+
+let parse_float what s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad %s %S, expected a number" what s)
 
 let parse_jobs_spec spec =
   spec
   |> String.split_on_char ','
   |> List.map (fun part ->
          match String.split_on_char ':' (String.trim part) with
-         | [ r; w ] -> (float_of_string r, float_of_string w)
+         | [ r; w ] -> (parse_float "release" r, parse_float "work" w)
          | _ -> failwith (Printf.sprintf "bad job %S, expected release:work" part))
 
 let parse_jobs_file path =
   let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | exception End_of_file ->
-      close_in ic;
-      List.rev acc
-    | line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then go acc
-      else begin
-        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | [ r; w ] -> go ((float_of_string r, float_of_string w) :: acc)
-        | _ -> failwith (Printf.sprintf "bad line %S, expected: release work" line)
-      end
-  in
-  go []
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go acc
+          else begin
+            match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+            | [ r; w ] -> go ((parse_float "release" r, parse_float "work" w) :: acc)
+            | _ -> failwith (Printf.sprintf "bad line %S, expected: release work" line)
+          end
+      in
+      go [])
 
 let instance_term =
   let jobs =
@@ -98,16 +118,39 @@ let instance_term =
       & info [ "file" ] ~docv:"PATH" ~doc:"Instance file: one 'release work' pair per line.")
   in
   let build jobs file =
-    match (jobs, file) with
-    | Some spec, None -> `Ok (Instance.of_pairs (parse_jobs_spec spec))
-    | None, Some path -> `Ok (Instance.of_pairs (parse_jobs_file path))
-    | None, None -> `Ok Instance.figure1
-    | Some _, Some _ -> `Error (false, "give either --jobs or --file, not both")
+    (* parse/IO failures become cmdliner errors, and [Fun.protect] in
+       [parse_jobs_file] closes the channel on every path *)
+    try
+      match (jobs, file) with
+      | Some spec, None -> `Ok (Instance.of_pairs (parse_jobs_spec spec))
+      | None, Some path -> `Ok (Instance.of_pairs (parse_jobs_file path))
+      | None, None -> `Ok Instance.figure1
+      | Some _, Some _ -> `Error (false, "give either --jobs or --file, not both")
+    with
+    | Failure msg | Invalid_argument msg -> `Error (false, msg)
+    | Sys_error msg -> `Error (false, msg)
   in
   Term.(ret (const build $ jobs $ file))
 
+(* Validated at the CLI boundary: alpha <= 1 breaks the convexity that
+   every algorithm rests on (Theorem 1, P = sigma^alpha), and deep in a
+   solver it surfaces as nonsense speeds or an uncaught exception. *)
+let alpha_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some a when Float.is_finite a && a > 1.0 -> Ok a
+    | Some a ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "alpha must exceed 1 (power = speed^alpha is strictly convex only for alpha > 1), got %g"
+             a))
+    | None -> Error (`Msg (Printf.sprintf "bad alpha %S, expected a number > 1" s))
+  in
+  Arg.conv ~docv:"A" (parse, fun fmt a -> Format.fprintf fmt "%g" a)
+
 let alpha_term =
-  Arg.(value & opt float 3.0 & info [ "alpha" ] ~docv:"A" ~doc:"Power exponent: power = speed^A.")
+  Arg.(value & opt alpha_conv 3.0 & info [ "alpha" ] ~docv:"A" ~doc:"Power exponent: power = speed^A (must exceed 1).")
 
 let model_of_alpha a = Power_model.alpha a
 
@@ -122,98 +165,137 @@ let print_schedule model ~gantt schedule =
   print_string (Render.entries_tsv schedule);
   print_endline (Render.summary model schedule)
 
+let schedule_of_result (r : Solve_result.t) =
+  match r.Solve_result.schedule with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "solver %s returned no schedule" r.Solve_result.solver)
+
+let budget_problem ?procs ?speed_cap ?levels ?weights ~objective ~alpha energy =
+  Problem.make ?procs ?speed_cap ?levels ?weights ~objective ~mode:(Problem.Budget energy) ~alpha ()
+
 (* ---------- commands ---------- *)
 
 let frontier_cmd =
   let run obs alpha inst points =
+    wrap_errors @@ fun () ->
     with_obs obs "frontier" @@ fun () ->
-    let model = model_of_alpha alpha in
-    let f = Frontier.build model inst in
+    let r =
+      Engine.solve "frontier"
+        (Problem.make ~objective:Problem.Makespan ~mode:Problem.Pareto ~alpha ())
+        inst
+    in
+    let p = match r.Solve_result.pareto with Some p -> p | None -> assert false in
     Printf.printf "# breakpoints: %s\n"
-      (String.concat ", " (List.map (Printf.sprintf "%g") (Frontier.breakpoints f)));
-    let bps = Frontier.breakpoints f in
+      (String.concat ", " (List.map (Printf.sprintf "%g") p.Solve_result.breakpoints));
+    let bps = p.Solve_result.breakpoints in
     let lo = match bps with b :: _ -> b *. 0.75 | [] -> 1.0 in
     let hi = (match List.rev bps with b :: _ -> b *. 1.25 | [] -> 10.0) in
-    print_string (Render.series_tsv ~header:("energy", "makespan") (Frontier.sample f ~lo ~hi ~n:points))
+    print_string
+      (Render.series_tsv ~header:("energy", "makespan") (p.Solve_result.sample ~lo ~hi ~n:points));
+    `Ok ()
   in
   let points =
     Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc:"Number of curve samples.")
   in
   Cmd.v
     (Cmd.info "frontier" ~doc:"All non-dominated energy/makespan points (paper Figure 1).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ points)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ points))
 
 let laptop_cmd =
   let run obs alpha inst energy gantt =
+    wrap_errors @@ fun () ->
     with_obs obs "laptop" @@ fun () ->
-    let model = model_of_alpha alpha in
-    print_schedule model ~gantt (Incmerge.solve model ~energy inst)
+    let r = Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst in
+    print_schedule (model_of_alpha alpha) ~gantt (schedule_of_result r);
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "laptop" ~doc:"Minimize makespan within an energy budget (IncMerge).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
 
 let server_cmd =
   let run obs alpha inst makespan gantt =
+    wrap_errors @@ fun () ->
     with_obs obs "server" @@ fun () ->
-    let model = model_of_alpha alpha in
-    let e = Server.min_energy model ~makespan inst in
+    let r =
+      Engine.solve "server"
+        (Problem.make ~objective:Problem.Makespan ~mode:(Problem.Target makespan) ~alpha ())
+        inst
+    in
+    let e = match Solve_result.diag r "min_energy" with Some e -> e | None -> assert false in
     Printf.printf "# minimum energy for makespan %g: %.8g\n" makespan e;
-    print_schedule model ~gantt (Server.solve model ~makespan inst)
+    print_schedule (model_of_alpha alpha) ~gantt (schedule_of_result r);
+    `Ok ()
   in
   let makespan =
     Arg.(value & opt float 8.0 & info [ "makespan"; "m" ] ~docv:"T" ~doc:"Makespan target.")
   in
   Cmd.v
     (Cmd.info "server" ~doc:"Minimize energy for a makespan target.")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ makespan $ gantt_flag)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ makespan $ gantt_flag))
 
 let flow_cmd =
   let run obs alpha inst energy gantt =
+    wrap_errors @@ fun () ->
     with_obs obs "flow" @@ fun () ->
-    let model = model_of_alpha alpha in
-    let sol = Flow.solve_budget ~alpha ~energy inst in
-    Printf.printf "# total flow %.8g with energy %.8g (last speed %.8g)\n" sol.Flow.flow
-      sol.Flow.energy sol.Flow.last_speed;
-    print_schedule model ~gantt (Flow.schedule inst sol)
+    let r = Engine.solve "flow" (budget_problem ~objective:Problem.Total_flow ~alpha energy) inst in
+    let last_speed =
+      match Solve_result.diag r "last_speed" with Some s -> s | None -> assert false
+    in
+    Printf.printf "# total flow %.8g with energy %.8g (last speed %.8g)\n" r.Solve_result.value
+      r.Solve_result.energy last_speed;
+    print_schedule (model_of_alpha alpha) ~gantt (schedule_of_result r);
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Minimize total flow within an energy budget (equal-work jobs).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
 
 let multi_cmd =
   let run obs alpha inst energy m use_flow gantt =
+    wrap_errors @@ fun () ->
     with_obs obs "multi" @@ fun () ->
     let model = model_of_alpha alpha in
     if use_flow then begin
-      let sol = Multi_flow.solve_budget ~alpha ~m ~energy inst in
-      Printf.printf "# total flow %.8g on %d processors\n" sol.Multi_flow.flow m;
-      print_schedule model ~gantt (Multi_flow.schedule ~m inst sol)
+      let r =
+        Engine.solve "multi-flow" (budget_problem ~procs:m ~objective:Problem.Total_flow ~alpha energy) inst
+      in
+      Printf.printf "# total flow %.8g on %d processors\n" r.Solve_result.value m;
+      print_schedule model ~gantt (schedule_of_result r)
     end
     else begin
-      let schedule = Multi.solve model ~m ~energy inst in
-      Printf.printf "# makespan %.8g on %d processors\n" (Metrics.makespan schedule) m;
-      print_schedule model ~gantt schedule
-    end
+      let r =
+        Engine.solve "multi-cyclic" (budget_problem ~procs:m ~objective:Problem.Makespan ~alpha energy) inst
+      in
+      Printf.printf "# makespan %.8g on %d processors\n" r.Solve_result.value m;
+      print_schedule model ~gantt (schedule_of_result r)
+    end;
+    `Ok ()
   in
   let m = Arg.(value & opt int 2 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
   let use_flow = Arg.(value & flag & info [ "flow" ] ~doc:"Optimize total flow instead of makespan.") in
   Cmd.v
     (Cmd.info "multi" ~doc:"Multiprocessor scheduling for equal-work jobs (cyclic, Theorem 10).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag))
 
 let simulate_cmd =
   let run obs alpha inst energy levels switch_time switch_energy =
+    wrap_errors @@ fun () ->
     with_obs obs "simulate" @@ fun () ->
     let model = model_of_alpha alpha in
-    let plan = Incmerge.solve model ~energy inst in
+    let plan =
+      schedule_of_result
+        (Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
+    in
     let config =
       {
         Sim.levels =
           (match levels with
           | None -> None
           | Some spec ->
-            Some (Discrete_levels.create (List.map float_of_string (String.split_on_char ',' spec))));
+            Some
+              (Discrete_levels.create
+                 (List.map (parse_float "level") (String.split_on_char ',' spec))));
         switch_time;
         switch_energy;
       }
@@ -227,7 +309,8 @@ let simulate_cmd =
       (fun res ->
         Printf.printf "job %d: start %.6g done %.6g\n" res.Sim.job.Job.id res.Sim.start
           res.Sim.completion)
-      r.Sim.results
+      r.Sim.results;
+    `Ok ()
   in
   let levels =
     Arg.(
@@ -244,11 +327,13 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay the optimal plan on a simulated DVFS processor.")
     Term.(
-      const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels $ switch_time
-      $ switch_energy)
+      ret
+        (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels $ switch_time
+        $ switch_energy))
 
 let workload_cmd =
   let run obs kind n seed work span rate =
+    wrap_errors @@ fun () ->
     with_obs obs "workload" @@ fun () ->
     let arrival =
       match kind with
@@ -261,7 +346,8 @@ let workload_cmd =
     in
     let inst = Workload.equal_work ~seed ~n ~work arrival in
     Printf.printf "# %s workload, n=%d seed=%d\n" kind n seed;
-    Array.iter (fun (j : Job.t) -> Printf.printf "%g %g\n" j.Job.release j.Job.work) (Instance.jobs inst)
+    Array.iter (fun (j : Job.t) -> Printf.printf "%g %g\n" j.Job.release j.Job.work) (Instance.jobs inst);
+    `Ok ()
   in
   let kind =
     Arg.(
@@ -275,55 +361,68 @@ let workload_cmd =
   let rate = Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"R" ~doc:"Poisson rate.") in
   Cmd.v
     (Cmd.info "workload" ~doc:"Generate a synthetic instance (stdout, '--file' format).")
-    Term.(const run $ obs_term $ kind $ n $ seed $ work $ span $ rate)
+    Term.(ret (const run $ obs_term $ kind $ n $ seed $ work $ span $ rate))
 
 let deadline_cmd =
   let run obs alpha n seed =
+    wrap_errors @@ fun () ->
     with_obs obs "deadline" @@ fun () ->
-    let model = model_of_alpha alpha in
-    let jobs =
-      Djob.of_triples
-        (Workload.deadline_jobs ~seed ~n ~work:(0.5, 3.0) ~slack:(0.5, 4.0) (Workload.Poisson 1.0))
+    let triples =
+      Workload.deadline_jobs ~seed ~n ~work:(0.5, 3.0) ~slack:(0.5, 4.0) (Workload.Poisson 1.0)
     in
-    let yds = Yds.solve model jobs in
-    let avr = Avr.run model jobs in
-    let oa = Optimal_available.run model jobs in
+    let triples = List.stable_sort (fun (r1, _, _) (r2, _, _) -> compare r1 r2) triples in
+    let inst = Instance.of_pairs (List.map (fun (r, _, w) -> (r, w)) triples) in
+    let deadlines = Array.of_list (List.map (fun (_, d, _) -> d) triples) in
+    let problem =
+      Problem.make ~objective:Problem.Deadline_energy ~mode:Problem.Feasible ~alpha ~deadlines ()
+    in
+    let energy_of solver = (Engine.solve solver problem inst).Solve_result.value in
+    let yds = energy_of "yds" in
+    let avr = energy_of "avr" in
+    let oa = energy_of "optimal-available" in
     Printf.printf "n=%d deadline jobs (seed %d)\n" n seed;
-    Printf.printf "YDS (offline optimal) energy: %.6g\n" yds.Yds.energy;
-    Printf.printf "AVR energy: %.6g (ratio %.4f, bound %g)\n" avr.Avr.energy
-      (avr.Avr.energy /. yds.Yds.energy)
+    Printf.printf "YDS (offline optimal) energy: %.6g\n" yds;
+    Printf.printf "AVR energy: %.6g (ratio %.4f, bound %g)\n" avr (avr /. yds)
       (Compete.avr_bound ~alpha);
-    Printf.printf "OA  energy: %.6g (ratio %.4f, bound %g)\n" oa.Optimal_available.energy
-      (oa.Optimal_available.energy /. yds.Yds.energy)
-      (Compete.oa_bound ~alpha)
+    Printf.printf "OA  energy: %.6g (ratio %.4f, bound %g)\n" oa (oa /. yds)
+      (Compete.oa_bound ~alpha);
+    `Ok ()
   in
   let n = Arg.(value & opt int 12 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of jobs.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "deadline" ~doc:"Deadline scheduling: YDS vs the online AVR / OA algorithms.")
-    Term.(const run $ obs_term $ alpha_term $ n $ seed)
+    Term.(ret (const run $ obs_term $ alpha_term $ n $ seed))
 
 let maxflow_cmd =
   let run obs alpha inst energy m gantt =
+    wrap_errors @@ fun () ->
     with_obs obs "maxflow" @@ fun () ->
-    let model = model_of_alpha alpha in
-    let f, schedule =
-      if m <= 1 then Max_flow.solve model ~energy inst else Max_flow.solve_multi model ~m ~energy inst
+    let solver = if m <= 1 then "max-flow" else "max-flow-cyclic" in
+    let r =
+      Engine.solve solver
+        (budget_problem ~procs:(Stdlib.max 1 m) ~objective:Problem.Max_flow ~alpha energy)
+        inst
     in
-    Printf.printf "# minimum worst-case flow: %.8g\n" f;
-    print_schedule model ~gantt schedule
+    Printf.printf "# minimum worst-case flow: %.8g\n" r.Solve_result.value;
+    print_schedule (model_of_alpha alpha) ~gantt (schedule_of_result r);
+    `Ok ()
   in
   let m = Arg.(value & opt int 1 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
   Cmd.v
     (Cmd.info "maxflow" ~doc:"Minimize the worst response time within an energy budget (YDS duality).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag))
 
 let discrete_cmd =
+  (* stays on the concrete module: the per-job two-level segment plans
+     it prints are richer than a Solve_result schedule can carry (the
+     registry's "discrete-makespan" solver reports value/energy only) *)
   let run obs alpha inst energy levels =
+    wrap_errors @@ fun () ->
     with_obs obs "discrete" @@ fun () ->
     let model = model_of_alpha alpha in
     let levels =
-      Discrete_levels.create (List.map float_of_string (String.split_on_char ',' levels))
+      Discrete_levels.create (List.map (parse_float "level") (String.split_on_char ',' levels))
     in
     let d = Discrete_makespan.solve model levels ~energy inst in
     Printf.printf "# makespan %.8g using energy %.8g (budget %g)\n" d.Discrete_makespan.makespan
@@ -337,7 +436,8 @@ let discrete_cmd =
             Printf.printf " [%g,%g]@%g" s.Speed_profile.t0 s.Speed_profile.t1 s.Speed_profile.speed)
           p.Discrete_makespan.segments;
         print_newline ())
-      d.Discrete_makespan.plans
+      d.Discrete_makespan.plans;
+    `Ok ()
   in
   let levels =
     Arg.(
@@ -346,10 +446,11 @@ let discrete_cmd =
   in
   Cmd.v
     (Cmd.info "discrete" ~doc:"Laptop problem on a processor with discrete speed levels.")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ levels))
 
 let precedence_cmd =
   let run obs alpha energy m n seed layers prob =
+    wrap_errors @@ fun () ->
     with_obs obs "precedence" @@ fun () ->
     let dag = Dag.random ~seed ~n ~layers ~edge_prob:prob ~work_range:(0.5, 2.5) in
     Printf.printf "random DAG: n=%d total work %.2f critical path %.2f\n" n (Dag.total_work dag)
@@ -358,7 +459,8 @@ let precedence_cmd =
     let b = Precedence.critical_boost ~alpha ~m ~energy dag in
     Printf.printf "uniform makespan:  %.6g\n" u.Precedence.makespan;
     Printf.printf "boosted makespan:  %.6g\n" b.Precedence.makespan;
-    Printf.printf "lower bound:       %.6g\n" (Precedence.lower_bound ~alpha ~m ~energy dag)
+    Printf.printf "lower bound:       %.6g\n" (Precedence.lower_bound ~alpha ~m ~energy dag);
+    `Ok ()
   in
   let m = Arg.(value & opt int 3 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
   let n = Arg.(value & opt int 16 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of tasks.") in
@@ -367,26 +469,159 @@ let precedence_cmd =
   let prob = Arg.(value & opt float 0.4 & info [ "edge-prob" ] ~docv:"P" ~doc:"Edge probability.") in
   Cmd.v
     (Cmd.info "precedence" ~doc:"Power-aware makespan with precedence constraints (heuristics + bounds).")
-    Term.(const run $ obs_term $ alpha_term $ energy_term $ m $ n $ seed $ layers $ prob)
+    Term.(ret (const run $ obs_term $ alpha_term $ energy_term $ m $ n $ seed $ layers $ prob))
 
 let thermal_cmd =
   let run obs alpha inst energy heating cooling =
+    wrap_errors @@ fun () ->
     with_obs obs "thermal" @@ fun () ->
     let model = model_of_alpha alpha in
-    let plan = Incmerge.solve model ~energy inst in
+    let plan =
+      schedule_of_result
+        (Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
+    in
     let profile = Schedule.profile_of_proc plan 0 in
     Printf.printf "# peak temperature %.6g (heating %g, cooling %g)\n"
       (Thermal.max_temperature model ~heating ~cooling profile)
       heating cooling;
     List.iter
       (fun s -> Printf.printf "%g\t%g\n" s.Thermal.time s.Thermal.temperature)
-      (Thermal.trace model ~heating ~cooling profile)
+      (Thermal.trace model ~heating ~cooling profile);
+    `Ok ()
   in
   let heating = Arg.(value & opt float 1.0 & info [ "heating" ] ~docv:"A" ~doc:"Heating coefficient.") in
   let cooling = Arg.(value & opt float 0.5 & info [ "cooling" ] ~docv:"B" ~doc:"Cooling coefficient.") in
   Cmd.v
     (Cmd.info "thermal" ~doc:"Temperature trace of the optimal plan (Newton cooling).")
-    Term.(const run $ obs_term $ alpha_term $ instance_term $ energy_term $ heating $ cooling)
+    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ heating $ cooling))
+
+(* ---------- the generic registry front end ---------- *)
+
+let solve_cmd =
+  let run obs list_solvers solver objective pareto target energy procs alpha cap levels weights
+      deadlines points gantt inst =
+    wrap_errors @@ fun () ->
+    with_obs obs "solve" @@ fun () ->
+    if list_solvers then begin
+      List.iter
+        (fun s ->
+          Printf.printf "%-18s %s  %s\n" (Engine.name_of s)
+            (Capability.to_string (Engine.capability_of s))
+            (Engine.doc_of s))
+        (Engine.all ());
+      `Ok ()
+    end
+    else begin
+      match Problem.objective_of_string objective with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown objective %S (one of: %s)" objective
+              (String.concat ", " (List.map Problem.objective_to_string Problem.all_objectives)) )
+      | Some obj ->
+        let mode =
+          if pareto then Problem.Pareto
+          else
+            match (target, obj) with
+            | Some t, _ -> Problem.Target t
+            | None, Problem.Deadline_energy -> Problem.Feasible
+            | None, _ -> Problem.Budget energy
+        in
+        let parse_floats what s = List.map (parse_float what) (String.split_on_char ',' s) in
+        let problem =
+          Problem.make ~procs ?speed_cap:cap
+            ?levels:(Option.map (parse_floats "level") levels)
+            ?weights:(Option.map (fun s -> Array.of_list (parse_floats "weight" s)) weights)
+            ?deadlines:(Option.map (fun s -> Array.of_list (parse_floats "deadline" s)) deadlines)
+            ~objective:obj ~mode ~alpha ()
+        in
+        let r =
+          match solver with
+          | Some name -> Engine.solve name problem inst
+          | None -> Engine.solve_auto problem inst
+        in
+        (match r.Solve_result.pareto with
+        | Some p ->
+          Printf.printf "# solver %s (%s)\n" r.Solve_result.solver (Problem.to_string problem);
+          Printf.printf "# breakpoints: %s\n"
+            (String.concat ", " (List.map (Printf.sprintf "%g") p.Solve_result.breakpoints));
+          let bps = p.Solve_result.breakpoints in
+          let lo = match bps with b :: _ -> b *. 0.75 | [] -> 1.0 in
+          let hi = (match List.rev bps with b :: _ -> b *. 1.25 | [] -> 10.0) in
+          print_string
+            (Render.series_tsv
+               ~header:("energy", Problem.objective_to_string obj)
+               (p.Solve_result.sample ~lo ~hi ~n:points))
+        | None ->
+          Printf.printf "# %s\n" (Solve_result.summary r);
+          List.iter
+            (fun (k, v) -> Printf.printf "# %s = %.8g\n" k v)
+            r.Solve_result.diagnostics;
+          (match r.Solve_result.schedule with
+          | Some s -> print_schedule (model_of_alpha alpha) ~gantt s
+          | None -> ()));
+        `Ok ()
+    end
+  in
+  let list_solvers =
+    Arg.(value & flag & info [ "list-solvers" ] ~doc:"List registered solvers with their capabilities and exit.")
+  in
+  let solver =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "solver" ] ~docv:"NAME"
+          ~doc:"Solver to use (see --list-solvers); default: first registered solver whose capability accepts the problem, exact solvers first.")
+  in
+  let objective =
+    Arg.(
+      value & opt string "makespan"
+      & info [ "objective"; "o" ] ~docv:"OBJ" ~doc:"makespan | flow | maxflow | wflow | deadline.")
+  in
+  let pareto =
+    Arg.(value & flag & info [ "pareto" ] ~doc:"Compute the whole energy/objective trade-off curve.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target" ] ~docv:"T" ~doc:"Server mode: minimize energy for this objective target.")
+  in
+  let procs =
+    Arg.(value & opt int 1 & info [ "procs"; "m" ] ~docv:"M" ~doc:"Number of processors.")
+  in
+  let cap =
+    Arg.(value & opt (some float) None & info [ "cap" ] ~docv:"S" ~doc:"Maximum processor speed.")
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "levels" ] ~docv:"S1,S2,.." ~doc:"Discrete speed levels.")
+  in
+  let weights =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "weights" ] ~docv:"W1,W2,.." ~doc:"Per-job weights, release order (wflow).")
+  in
+  let deadlines =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadlines" ] ~docv:"D1,D2,.." ~doc:"Per-job deadlines, release order (deadline).")
+  in
+  let points =
+    Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc:"Curve samples in --pareto mode.")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve any registered problem class through the pasched.engine solver registry.")
+    Term.(
+      ret
+        (const run $ obs_term $ list_solvers $ solver $ objective $ pareto $ target $ energy_term
+        $ procs $ alpha_term $ cap $ levels $ weights $ deadlines $ points $ gantt_flag
+        $ instance_term))
 
 let fuzz_cmd =
   let run obs seed runs props list_props replay =
@@ -451,5 +686,5 @@ let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
   let info = Cmd.info "pasched" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd; workload_cmd;
-      deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]))
+    [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
+      workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]))

@@ -1,0 +1,95 @@
+open Oracle
+
+(* Two exact solvers on the same problem class are compared to a looser
+   tolerance than the hand-written oracles: the pairs mix closed forms
+   with one-dimensional root finds (e.g. frontier vs brute, cyclic vs
+   exhaustive), whose agreed tolerance is the solvers' own eps. *)
+let tol = 1e-5
+
+let common_release_view c =
+  match Array.to_list (Instance.jobs c.inst) with
+  | [] -> c
+  | jobs -> { c with inst = Instance.of_pairs (List.map (fun (j : Job.t) -> (0.0, j.Job.work)) jobs) }
+
+let requirement_max_jobs reqs =
+  List.fold_left
+    (fun acc r -> match r with Capability.Max_jobs k -> Stdlib.min acc k | _ -> acc)
+    max_int reqs
+
+(* Project the generated case into the intersection of both solvers'
+   requirement lists, and bound exhaustive searches to fuzz-friendly
+   sizes (assignment search is m^n: mirror the hand-written
+   multi_cyclic_vs_brute sizes). *)
+let project reqs ~procs c =
+  let c = if List.mem Capability.Equal_work reqs then equal_work_view c else c in
+  let c = if List.mem Capability.Common_release reqs then common_release_view c else c in
+  let cap = requirement_max_jobs reqs in
+  let cap = if cap <= 10 && procs > 1 then Stdlib.min cap (if procs <= 2 then 6 else 5) else cap in
+  if cap = max_int then c else truncate cap c
+
+let check_valid what inst ~budget ~alpha = function
+  | None -> Pass
+  | Some s -> (
+    match Validate.check_with_budget (Power_model.alpha alpha) ~budget inst s with
+    | Ok () -> Pass
+    | Error vs ->
+      Fail (Printf.sprintf "%s: %s" what (String.concat "; " (List.map Validate.to_string vs))))
+
+let pair_property (a, b) =
+  let ca = Engine.capability_of a and cb = Engine.capability_of b in
+  let name = Printf.sprintf "engine:%s~%s" (Engine.name_of a) (Engine.name_of b) in
+  let doc =
+    Printf.sprintf "registry-derived: %s and %s agree on their common %s class" (Engine.name_of a)
+      (Engine.name_of b)
+      (Problem.objective_to_string ca.Capability.objective)
+  in
+  let reqs = ca.Capability.requires @ cb.Capability.requires in
+  let uni_only s = s.Capability.settings = Capability.Uni_only in
+  let run c =
+    let procs = if uni_only ca || uni_only cb then 1 else 1 + (c.m mod 3) in
+    let c = project reqs ~procs c in
+    if Instance.is_empty c.inst then Skip "empty instance after projection"
+    else begin
+      let problem =
+        Problem.make ~procs ~objective:ca.Capability.objective ~mode:(Problem.Budget c.energy)
+          ~alpha:c.alpha ()
+      in
+      let accepts s =
+        match Capability.accepts (Engine.capability_of s) problem c.inst with
+        | Ok () -> None
+        | Error why -> Some why
+      in
+      match (accepts a, accepts b) with
+      | Some why, _ -> Skip (Printf.sprintf "%s: %s" (Engine.name_of a) why)
+      | _, Some why -> Skip (Printf.sprintf "%s: %s" (Engine.name_of b) why)
+      | None, None ->
+        let ra = Engine.solve_with a problem c.inst in
+        let rb = Engine.solve_with b problem c.inst in
+        let va = ra.Solve_result.value and vb = rb.Solve_result.value in
+        if not (close ~tol va vb) then
+          fail_eq (Printf.sprintf "%s vs %s" (Engine.name_of a) (Engine.name_of b)) ~expected:va
+            ~got:vb
+        else begin
+          match
+            check_valid
+              (Engine.name_of a ^ " schedule")
+              c.inst ~budget:c.energy ~alpha:c.alpha ra.Solve_result.schedule
+          with
+          | Pass ->
+            check_valid
+              (Engine.name_of b ^ " schedule")
+              c.inst ~budget:c.energy ~alpha:c.alpha rb.Solve_result.schedule
+          | fail -> fail
+        end
+    end
+  in
+  { name; doc; run }
+
+let registered_derived = ref false
+
+let register_all () =
+  if not !registered_derived then begin
+    registered_derived := true;
+    Builtin.init ();
+    List.iter (fun pair -> Oracle.register (pair_property pair)) (Engine.differential_pairs ())
+  end

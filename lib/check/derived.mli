@@ -1,0 +1,21 @@
+(** Differential fuzz properties derived from the {!Engine} registry.
+
+    Any two registered {e exact} solvers claiming the same problem
+    class (same objective, overlapping processor setting, a shared
+    budget mode) must agree on every instance satisfying both of their
+    requirement lists — {!Engine.differential_pairs} enumerates exactly
+    those pairs, and this module registers one property per pair into
+    the {!Oracle} registry, named [engine:<a>~<b>].
+
+    Each property projects the generated case into the pair's common
+    class (equal works, common release, size bound), runs both solvers
+    on the identical {!Problem.t}, compares objective values, and
+    validates any returned schedules against the budget.  Registering a
+    new solver therefore buys its differential tests for free; the 12
+    hand-written properties in {!Properties} remain as the golden
+    subset. *)
+
+val register_all : unit -> unit
+(** Register one property per derived pair (idempotent).  Called by
+    [Properties] at initialization so every consumer of the oracle
+    registry sees golden and derived properties together. *)

@@ -1,0 +1,16 @@
+(** Registration of every solver in [lib/core] and [lib/deadline] into
+    the {!Engine} registry.
+
+    Each registration is a small adapter: it extracts the parameters its
+    algorithm needs from the {!Problem.t} (the capability has already
+    guaranteed they are present and the instance is in the algorithm's
+    class) and packages the output as a {!Solve_result.t}.  Adding a new
+    solver to the system means adding one such block here — the CLI
+    [solve] subcommand, the capability-derived fuzz oracles, the bench
+    enumeration and the [Obs] spans all follow from the registration. *)
+
+val init : unit -> unit
+(** Register all built-in solvers.  Idempotent; every consumer of
+    {!Engine} calls this first (module initialization order makes a
+    top-level registration side effect unreliable under [dune]'s
+    dead-module elimination, so registration is explicit). *)

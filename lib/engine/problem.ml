@@ -1,0 +1,61 @@
+type objective = Makespan | Total_flow | Max_flow | Weighted_flow | Deadline_energy
+
+type mode = Budget of float | Target of float | Pareto | Feasible
+
+type t = {
+  objective : objective;
+  procs : int;
+  mode : mode;
+  alpha : float;
+  speed_cap : float option;
+  levels : float list option;
+  weights : float array option;
+  deadlines : float array option;
+}
+
+let check_positive what v =
+  if not (Float.is_finite v && v > 0.0) then
+    invalid_arg (Printf.sprintf "Problem.make: %s must be positive and finite, got %g" what v)
+
+let make ?(procs = 1) ?speed_cap ?levels ?weights ?deadlines ~objective ~mode ~alpha () =
+  if not (Float.is_finite alpha && alpha > 1.0) then
+    invalid_arg
+      (Printf.sprintf "Problem.make: alpha must exceed 1 (P = speed^alpha is convex only for alpha > 1), got %g" alpha);
+  if procs < 1 then invalid_arg (Printf.sprintf "Problem.make: procs must be >= 1, got %d" procs);
+  (match mode with
+  | Budget e -> check_positive "energy budget" e
+  | Target v -> check_positive "target" v
+  | Pareto | Feasible -> ());
+  Option.iter (check_positive "speed cap") speed_cap;
+  (match levels with
+  | Some [] -> invalid_arg "Problem.make: empty level set"
+  | Some ls -> List.iter (check_positive "speed level") ls
+  | None -> ());
+  Option.iter (Array.iter (check_positive "weight")) weights;
+  Option.iter (Array.iter (check_positive "deadline")) deadlines;
+  { objective; procs; mode; alpha; speed_cap; levels; weights; deadlines }
+
+let objective_to_string = function
+  | Makespan -> "makespan"
+  | Total_flow -> "flow"
+  | Max_flow -> "maxflow"
+  | Weighted_flow -> "wflow"
+  | Deadline_energy -> "deadline"
+
+let all_objectives = [ Makespan; Total_flow; Max_flow; Weighted_flow; Deadline_energy ]
+
+let objective_of_string s =
+  List.find_opt (fun o -> objective_to_string o = s) all_objectives
+
+let mode_to_string = function
+  | Budget e -> Printf.sprintf "budget %g" e
+  | Target v -> Printf.sprintf "target %g" v
+  | Pareto -> "pareto"
+  | Feasible -> "feasible"
+
+let to_string t =
+  Printf.sprintf "%s/%d-proc%s/%s" (objective_to_string t.objective) t.procs
+    (if t.procs = 1 then "" else "s")
+    (mode_to_string t.mode)
+
+let model t = Power_model.alpha t.alpha

@@ -1,0 +1,29 @@
+type pareto = {
+  breakpoints : float list;
+  value_at : float -> float;
+  sample : lo:float -> hi:float -> n:int -> (float * float) list;
+}
+
+type t = {
+  solver : string;
+  problem : Problem.t;
+  schedule : Schedule.t option;
+  value : float;
+  energy : float;
+  pareto : pareto option;
+  diagnostics : (string * float) list;
+}
+
+let diag t name = List.assoc_opt name t.diagnostics
+
+let summary t =
+  match t.pareto with
+  | Some p ->
+    Printf.sprintf "%s %s: %d breakpoint(s)" t.solver
+      (Problem.to_string t.problem)
+      (List.length p.breakpoints)
+  | None ->
+    Printf.sprintf "%s %s: %s = %.8g, energy = %.8g" t.solver
+      (Problem.to_string t.problem)
+      (Problem.objective_to_string t.problem.Problem.objective)
+      t.value t.energy

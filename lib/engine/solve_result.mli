@@ -1,0 +1,36 @@
+(** The uniform return type of every registered solver.
+
+    A result always carries the objective value and the energy actually
+    used; it carries a concrete {!Schedule.t} when the solver produces
+    the paper's nonpreemptive single-speed form (preemptive YDS traces
+    and two-speed discrete emulations return [None] and report through
+    [value]/[diagnostics] instead), and a {!pareto} bundle when the
+    problem asked for the whole trade-off curve. *)
+
+type pareto = {
+  breakpoints : float list;
+      (** budgets where the optimal configuration changes, increasing *)
+  value_at : float -> float;  (** optimal objective value at a budget *)
+  sample : lo:float -> hi:float -> n:int -> (float * float) list;
+      (** (energy, value) samples across a budget range *)
+}
+
+type t = {
+  solver : string;  (** registry name of the producing solver *)
+  problem : Problem.t;
+  schedule : Schedule.t option;
+  value : float;
+      (** objective value: makespan / flow / max flow / weighted flow /
+          energy (deadline mode); [nan] in Pareto mode — read {!pareto} *)
+  energy : float;  (** energy consumed by the returned solution *)
+  pareto : pareto option;
+  diagnostics : (string * float) list;
+      (** solver-specific extras (e.g. [last_speed] for the flow
+          solvers, [min_energy] for the server projection) *)
+}
+
+val diag : t -> string -> float option
+(** Look up a diagnostic by name. *)
+
+val summary : t -> string
+(** One-line human-readable summary. *)

@@ -83,8 +83,18 @@ let test_gen_combinators () =
 
 let test_registry () =
   let names = List.map (fun p -> p.Oracle.name) (Properties.registered ()) in
-  check_int "twelve properties" 12 (List.length names);
-  check_bool "unique names" true (List.length (List.sort_uniq compare names) = 12);
+  (* 12 golden hand-written properties, then the engine-derived
+     differential pairs *)
+  check_bool "at least twelve properties" true (List.length names >= 12);
+  let golden, derived =
+    List.partition (fun n -> not (String.length n >= 7 && String.sub n 0 7 = "engine:")) names
+  in
+  check_int "twelve golden properties" 12 (List.length golden);
+  check_bool "derived pair properties present" true (derived <> []);
+  check_bool "golden properties listed first" true
+    (List.filteri (fun i _ -> i < 12) names = golden);
+  check_bool "unique names" true
+    (List.length (List.sort_uniq compare names) = List.length names);
   check_bool "find known" true (Oracle.find "incmerge_vs_brute" <> None);
   check_bool "find unknown" true (Oracle.find "no_such_prop" = None)
 

@@ -1,0 +1,330 @@
+(* Tests for the pasched.engine solver registry: the capability sweep
+   (every registered solver, run on a capability-matched generated
+   instance, returns a result whose schedule validates and whose
+   energy respects the budget), enforcement of declared capabilities
+   (equal-work-only solvers reject unequal works, size-bounded solvers
+   reject oversized instances, uniprocessor solvers reject procs > 1),
+   Problem.make boundary validation, and registry mechanics
+   (duplicate registration, lookup, differential-pair derivation). *)
+
+let () = Builtin.init ()
+
+let alpha = 3.0
+let tol = 1e-6
+
+let requires cap r = List.mem r cap.Capability.requires
+
+let max_jobs cap =
+  List.fold_left
+    (fun acc -> function Capability.Max_jobs k -> Stdlib.min acc k | _ -> acc)
+    max_int cap.Capability.requires
+
+(* a capability-matched (problem, instance) pair for a solver — the
+   same derivation the bench registry section uses *)
+let case_for solver =
+  let cap = Engine.capability_of solver in
+  let procs = match cap.Capability.settings with Capability.Uni_only -> 1 | _ -> 2 in
+  let n = Stdlib.min (if procs > 1 then 6 else 16) (max_jobs cap) in
+  let inst =
+    if requires cap Capability.Equal_work then
+      Workload.equal_work ~seed:23 ~n ~work:1.0 (Workload.Poisson 1.0)
+    else Workload.uniform_work ~seed:23 ~n ~lo:0.5 ~hi:2.0 (Workload.Poisson 1.0)
+  in
+  let inst =
+    if requires cap Capability.Common_release then
+      Instance.of_pairs
+        (Array.to_list (Array.map (fun (j : Job.t) -> (0.0, j.Job.work)) (Instance.jobs inst)))
+    else inst
+  in
+  let energy = 1.5 *. float_of_int n in
+  let mode =
+    match cap.Capability.modes with
+    | Capability.Target_mode :: _ ->
+      Problem.Target (Incmerge.makespan (Power_model.alpha alpha) ~energy inst)
+    | Capability.Feasible_mode :: _ -> Problem.Feasible
+    | _ -> Problem.Budget energy
+  in
+  let speed_cap = if requires cap Capability.Needs_speed_cap then Some 2.0 else None in
+  let levels =
+    if requires cap Capability.Needs_levels then
+      Some (List.init 8 (fun i -> 0.5 *. float_of_int (i + 1)))
+    else None
+  in
+  let n_inst = Array.length (Instance.jobs inst) in
+  let weights =
+    if requires cap Capability.Needs_weights then
+      Some (Array.init n_inst (fun i -> 1.0 +. float_of_int (i mod 3)))
+    else None
+  in
+  let deadlines =
+    if requires cap Capability.Needs_deadlines then
+      Some (Array.map (fun (j : Job.t) -> j.Job.release +. (3.0 *. j.Job.work)) (Instance.jobs inst))
+    else None
+  in
+  let problem =
+    Problem.make ~procs ?speed_cap ?levels ?weights ?deadlines
+      ~objective:cap.Capability.objective ~mode ~alpha ()
+  in
+  (problem, inst)
+
+(* ---------------------------------------------------------------- *)
+(* sweep: every registered solver solves its own capability class *)
+
+let check_result solver problem inst (r : Solve_result.t) =
+  let name = Engine.name_of solver in
+  Alcotest.(check string) (name ^ ": result names its solver") name r.Solve_result.solver;
+  Alcotest.(check bool)
+    (name ^ ": objective value is finite")
+    true
+    (Float.is_finite r.Solve_result.value);
+  Alcotest.(check bool)
+    (name ^ ": value is positive")
+    true (r.Solve_result.value > 0.0);
+  Alcotest.(check bool)
+    (name ^ ": energy is finite and positive")
+    true
+    (Float.is_finite r.Solve_result.energy && r.Solve_result.energy > 0.0);
+  (match problem.Problem.mode with
+  | Problem.Budget budget ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: energy %.6f within budget %.6f" name r.Solve_result.energy budget)
+      true
+      (r.Solve_result.energy <= (budget *. (1.0 +. tol)) +. tol)
+  | _ -> ());
+  match r.Solve_result.schedule with
+  | None -> ()
+  | Some sched -> (
+    let budget =
+      match problem.Problem.mode with
+      | Problem.Budget e -> e
+      | _ -> Schedule.energy (Problem.model problem) sched *. (1.0 +. tol)
+    in
+    match Validate.check_with_budget (Problem.model problem) ~budget inst sched with
+    | Ok () -> ()
+    | Error vs ->
+      Alcotest.fail
+        (Printf.sprintf "%s: schedule fails validation: %s" name
+           (String.concat "; " (List.map Validate.to_string vs))))
+
+let test_sweep () =
+  let solvers = Engine.all () in
+  Alcotest.(check bool)
+    (Printf.sprintf "registry has >= 12 solvers (got %d)" (List.length solvers))
+    true
+    (List.length solvers >= 12);
+  List.iter
+    (fun solver ->
+      let problem, inst = case_for solver in
+      (match Capability.accepts (Engine.capability_of solver) problem inst with
+      | Ok () -> ()
+      | Error why ->
+        Alcotest.fail
+          (Printf.sprintf "%s rejects its own capability-matched case: %s" (Engine.name_of solver)
+             why));
+      check_result solver problem inst (Engine.solve_with solver problem inst))
+    solvers
+
+(* ---------------------------------------------------------------- *)
+(* capability enforcement: mismatched calls raise Invalid_argument
+   before the solver runs *)
+
+let expect_invalid what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+
+let unequal_inst = Instance.of_pairs [ (0.0, 5.0); (1.0, 2.0); (2.0, 1.0) ]
+
+let test_equal_work_enforced () =
+  let checked = ref 0 in
+  List.iter
+    (fun solver ->
+      let cap = Engine.capability_of solver in
+      if requires cap Capability.Equal_work then begin
+        incr checked;
+        let procs = match cap.Capability.settings with Capability.Uni_only -> 1 | _ -> 2 in
+        let problem =
+          Problem.make ~procs ~objective:cap.Capability.objective ~mode:(Problem.Budget 10.0)
+            ~alpha ()
+        in
+        expect_invalid
+          (Engine.name_of solver ^ " on unequal works")
+          (fun () -> Engine.solve_with solver problem unequal_inst)
+      end)
+    (Engine.all ());
+  Alcotest.(check bool) "at least 4 equal-work-only solvers exist" true (!checked >= 4)
+
+let test_max_jobs_enforced () =
+  List.iter
+    (fun solver ->
+      let cap = Engine.capability_of solver in
+      let bound = max_jobs cap in
+      if bound < max_int then begin
+        let n = bound + 1 in
+        let inst = Workload.equal_work ~seed:3 ~n ~work:1.0 (Workload.Poisson 1.0) in
+        let procs = match cap.Capability.settings with Capability.Uni_only -> 1 | _ -> 2 in
+        let problem =
+          Problem.make ~procs ~objective:cap.Capability.objective ~mode:(Problem.Budget 10.0)
+            ~alpha ()
+        in
+        expect_invalid
+          (Printf.sprintf "%s on %d > %d jobs" (Engine.name_of solver) n bound)
+          (fun () -> Engine.solve_with solver problem inst)
+      end)
+    (Engine.all ())
+
+let test_uni_only_enforced () =
+  List.iter
+    (fun solver ->
+      let cap = Engine.capability_of solver in
+      if cap.Capability.settings = Capability.Uni_only
+         && List.mem Capability.Budget_mode cap.Capability.modes
+      then begin
+        let inst = Workload.equal_work ~seed:3 ~n:4 ~work:1.0 (Workload.Poisson 1.0) in
+        let problem =
+          Problem.make ~procs:2 ~objective:cap.Capability.objective ~mode:(Problem.Budget 10.0)
+            ~alpha ()
+        in
+        expect_invalid
+          (Engine.name_of solver ^ " with procs = 2")
+          (fun () -> Engine.solve_with solver problem inst)
+      end)
+    (Engine.all ())
+
+let test_missing_param_enforced () =
+  (* a solver requiring weights/levels/deadlines/speed-cap must reject
+     a problem that does not carry the parameter *)
+  List.iter
+    (fun solver ->
+      let cap = Engine.capability_of solver in
+      let needs_param =
+        List.exists
+          (function
+            | Capability.Needs_speed_cap | Capability.Needs_levels | Capability.Needs_weights
+            | Capability.Needs_deadlines ->
+              true
+            | _ -> false)
+          cap.Capability.requires
+      in
+      if needs_param then begin
+        let inst = Workload.equal_work ~seed:3 ~n:4 ~work:1.0 (Workload.Poisson 1.0) in
+        let inst =
+          if requires cap Capability.Common_release then
+            Instance.of_pairs
+              (Array.to_list
+                 (Array.map (fun (j : Job.t) -> (0.0, j.Job.work)) (Instance.jobs inst)))
+          else inst
+        in
+        let mode =
+          match cap.Capability.modes with
+          | Capability.Feasible_mode :: _ -> Problem.Feasible
+          | _ -> Problem.Budget 10.0
+        in
+        let problem = Problem.make ~objective:cap.Capability.objective ~mode ~alpha () in
+        expect_invalid
+          (Engine.name_of solver ^ " without its required parameter")
+          (fun () -> Engine.solve_with solver problem inst)
+      end)
+    (Engine.all ())
+
+(* ---------------------------------------------------------------- *)
+(* Problem.make boundary validation (the CLI converter mirrors this) *)
+
+let test_problem_validation () =
+  let mk ?procs ?(mode = Problem.Budget 10.0) alpha () =
+    Problem.make ?procs ~objective:Problem.Makespan ~mode ~alpha ()
+  in
+  expect_invalid "alpha = 1" (fun () -> mk 1.0 ());
+  expect_invalid "alpha = 0.5" (fun () -> mk 0.5 ());
+  expect_invalid "alpha = -3" (fun () -> mk (-3.0) ());
+  expect_invalid "procs = 0" (fun () -> mk ~procs:0 3.0 ());
+  expect_invalid "budget = 0" (fun () -> mk ~mode:(Problem.Budget 0.0) 3.0 ());
+  expect_invalid "negative target" (fun () -> mk ~mode:(Problem.Target (-1.0)) 3.0 ());
+  ignore (mk 1.0000001 () : Problem.t);
+  ignore (mk ~procs:4 3.0 () : Problem.t)
+
+(* ---------------------------------------------------------------- *)
+(* registry mechanics *)
+
+let test_duplicate_registration () =
+  let dup =
+    (module struct
+      let name = "incmerge"
+      let doc = "imposter"
+      let capability =
+        {
+          Capability.objective = Problem.Makespan;
+          settings = Capability.Uni_only;
+          modes = [ Capability.Budget_mode ];
+          exact = true;
+          requires = [];
+        }
+      let solve _ _ = Alcotest.fail "imposter solver must never run"
+    end : Engine.SOLVER)
+  in
+  expect_invalid "duplicate registration" (fun () -> Engine.register dup)
+
+let test_lookup () =
+  expect_invalid "unknown solver" (fun () ->
+      Engine.solve "no-such-solver"
+        (Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget 10.0) ~alpha ())
+        Instance.figure1);
+  Alcotest.(check bool) "find incmerge" true (Engine.find "incmerge" <> None);
+  Alcotest.(check bool) "find unknown" true (Engine.find "no-such-solver" = None);
+  let problem = Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget 12.0) ~alpha () in
+  let supporting = List.map Engine.name_of (Engine.supporting problem Instance.figure1) in
+  Alcotest.(check bool) "incmerge supports figure1 makespan" true (List.mem "incmerge" supporting);
+  Alcotest.(check bool) "flow does not support a makespan problem" true
+    (not (List.mem "flow" supporting));
+  let r = Engine.solve_auto problem Instance.figure1 in
+  let direct = Engine.solve "incmerge" problem Instance.figure1 in
+  Alcotest.(check (float 1e-9)) "solve_auto routes to the first exact solver"
+    direct.Solve_result.value r.Solve_result.value
+
+let test_differential_pairs () =
+  let pairs = Engine.differential_pairs () in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10 derived pairs (got %d)" (List.length pairs))
+    true
+    (List.length pairs >= 10);
+  List.iter
+    (fun (a, b) ->
+      let ca = Engine.capability_of a and cb = Engine.capability_of b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s~%s: both exact" (Engine.name_of a) (Engine.name_of b))
+        true
+        (ca.Capability.exact && cb.Capability.exact);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s~%s: same objective" (Engine.name_of a) (Engine.name_of b))
+        true
+        (ca.Capability.objective = cb.Capability.objective))
+    pairs;
+  (* the canonical Section 3 pair is derived *)
+  let names = List.map (fun (a, b) -> (Engine.name_of a, Engine.name_of b)) pairs in
+  Alcotest.(check bool) "incmerge~brute derived" true
+    (List.mem ("incmerge", "brute") names || List.mem ("brute", "incmerge") names)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "sweep",
+        [ Alcotest.test_case "every solver solves its capability class" `Quick test_sweep ] );
+      ( "capabilities",
+        [
+          Alcotest.test_case "equal-work-only solvers reject unequal works" `Quick
+            test_equal_work_enforced;
+          Alcotest.test_case "size-bounded solvers reject oversized instances" `Quick
+            test_max_jobs_enforced;
+          Alcotest.test_case "uniprocessor solvers reject procs > 1" `Quick test_uni_only_enforced;
+          Alcotest.test_case "parameter-requiring solvers reject bare problems" `Quick
+            test_missing_param_enforced;
+        ] );
+      ( "problem",
+        [ Alcotest.test_case "Problem.make boundary validation" `Quick test_problem_validation ] );
+      ( "registry",
+        [
+          Alcotest.test_case "duplicate registration rejected" `Quick test_duplicate_registration;
+          Alcotest.test_case "lookup, supporting, solve_auto" `Quick test_lookup;
+          Alcotest.test_case "differential pairs derived" `Quick test_differential_pairs;
+        ] );
+    ]

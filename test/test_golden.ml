@@ -1,0 +1,183 @@
+(* Byte-identical CLI output lock (the refactor contract of the engine
+   registry): every pre-existing subcommand, run on its historical
+   arguments, must reproduce the stdout captured before the
+   subcommands became registry lookups.  The captures live in
+   test/golden/*.txt.
+
+   Two fuzz captures get special treatment because the registry now
+   appends derived differential properties after the 12 hand-written
+   ones: `fuzz --list` is checked to start with the golden listing as
+   a prefix, and the campaign golden is reproduced by naming the 12
+   golden properties explicitly with --prop. *)
+
+let exe =
+  (* under `dune runtest` the cwd is _build/default/test (the CLI is a
+     declared dep); under `dune exec` it is the project root *)
+  let candidates =
+    [
+      Filename.concat Filename.parent_dir_name "bin/pasched.exe";
+      Filename.concat "_build/default/bin" "pasched.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "pasched.exe not found next to the test"
+
+let golden name =
+  let candidates = [ Filename.concat "golden" name; Filename.concat "test/golden" name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("golden capture not found: " ^ name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* run the CLI, returning (exit code, stdout, stderr) *)
+let run_cli args =
+  let out = Filename.temp_file "pasched_golden" ".out" in
+  let err = Filename.temp_file "pasched_golden" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove out with Sys_error _ -> ());
+      try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2> %s" (Filename.quote exe) args (Filename.quote out)
+          (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out, read_file err))
+
+(* the jobs of Instance.figure1 with works collapsed to 1: the
+   historical arguments for the equal-work-only solvers *)
+let eq_jobs = "0:1,5:1,6:1"
+
+let subcommands =
+  [
+    ("frontier.txt", "frontier");
+    ("laptop.txt", "laptop");
+    ("server.txt", "server");
+    ("flow.txt", "flow --jobs " ^ eq_jobs);
+    ("multi.txt", "multi --jobs " ^ eq_jobs);
+    ("multi_flow.txt", "multi --flow --jobs " ^ eq_jobs);
+    ("simulate.txt", "simulate");
+    ("workload.txt", "workload");
+    ("deadline.txt", "deadline");
+    ("maxflow.txt", "maxflow");
+    ("maxflow_multi.txt", "maxflow -m 2 --jobs " ^ eq_jobs);
+    ("discrete.txt", "discrete");
+    ("precedence.txt", "precedence");
+    ("thermal.txt", "thermal");
+  ]
+
+let check_golden (file, args) () =
+  let expected = read_file (golden file) in
+  let code, got, err = run_cli args in
+  Alcotest.(check int) (Printf.sprintf "pasched %s exits 0 (stderr: %s)" args err) 0 code;
+  Alcotest.(check string) (Printf.sprintf "pasched %s output is byte-identical" args) expected got
+
+(* the 12 hand-written properties, in registration order: the golden
+   prefix of the oracle registry *)
+let golden_props =
+  [
+    "incmerge_vs_brute"; "incmerge_vs_dp"; "frontier_vs_incmerge"; "frontier_vs_server";
+    "sim_replays_plan"; "multi_cyclic_vs_brute"; "yds_optimal"; "work_scaling_energy";
+    "budget_monotone"; "frontier_shape"; "flow_budget"; "outputs_validate";
+  ]
+
+let lines s = String.split_on_char '\n' s
+
+let test_fuzz_list_prefix () =
+  let expected = lines (read_file (golden "fuzz_list.txt")) in
+  (* drop the trailing "" from the final newline *)
+  let expected = List.filter (fun l -> l <> "") expected in
+  let code, got, err = run_cli "fuzz --list" in
+  Alcotest.(check int) (Printf.sprintf "fuzz --list exits 0 (stderr: %s)" err) 0 code;
+  let got_lines = lines got in
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzz --list has >= %d properties" (List.length expected))
+    true
+    (List.length (List.filter (fun l -> l <> "") got_lines) >= List.length expected);
+  List.iteri
+    (fun i want ->
+      let line = try List.nth got_lines i with Failure _ -> "<missing>" in
+      Alcotest.(check string) (Printf.sprintf "fuzz --list line %d (golden prefix)" (i + 1)) want line)
+    expected;
+  (* registry-derived properties follow the golden prefix *)
+  Alcotest.(check bool) "derived engine:* properties listed" true
+    (List.exists
+       (fun l -> String.length l >= 7 && String.sub l 0 7 = "engine:")
+       got_lines)
+
+let test_fuzz_campaign_golden () =
+  let expected = read_file (golden "fuzz_25.txt") in
+  let args =
+    "fuzz --seed 1 --runs 25 "
+    ^ String.concat " " (List.map (fun p -> "--prop " ^ p) golden_props)
+  in
+  let code, got, err = run_cli args in
+  Alcotest.(check int) (Printf.sprintf "golden fuzz campaign exits 0 (stderr: %s)" err) 0 code;
+  Alcotest.(check string) "golden fuzz campaign output is byte-identical" expected got
+
+(* ---------------------------------------------------------------- *)
+(* CLI boundary validation: errors must be clean cmdliner usage
+   errors (exit 124 with a message), never an uncaught exception
+   (exit 125, "internal error"). *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_usage_error ~what ~needle args () =
+  let code, _, err = run_cli args in
+  Alcotest.(check int) (Printf.sprintf "%s exits 124" what) 124 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s error mentions %S (stderr: %s)" what needle err)
+    true (contains ~needle err)
+
+let test_alpha_rejected =
+  check_usage_error ~what:"laptop --alpha 1.0" ~needle:"alpha must exceed 1" "laptop --alpha 1.0"
+
+let test_alpha_rejected_solve =
+  check_usage_error ~what:"solve --alpha 0.5" ~needle:"alpha must exceed 1" "solve --alpha 0.5"
+
+let test_unknown_solver_rejected =
+  check_usage_error ~what:"solve --solver nope" ~needle:"unknown solver" "solve --solver nope"
+
+let test_equal_work_rejected =
+  (* figure1 works are 5,2,1: the equal-work-only flow solver must
+     refuse with a capability error, not crash *)
+  check_usage_error ~what:"flow on unequal works" ~needle:"equal-work" "flow"
+
+let test_bad_jobs_file_rejected () =
+  let code, _, err = run_cli "laptop --file /nonexistent/jobs.txt" in
+  Alcotest.(check int) "missing jobs file exits 124" 124 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "missing jobs file reports an error (stderr: %s)" err)
+    true (String.length err > 0)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "subcommands",
+        List.map
+          (fun (file, args) -> Alcotest.test_case args `Quick (check_golden (file, args)))
+          subcommands );
+      ( "fuzz",
+        [
+          Alcotest.test_case "--list golden prefix" `Quick test_fuzz_list_prefix;
+          Alcotest.test_case "campaign byte-identical" `Quick test_fuzz_campaign_golden;
+        ] );
+      ( "cli-errors",
+        [
+          Alcotest.test_case "alpha <= 1 rejected" `Quick test_alpha_rejected;
+          Alcotest.test_case "solve alpha <= 1 rejected" `Quick test_alpha_rejected_solve;
+          Alcotest.test_case "unknown solver rejected" `Quick test_unknown_solver_rejected;
+          Alcotest.test_case "equal-work capability enforced" `Quick test_equal_work_rejected;
+          Alcotest.test_case "bad jobs file rejected" `Quick test_bad_jobs_file_rejected;
+        ] );
+    ]
