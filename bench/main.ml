@@ -174,12 +174,14 @@ let section_thm11 () =
 (* ---------------------------------------------------------------- *)
 (* PERF: IncMerge linear time vs the quadratic DP baseline. *)
 
+(* wall clock, not [Sys.time]: CPU time sums across domains, so it
+   cannot show a parallel speedup (and overstates contended sections) *)
 let time_best ~reps f =
   let best = ref Float.infinity in
   for _ = 1 to reps do
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     ignore (Sys.opaque_identity (f ()));
-    let t1 = Sys.time () in
+    let t1 = Unix.gettimeofday () in
     if t1 -. t0 < !best then best := t1 -. t0
   done;
   !best
@@ -415,6 +417,94 @@ let section_fuzz () =
     (Properties.registered ())
 
 (* ---------------------------------------------------------------- *)
+(* PAR: the multicore execution layer.  One human-readable summary
+   section plus five machine-readable ones whose wall_s / counter
+   deltas land in the BENCH_PR4.json artifact:
+
+     par_curve_cold_jobs1  per-point cold-bracket solve_budget (the
+                           pre-warm-start behaviour), sequential
+     par_curve_jobs1       warm-started Flow_frontier.curve, 1 domain
+     par_curve_jobs4       the same curve at 4 domains
+     par_fuzz_jobs1/4      the fuzz campaign at 1 vs 4 domains
+
+   curve_jobs1 vs curve_cold_jobs1 isolates the algorithmic win (same
+   core count; with --obs the rootfind.brent_iters deltas show the
+   per-point iteration drop); jobs4 vs jobs1 isolates the parallel
+   win, which requires a multi-core machine to show a speedup. *)
+
+let par_curve_inst = lazy (Workload.equal_work ~seed:11 ~n:48 ~work:1.0 (Workload.Poisson 1.0))
+
+let par_curve_args = (40.0, 400.0, 240)
+
+let run_curve_cold ~jobs () =
+  let inst = Lazy.force par_curve_inst in
+  let e_lo, e_hi, n = par_curve_args in
+  ignore
+    (Sys.opaque_identity
+       (Par.init ~jobs n (fun i ->
+            let e = e_lo +. ((e_hi -. e_lo) *. float_of_int i /. float_of_int (n - 1)) in
+            (Flow.solve_budget ~alpha:3.0 ~energy:e inst).Flow.flow)))
+
+let run_curve ~jobs () =
+  let inst = Lazy.force par_curve_inst in
+  let e_lo, e_hi, n = par_curve_args in
+  ignore (Sys.opaque_identity (Flow_frontier.curve ~jobs ~alpha:3.0 inst ~e_lo ~e_hi ~n))
+
+let run_fuzz ~jobs () = ignore (Sys.opaque_identity (Runner.run ~jobs ~seed:42 ~runs:150 ()))
+
+let section_par () =
+  header "PAR  multicore execution layer (pasched.par)";
+  Printf.printf "backend: %s   recommended jobs: %d   default jobs: %d\n" Par.backend
+    (Par.recommended_jobs ()) (Par.default_jobs ());
+  let t_cold = time_best ~reps:3 (run_curve_cold ~jobs:1) in
+  let t_c1 = time_best ~reps:3 (run_curve ~jobs:1) in
+  let t_c4 = time_best ~reps:3 (run_curve ~jobs:4) in
+  let t_f1 = time_best ~reps:2 (run_fuzz ~jobs:1) in
+  let t_f4 = time_best ~reps:2 (run_fuzz ~jobs:4) in
+  let _, _, npts = par_curve_args in
+  Printf.printf "\n%-34s %-12s %-10s\n" "workload" "seconds" "speedup";
+  Printf.printf "%-34s %-12.4f %-10s\n"
+    (Printf.sprintf "curve n=%d cold jobs=1" npts)
+    t_cold "1.00x (baseline)";
+  Printf.printf "%-34s %-12.4f %-10s\n"
+    (Printf.sprintf "curve n=%d warm jobs=1" npts)
+    t_c1
+    (Printf.sprintf "%.2fx vs cold" (t_cold /. t_c1));
+  Printf.printf "%-34s %-12.4f %-10s\n"
+    (Printf.sprintf "curve n=%d warm jobs=4" npts)
+    t_c4
+    (Printf.sprintf "%.2fx vs jobs=1" (t_c1 /. t_c4));
+  Printf.printf "%-34s %-12.4f %-10s\n" "fuzz runs=150 jobs=1" t_f1 "1.00x (baseline)";
+  Printf.printf "%-34s %-12.4f %-10s\n" "fuzz runs=150 jobs=4" t_f4
+    (Printf.sprintf "%.2fx vs jobs=1" (t_f1 /. t_f4));
+  (* determinism spot checks: byte-identical results at any width *)
+  let inst = Lazy.force par_curve_inst in
+  let e_lo, e_hi, n = par_curve_args in
+  let c1 = Flow_frontier.curve ~jobs:1 ~alpha:3.0 inst ~e_lo ~e_hi ~n in
+  let c4 = Flow_frontier.curve ~jobs:4 ~alpha:3.0 inst ~e_lo ~e_hi ~n in
+  let f1 = Runner.run ~jobs:1 ~seed:42 ~runs:150 () in
+  let f4 = Runner.run ~jobs:4 ~seed:42 ~runs:150 () in
+  Printf.printf "\ncurve jobs=1 equals jobs=4 (bitwise): %b\n" (c1 = c4);
+  Printf.printf "fuzz summary jobs=1 equals jobs=4: %b\n" (f1 = f4);
+  (* warm-start effect in Brent iterations, via the obs counters *)
+  let was_on = Obs.enabled () in
+  Obs.set_enabled true;
+  let brent_iters = Obs.counter "rootfind.brent_iters" in
+  let iters_of f =
+    let v0 = Obs_metrics.value brent_iters in
+    f ();
+    Obs_metrics.value brent_iters - v0
+  in
+  let it_cold = iters_of (run_curve_cold ~jobs:1) in
+  let it_warm = iters_of (run_curve ~jobs:1) in
+  Obs.set_enabled was_on;
+  Printf.printf "\nrootfind.brent_iters over %d points: cold=%d (%.1f/pt)  warm=%d (%.1f/pt)\n" npts
+    it_cold
+    (float_of_int it_cold /. float_of_int npts)
+    it_warm
+    (float_of_int it_warm /. float_of_int npts)
+
+(* ---------------------------------------------------------------- *)
 (* REGISTRY: time every solver in the pasched.engine registry on a
    capability-matched instance.  Nothing here names a solver: the
    instance, problem and timing are derived from the registered
@@ -482,13 +572,17 @@ let section_registry () =
       | Some p -> p.Solve_result.value_at energy
       | None -> r.Solve_result.value
     in
-    Printf.printf "%-18s %-9s %-6d %-3d %-14.6f %-14.6f %-12.6f\n" (Engine.name_of solver)
+    Printf.sprintf "%-18s %-9s %-6d %-3d %-14.6f %-14.6f %-12.6f\n" (Engine.name_of solver)
       (Problem.objective_to_string cap.Capability.objective)
       n procs value r.Solve_result.energy t
   in
   Printf.printf "%-18s %-9s %-6s %-3s %-14s %-14s %-12s\n" "solver" "class" "n" "m" "value" "energy"
     "seconds";
-  List.iter bench_one (Engine.all ())
+  (* rows are computed across domains (row text is a pure function of
+     the solver) and printed in registry order afterwards; note that at
+     jobs > 1 the per-row timings share cores and so overstate each
+     other — treat them as per-solver sanity numbers, not absolutes *)
+  List.iter print_string (Par.list_map bench_one (Engine.all ()))
 
 let sections =
   [
@@ -504,6 +598,12 @@ let sections =
     ("online", section_online);
     ("ext", section_ext);
     ("fuzz", section_fuzz);
+    ("par", section_par);
+    ("par_curve_cold_jobs1", run_curve_cold ~jobs:1);
+    ("par_curve_jobs1", run_curve ~jobs:1);
+    ("par_curve_jobs4", run_curve ~jobs:4);
+    ("par_fuzz_jobs1", run_fuzz ~jobs:1);
+    ("par_fuzz_jobs4", run_fuzz ~jobs:4);
     ("registry", section_registry);
   ]
 
@@ -514,6 +614,9 @@ let sections =
      --json PATH   write a BENCH_*.json artifact (schema in Obs_bench)
      --obs         enable pasched.obs counters so the artifact's
                    per-section counter deltas are populated
+     --jobs N      process-wide Par default for sections that do not
+                   pin their own width (registry enumeration, solver
+                   internals)
 
    Without --obs the instrumentation stays compiled-away-cheap and the
    wall_s numbers are directly comparable to historical runs. *)
@@ -550,6 +653,18 @@ let () =
     | "--obs" :: rest ->
       obs := true;
       parse rest
+    | "--jobs" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        Par.set_default_jobs j;
+        parse rest
+      | _ ->
+        Printf.eprintf "--jobs requires a positive integer, got %S\n" n;
+        exit 2
+    end
+    | [ "--jobs" ] ->
+      prerr_endline "--jobs requires an N argument";
+      exit 2
     | name :: rest ->
       requested := name :: !requested;
       parse rest

@@ -64,6 +64,24 @@ let with_obs (trace, metrics) name f =
     if active then finish ();
     raise e
 
+(* ---------- parallelism flag ---------- *)
+
+(* Sets the process-wide Par default.  Instance-bearing commands
+   already use --jobs for the inline instance spec, so the domain-count
+   flag is -j / --par-jobs there; fuzz (no instance argument) also
+   answers to the natural --jobs. *)
+let par_jobs_term names =
+  Arg.(
+    value
+    & opt (some int) None
+    & info names ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections (frontier sampling, fuzz campaigns).  Defaults \
+           to the hardware recommendation on OCaml 5 and to 1 on the sequential-fallback build; \
+           every value produces identical output.")
+
+let apply_par_jobs = function None -> () | Some n -> Par.set_default_jobs n
+
 (* [`Ok] / [`Error] conversion for solver preconditions: the registry
    and the model constructors signal misuse with [Invalid_argument]
    (e.g. an equal-work-only solver on unequal works), which should be a
@@ -176,8 +194,9 @@ let budget_problem ?procs ?speed_cap ?levels ?weights ~objective ~alpha energy =
 (* ---------- commands ---------- *)
 
 let frontier_cmd =
-  let run obs alpha inst points =
+  let run obs par_jobs alpha inst points =
     wrap_errors @@ fun () ->
+    apply_par_jobs par_jobs;
     with_obs obs "frontier" @@ fun () ->
     let r =
       Engine.solve "frontier"
@@ -199,7 +218,11 @@ let frontier_cmd =
   in
   Cmd.v
     (Cmd.info "frontier" ~doc:"All non-dominated energy/makespan points (paper Figure 1).")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ points))
+    Term.(
+      ret
+        (const run $ obs_term
+        $ par_jobs_term [ "j"; "par-jobs" ]
+        $ alpha_term $ instance_term $ points))
 
 let laptop_cmd =
   let run obs alpha inst energy gantt =
@@ -498,9 +521,10 @@ let thermal_cmd =
 (* ---------- the generic registry front end ---------- *)
 
 let solve_cmd =
-  let run obs list_solvers solver objective pareto target energy procs alpha cap levels weights
-      deadlines points gantt inst =
+  let run obs par_jobs list_solvers solver objective pareto target energy procs alpha cap levels
+      weights deadlines points gantt inst =
     wrap_errors @@ fun () ->
+    apply_par_jobs par_jobs;
     with_obs obs "solve" @@ fun () ->
     if list_solvers then begin
       List.iter
@@ -619,12 +643,16 @@ let solve_cmd =
        ~doc:"Solve any registered problem class through the pasched.engine solver registry.")
     Term.(
       ret
-        (const run $ obs_term $ list_solvers $ solver $ objective $ pareto $ target $ energy_term
-        $ procs $ alpha_term $ cap $ levels $ weights $ deadlines $ points $ gantt_flag
-        $ instance_term))
+        (const run $ obs_term
+        $ par_jobs_term [ "j"; "par-jobs" ]
+        $ list_solvers $ solver $ objective $ pareto $ target $ energy_term $ procs $ alpha_term
+        $ cap $ levels $ weights $ deadlines $ points $ gantt_flag $ instance_term))
 
 let fuzz_cmd =
-  let run obs seed runs props list_props replay =
+  let run obs par_jobs seed runs props list_props replay =
+    match apply_par_jobs par_jobs with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | () ->
     (* run the campaign under [with_obs] but defer [exit] until after the
        trace/metrics have been flushed *)
     let outcome =
@@ -680,7 +708,11 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Property-based differential testing: random instances against the oracle registry.")
-    Term.(ret (const run $ obs_term $ seed $ runs $ props $ list_props $ replay))
+    Term.(
+      ret
+        (const run $ obs_term
+        $ par_jobs_term [ "jobs"; "j" ]
+        $ seed $ runs $ props $ list_props $ replay))
 
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in

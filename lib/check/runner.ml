@@ -27,33 +27,38 @@ let guard run case =
   | outcome -> outcome
   | exception e -> Oracle.Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
 
-let run_props ?(size = 25) ~props ~seed ~runs () =
+(* per-(case, property) verdict produced by a worker; the reduce step
+   folds these into tallies and the ordered failure list *)
+type check_outcome = C_pass | C_skip | C_fail of failure
+
+let run_props ?jobs ?(size = 25) ~props ~seed ~runs () =
   Obs.span "check.campaign" @@ fun () ->
   let size = Stdlib.max 3 size in
-  let tally = Hashtbl.create 16 in
-  List.iter (fun (p : Oracle.property) -> Hashtbl.replace tally p.Oracle.name (ref 0, ref 0, ref 0)) props;
-  let checks = ref 0 in
-  let failures = ref [] in
-  for k = 0 to runs - 1 do
+  let props_arr = Array.of_list props in
+  let nprops = Array.length props_arr in
+  (* Case k's entire lifecycle — generation, every property, shrinking
+     on failure — is a pure function of (seed, k): Rng.of_pair gives
+     each case an independent stream, so cases evaluate on any domain
+     in any order with bit-identical verdicts.  The sequential reduce
+     below then reproduces exactly the tallies and failure order of
+     the historical single-threaded loop. *)
+  let eval k =
     let rng = Rng.of_pair seed k in
     let case = Gen.case ~size:(3 + (k mod (size - 2))) rng in
     Obs.incr c_cases;
-    List.iter
+    Array.map
       (fun (p : Oracle.property) ->
-        let passed, skipped, failed = Hashtbl.find tally p.Oracle.name in
-        incr checks;
         Obs.incr c_checks;
         match guard p.Oracle.run case with
-        | Oracle.Pass -> incr passed
-        | Oracle.Skip _ -> incr skipped
+        | Oracle.Pass -> C_pass
+        | Oracle.Skip _ -> C_skip
         | Oracle.Fail message ->
-          incr failed;
           Obs.incr c_failures;
           let shrunk, st = Shrink.minimize ~prop:(guard p.Oracle.run) case in
           let message =
             match guard p.Oracle.run shrunk with Oracle.Fail m -> m | _ -> message
           in
-          failures :=
+          C_fail
             {
               prop = p.Oracle.name;
               case_index = k;
@@ -62,20 +67,35 @@ let run_props ?(size = 25) ~props ~seed ~runs () =
               shrunk;
               shrink_steps = st.Shrink.steps;
               replay = Replay.to_line ~prop:p.Oracle.name shrunk;
-            }
-            :: !failures)
-      props
-  done;
+            })
+      props_arr
+  in
+  let outcomes = Par.init ?jobs runs eval in
+  let passed = Array.make nprops 0 in
+  let skipped = Array.make nprops 0 in
+  let failed = Array.make nprops 0 in
+  let failures = ref [] in
+  Array.iter
+    (fun per_prop ->
+      Array.iteri
+        (fun pi outcome ->
+          match outcome with
+          | C_pass -> passed.(pi) <- passed.(pi) + 1
+          | C_skip -> skipped.(pi) <- skipped.(pi) + 1
+          | C_fail f ->
+            failed.(pi) <- failed.(pi) + 1;
+            failures := f :: !failures)
+        per_prop)
+    outcomes;
   let stats =
-    List.map
-      (fun (p : Oracle.property) ->
-        let passed, skipped, failed = Hashtbl.find tally p.Oracle.name in
-        { name = p.Oracle.name; passed = !passed; skipped = !skipped; failed = !failed })
+    List.mapi
+      (fun pi (p : Oracle.property) ->
+        { name = p.Oracle.name; passed = passed.(pi); skipped = skipped.(pi); failed = failed.(pi) })
       props
   in
-  { seed; cases = runs; checks = !checks; stats; failures = List.rev !failures }
+  { seed; cases = runs; checks = runs * nprops; stats; failures = List.rev !failures }
 
-let run ?size ?props ~seed ~runs () =
+let run ?jobs ?size ?props ~seed ~runs () =
   let selected =
     match props with
     | None -> Oracle.registered ()
@@ -90,7 +110,7 @@ let run ?size ?props ~seed ~runs () =
                  (String.concat ", " (List.map (fun p -> p.Oracle.name) (Oracle.registered ())))))
         names
   in
-  run_props ?size ~props:selected ~seed ~runs ()
+  run_props ?jobs ?size ~props:selected ~seed ~runs ()
 
 let ok s = s.failures = []
 

@@ -6,7 +6,12 @@
     single failure inside it — replays from [(seed, runs)] alone.  An
     exception escaping a property is converted to a [Fail] (solvers
     raising on a generated case is exactly the kind of disagreement the
-    harness exists to find). *)
+    harness exists to find).
+
+    Cases are evaluated in per-case batches across {!Par} domains
+    ([?jobs], default {!Par.default_jobs}); because each case is
+    self-contained, the summary — tallies, failure list and its order —
+    is byte-identical for every [jobs] value. *)
 
 type prop_stats = { name : string; passed : int; skipped : int; failed : int }
 
@@ -29,12 +34,13 @@ type summary = {
 }
 
 val run_props :
-  ?size:int -> props:Oracle.property list -> seed:int -> runs:int -> unit -> summary
+  ?jobs:int -> ?size:int -> props:Oracle.property list -> seed:int -> runs:int -> unit -> summary
 (** Run [runs] generated cases through each property.  [size] caps the
     generator's size parameter (default 25); case sizes cycle through
     [3..size] so small and large instances both appear early. *)
 
-val run : ?size:int -> ?props:string list -> seed:int -> runs:int -> unit -> summary
+val run :
+  ?jobs:int -> ?size:int -> ?props:string list -> seed:int -> runs:int -> unit -> summary
 (** Like {!run_props} with properties named from the {!Oracle} registry
     (all of them by default).
     @raise Invalid_argument on an unknown property name. *)

@@ -14,29 +14,40 @@ type solution = {
 
 let tol = 1e-12
 
+let empty_solution s =
+  { last_speed = s; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+
+let validate ~alpha inst =
+  if alpha <= 1.0 then invalid_arg "Flow: need alpha > 1";
+  if not (Instance.is_equal_work inst) then
+    invalid_arg "Flow: Theorem 1 structure requires equal-work jobs"
+
+(* harmonic-like partial sums: H.(l) = sum_{t=1..l} t^(-1/alpha), so a
+   free run of length l takes (w/s) * H.(l) time.  Depends only on
+   (alpha, n), so root finders build it once and share it across every
+   evaluation of the same instance. *)
+let harmonic ~alpha n =
+  let h = Array.make (n + 1) 0.0 in
+  for t = 1 to n do
+    h.(t) <- h.(t - 1) +. (float_of_int t ** (-1.0 /. alpha))
+  done;
+  h
+
 (* speed of job [k] inside a run ending at [last] with end speed [x]:
    sigma_k^a = x^a + (last - k) s^a  (Theorem 1, case 2 chained) *)
 let job_speed ~alpha ~s x last k =
   ((x ** alpha) +. (float_of_int (last - k) *. (s ** alpha))) ** (1.0 /. alpha)
 
-let solve_for_last_speed ~alpha inst s =
-  if alpha <= 1.0 then invalid_arg "Flow: need alpha > 1";
+(* the Theorem 1-consistent configuration for a fixed last speed [s];
+   assumes [inst] already validated and [h = harmonic ~alpha n] *)
+let solve_with ~alpha ~h inst s =
   if s <= 0.0 || not (Float.is_finite s) then invalid_arg "Flow: last speed must be positive";
-  if not (Instance.is_equal_work inst) then
-    invalid_arg "Flow: Theorem 1 structure requires equal-work jobs";
   let n = Instance.n inst in
-  if n = 0 then
-    { last_speed = s; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  if n = 0 then empty_solution s
   else begin
     let w = (Instance.job inst 0).Job.work in
     let release i = (Instance.job inst i).Job.release in
     let sa = s ** alpha in
-    (* harmonic-like partial sums: H.(l) = sum_{t=1..l} t^(-1/alpha),
-       so a free run of length l takes (w/s) * H.(l) time *)
-    let h = Array.make (n + 1) 0.0 in
-    for t = 1 to n do
-      h.(t) <- h.(t - 1) +. (float_of_int t ** (-1.0 /. alpha))
-    done;
     let free_duration l = w /. s *. h.(l) in
     (* pinned end speed: the x >= s at which the run exactly fills its
        release window *)
@@ -77,75 +88,116 @@ let solve_for_last_speed ~alpha inst s =
       else Float.infinity
     in
     (* forward pass with merging: a pinned run whose end speed exceeds
-       the Theorem 1 upper bound against its successor merges with it *)
-    let stack = ref [] in
+       the Theorem 1 upper bound against its successor merges with it.
+       The run stack is a preallocated array (at most n runs, top grows
+       rightward) — this is the innermost structure of every root-find
+       evaluation, so it must not allocate per push. *)
+    let stack = Array.make n { first = 0; last = 0; pinned = false; end_speed = s } in
+    let top = ref 0 in
     let merges = ref 0 in
     for i = 0 to n - 1 do
       let cur = ref (make_run i i) in
       let merging = ref true in
       while !merging do
-        match !stack with
-        | prev :: rest
-          when prev.pinned
-               && (prev.end_speed ** alpha) > (first_speed !cur ** alpha) +. sa +. (1e-9 *. sa) ->
-          incr merges;
-          stack := rest;
-          cur := make_run prev.first !cur.last
-        | _ -> merging := false
+        if !top > 0 then begin
+          let prev = stack.(!top - 1) in
+          if
+            prev.pinned
+            && (prev.end_speed ** alpha) > (first_speed !cur ** alpha) +. sa +. (1e-9 *. sa)
+          then begin
+            incr merges;
+            decr top;
+            cur := make_run prev.first !cur.last
+          end
+          else merging := false
+        end
+        else merging := false
       done;
-      stack := !cur :: !stack
+      stack.(!top) <- !cur;
+      incr top
     done;
     Obs.add c_run_merges !merges;
-    Obs.add c_runs (List.length !stack);
-    let runs = List.rev !stack in
+    Obs.add c_runs !top;
     (* materialize per-job speeds and completions *)
     let speeds = Array.make n 0.0 in
     let completions = Array.make n 0.0 in
-    List.iter
-      (fun r ->
-        let t = ref (release r.first) in
-        for k = r.first to r.last do
-          let sigma = job_speed ~alpha ~s r.end_speed r.last k in
-          speeds.(k) <- sigma;
-          t := !t +. (w /. sigma);
-          completions.(k) <- !t
-        done)
-      runs;
+    for ri = 0 to !top - 1 do
+      let r = stack.(ri) in
+      let t = ref (release r.first) in
+      for k = r.first to r.last do
+        let sigma = job_speed ~alpha ~s r.end_speed r.last k in
+        speeds.(k) <- sigma;
+        t := !t +. (w /. sigma);
+        completions.(k) <- !t
+      done
+    done;
     let flow = ref 0.0 and energy = ref 0.0 in
     for k = 0 to n - 1 do
       flow := !flow +. (completions.(k) -. release k);
       energy := !energy +. (w *. (speeds.(k) ** (alpha -. 1.0)))
     done;
+    let runs = List.init !top (fun i -> stack.(i)) in
     { last_speed = s; runs; speeds; completions; flow = !flow; energy = !energy }
   end
 
-let solve_budget ?(eps = 1e-12) ~alpha ~energy inst =
+let solve_for_last_speed ~alpha inst s =
+  validate ~alpha inst;
+  solve_with ~alpha ~h:(harmonic ~alpha (Instance.n inst)) inst s
+
+let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
   Obs.span "flow.solve_budget" @@ fun () ->
   if energy <= 0.0 then invalid_arg "Flow.solve_budget: energy must be positive";
-  if Instance.n inst = 0 then
-    { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  if Instance.n inst = 0 then empty_solution 0.0
   else begin
-    let g s = (solve_for_last_speed ~alpha inst s).energy -. energy in
-    (* bracket: energy(s) is continuous and increasing with range (0, inf) *)
-    let lo = ref 1e-6 in
-    while g !lo > 0.0 && !lo > 1e-300 do
-      lo := !lo /. 16.0
-    done;
-    let hi = ref 1.0 in
-    while g !hi < 0.0 && !hi < 1e300 do
-      hi := !hi *. 2.0
-    done;
-    let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in
-    solve_for_last_speed ~alpha inst s
+    validate ~alpha inst;
+    let h = harmonic ~alpha (Instance.n inst) in
+    let g s = (solve_with ~alpha ~h inst s).energy -. energy in
+    (* energy(s) is continuous and increasing with range (0, inf).  A
+       warm start (the root for a nearby budget, e.g. the previous
+       Pareto point) seeds a one-sided bracket that is usually a couple
+       of evaluations wide; without it we bracket from scratch. *)
+    let lo, hi =
+      match warm with
+      | Some s0 when s0 > 0.0 && Float.is_finite s0 ->
+        if g s0 <= 0.0 then begin
+          (* start a few percent out — adjacent sweep budgets move the
+             root very little — and double only if that misses *)
+          let hi = ref (s0 *. 1.05) in
+          while g !hi < 0.0 && !hi < 1e300 do
+            hi := !hi *. 2.0
+          done;
+          (s0, !hi)
+        end
+        else begin
+          let lo = ref (s0 /. 1.05) in
+          while g !lo > 0.0 && !lo > 1e-300 do
+            lo := !lo /. 2.0
+          done;
+          (!lo, s0)
+        end
+      | _ ->
+        let lo = ref 1e-6 in
+        while g !lo > 0.0 && !lo > 1e-300 do
+          lo := !lo /. 16.0
+        done;
+        let hi = ref 1.0 in
+        while g !hi < 0.0 && !hi < 1e300 do
+          hi := !hi *. 2.0
+        done;
+        (!lo, !hi)
+    in
+    let s = Rootfind.brent ~f:g ~lo ~hi ~eps ~max_iter:300 () in
+    solve_with ~alpha ~h inst s
   end
 
 let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
   Obs.span "flow.solve_flow_target" @@ fun () ->
   if flow <= 0.0 then invalid_arg "Flow.solve_flow_target: flow target must be positive";
-  if Instance.n inst = 0 then
-    { last_speed = 0.0; runs = []; speeds = [||]; completions = [||]; flow = 0.0; energy = 0.0 }
+  if Instance.n inst = 0 then empty_solution 0.0
   else begin
-    let g s = (solve_for_last_speed ~alpha inst s).flow -. flow in
+    validate ~alpha inst;
+    let h = harmonic ~alpha (Instance.n inst) in
+    let g s = (solve_with ~alpha ~h inst s).flow -. flow in
     (* flow(s) is decreasing: large s -> tiny flows *)
     let lo = ref 1e-6 in
     while g !lo < 0.0 && !lo > 1e-300 do
@@ -156,7 +208,7 @@ let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
       hi := !hi *. 2.0
     done;
     let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in
-    solve_for_last_speed ~alpha inst s
+    solve_with ~alpha ~h inst s
   end
 
 let schedule inst sol =

@@ -44,10 +44,17 @@ val solve_for_last_speed : alpha:float -> Instance.t -> float -> solution
     speed.  @raise Invalid_argument unless the instance has equal work,
     [alpha > 1] and the speed is positive. *)
 
-val solve_budget : ?eps:float -> alpha:float -> energy:float -> Instance.t -> solution
+val solve_budget :
+  ?eps:float -> ?warm:float -> alpha:float -> energy:float -> Instance.t -> solution
 (** Laptop problem: minimize total flow within the energy budget.
-    Bisects on [s] until the energy matches to relative [eps]
-    (default 1e-12). *)
+    Root-finds on [s] until the energy matches to relative [eps]
+    (default 1e-12).  [?warm] seeds the bracket with a known-good last
+    speed — typically [last_speed] of the solution for a nearby budget,
+    as when sweeping a Pareto curve — replacing the cold geometric
+    bracket search with a one-sided expansion from [warm]; since
+    energy is strictly increasing in [s] the result is the same root,
+    found in fewer iterations.  A non-positive or non-finite [warm] is
+    ignored. *)
 
 val solve_flow_target : ?eps:float -> alpha:float -> flow:float -> Instance.t -> solution
 (** Server problem: least energy whose optimal flow meets the target.

@@ -2,7 +2,7 @@ let c_points = Obs.counter "frontier.points_evaluated"
 let c_segments = Obs.counter "frontier.segments_emitted"
 
 type segment = {
-  prefix : Block.t list;
+  prefix_len : int;
   e_fixed : float;
   last_first : int;
   last_work : float;
@@ -11,85 +11,89 @@ type segment = {
   e_max : float;
 }
 
-type t = { model : Power_model.t; inst : Instance.t; segs : segment list (* decreasing energy *) }
+type t = {
+  model : Power_model.t;
+  inst : Instance.t;
+  blocks : Block.t array;  (* window blocks; segment prefixes are slices blocks.(0..len-1) *)
+  segs : segment array;  (* decreasing energy *)
+}
 
 let build model inst =
   Obs.span "frontier.build" @@ fun () ->
   let n = Instance.n inst in
-  if n = 0 then { model; inst; segs = [] }
+  if n = 0 then { model; inst; blocks = [||]; segs = [||] }
   else begin
     let release i = (Instance.job inst i).Job.release in
     let work i = (Instance.job inst i).Job.work in
-    (* first configuration: window blocks for jobs 0..n-2 (in reverse,
-       top of stack first), last job alone as the varying block *)
-    let prefix_rev = ref (List.rev (Incmerge.window_blocks inst ~upto:(n - 2))) in
-    let e_fixed = ref 0.0 in
-    (* sum of finite prefix energies; infinite-speed blocks sit on top of
-       the stack and never appear in an emitted segment *)
-    List.iter
-      (fun b -> if Float.is_finite b.Block.speed then e_fixed := !e_fixed +. Block.energy model b)
-      !prefix_rev;
-    let last_first = ref (n - 1) in
-    let last_work = ref (work (n - 1)) in
-    let last_start = ref (release (n - 1)) in
-    let e_max = ref Float.infinity in
+    (* first configuration: window blocks for jobs 0..n-2 as the prefix,
+       last job alone as the varying block; lowering the budget merges
+       prefix blocks into the last block one at a time, so configuration
+       [j] has prefix blocks.(0..j-1).  Prefix sums price every split in
+       O(1), making the whole enumeration O(m) instead of the O(m^2) of
+       re-copying the prefix per emitted segment. *)
+    let blocks = Array.of_list (Incmerge.window_blocks inst ~upto:(n - 2)) in
+    let m = Array.length blocks in
+    let cum_work, cum_energy = Incmerge.prefix_sums model blocks in
+    let w_last = work (n - 1) in
     let segs = ref [] in
-    let emit e_min =
+    (* built low-energy-first (j descending visits decreasing e_min) *)
+    let e_max = ref Float.infinity in
+    for j = m downto 0 do
+      let last_first = if j = m then n - 1 else blocks.(j).Block.first in
+      let last_start = if j = m then release (n - 1) else blocks.(j).Block.start in
+      let last_work = cum_work.(m) -. cum_work.(j) +. w_last in
+      let e_min =
+        if j = 0 then 0.0
+        else begin
+          let prev = blocks.(j - 1) in
+          (* budget at which the last block slows to the prefix top's
+             speed and the two merge; infinite-speed prefix blocks never
+             yield a configuration of their own *)
+          if Float.is_finite prev.Block.speed then
+            cum_energy.(j) +. Power_model.energy_run model ~work:last_work ~speed:prev.Block.speed
+          else Float.infinity
+        end
+      in
       if e_min < !e_max then begin
         segs :=
           {
-            prefix = List.rev !prefix_rev;
-            e_fixed = !e_fixed;
-            last_first = !last_first;
-            last_work = !last_work;
-            last_start = !last_start;
+            prefix_len = j;
+            e_fixed = cum_energy.(j);
+            last_first;
+            last_work;
+            last_start;
             e_min;
             e_max = !e_max;
           }
           :: !segs;
         e_max := e_min
       end
-    in
-    let continue = ref true in
-    while !continue do
-      match !prefix_rev with
-      | [] ->
-        emit 0.0;
-        continue := false
-      | prev :: rest ->
-        let merge_energy =
-          if Float.is_finite prev.Block.speed then
-            !e_fixed +. Power_model.energy_run model ~work:!last_work ~speed:prev.Block.speed
-          else Float.infinity
-        in
-        emit merge_energy;
-        (* merge prev into the varying last block *)
-        prefix_rev := rest;
-        if Float.is_finite prev.Block.speed then e_fixed := !e_fixed -. Block.energy model prev;
-        last_first := prev.Block.first;
-        last_work := !last_work +. prev.Block.work;
-        last_start := prev.Block.start
     done;
-    Obs.add c_segments (List.length !segs);
-    { model; inst; segs = List.rev !segs }
+    let segs = Array.of_list (List.rev !segs) in
+    Obs.add c_segments (Array.length segs);
+    { model; inst; blocks; segs }
   end
 
-let segments t = t.segs
+let segments t = Array.to_list t.segs
+let prefix t s = Array.to_list (Array.sub t.blocks 0 s.prefix_len)
 
 let breakpoints t =
-  t.segs
+  Array.to_list t.segs
   |> List.filter_map (fun s -> if s.e_min > 0.0 && Float.is_finite s.e_min then Some s.e_min else None)
   |> List.sort compare
 
 let segment_at t e =
-  if t.segs = [] then invalid_arg "Frontier.segment_at: empty instance";
+  let m = Array.length t.segs in
+  if m = 0 then invalid_arg "Frontier.segment_at: empty instance";
   if e <= 0.0 then invalid_arg "Frontier.segment_at: energy must be positive";
-  let rec go = function
-    | [] -> invalid_arg "Frontier.segment_at: internal gap in segments"
-    | [ s ] -> s
-    | s :: rest -> if e > s.e_min then s else go rest
-  in
-  go t.segs
+  (* [e_min] decreases along [segs], so "first segment with e > e_min"
+     is a monotone predicate: binary search, O(log m) per query *)
+  let lo = ref 0 and hi = ref (m - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if e > t.segs.(mid).e_min then hi := mid else lo := mid + 1
+  done;
+  t.segs.(!lo)
 
 let last_speed t s e = Power_model.speed_for_energy t.model ~work:s.last_work ~energy:(e -. s.e_fixed)
 
@@ -121,35 +125,36 @@ let deriv2_at t e =
     (makespan_at t (e +. h) -. (2.0 *. makespan_at t e) +. makespan_at t (e -. h)) /. (h *. h)
 
 let min_makespan_limit t =
-  match t.segs with
-  | [] -> 0.0
-  | first :: _ -> first.last_start
+  if Array.length t.segs = 0 then 0.0 else t.segs.(0).last_start
 
 let energy_for_makespan t m =
-  if t.segs = [] then 0.0
+  let nsegs = Array.length t.segs in
+  if nsegs = 0 then 0.0
   else begin
     if m <= min_makespan_limit t then
       invalid_arg "Frontier.energy_for_makespan: target below the achievable infimum";
     (* segments in decreasing energy order = increasing makespan order *)
-    let rec go = function
-      | [] -> invalid_arg "Frontier.energy_for_makespan: no segment (unreachable)"
-      | [ s ] ->
+    let rec go k =
+      let s = t.segs.(k) in
+      if k = nsegs - 1 then begin
         let sigma = s.last_work /. (m -. s.last_start) in
         s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
-      | s :: rest ->
+      end
+      else begin
         (* the segment covers makespans in [M(e_max), M(e_min)) *)
         let m_hi = s.last_start +. (s.last_work /. last_speed t s s.e_min) in
         if m < m_hi then begin
           let sigma = s.last_work /. (m -. s.last_start) in
           s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
         end
-        else go rest
+        else go (k + 1)
+      end
     in
-    go t.segs
+    go 0
   end
 
 let schedule_at t e =
-  if t.segs = [] then Schedule.of_entries []
+  if Array.length t.segs = 0 then Schedule.of_entries []
   else begin
     let s = segment_at t e in
     let last_block =
@@ -162,11 +167,11 @@ let schedule_at t e =
       }
     in
     Schedule.of_entries
-      (List.concat_map (Block.entries t.inst 0) (s.prefix @ [ last_block ]))
+      (List.concat_map (Block.entries t.inst 0) (prefix t s @ [ last_block ]))
   end
 
 let min_energy_delay ?(delay_exponent = 1.0) t =
-  if t.segs = [] then invalid_arg "Frontier.min_energy_delay: empty instance";
+  if Array.length t.segs = 0 then invalid_arg "Frontier.min_energy_delay: empty instance";
   if delay_exponent <= 0.0 then invalid_arg "Frontier.min_energy_delay: exponent must be positive";
   let objective ln_e =
     let e = Float.exp ln_e in
@@ -193,9 +198,10 @@ let min_energy_delay ?(delay_exponent = 1.0) t =
   let e_star = Float.exp ln_star in
   (e_star, e_star *. (makespan_at t e_star ** delay_exponent))
 
-let sample t ~lo ~hi ~n =
+let sample ?jobs t ~lo ~hi ~n =
   Obs.span "frontier.sample" @@ fun () ->
   if n < 2 then invalid_arg "Frontier.sample: need at least two points";
-  List.init n (fun i ->
-      let e = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
-      (e, makespan_at t e))
+  Array.to_list
+    (Par.init ?jobs n (fun i ->
+         let e = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+         (e, makespan_at t e)))

@@ -11,8 +11,10 @@
     Figures 1–3. *)
 
 type segment = {
-  prefix : Block.t list;  (** settled non-last blocks, speeds fixed *)
-  e_fixed : float;  (** energy consumed by [prefix] *)
+  prefix_len : int;
+      (** number of settled non-last blocks (a prefix of the shared
+          window-block array; materialize with {!prefix}) *)
+  e_fixed : float;  (** energy consumed by the prefix *)
   last_first : int;  (** first job index of the varying last block *)
   last_work : float;
   last_start : float;
@@ -23,17 +25,23 @@ type segment = {
 type t
 
 val build : Power_model.t -> Instance.t -> t
-(** Enumerate all configurations.  Linear in [n] once sorted. *)
+(** Enumerate all configurations.  Linear in [n] once sorted: every
+    configuration shares one window-block array, and prefix work/energy
+    sums ({!Incmerge.prefix_sums}) price each split in O(1). *)
 
 val segments : t -> segment list
 (** In decreasing energy order. *)
+
+val prefix : t -> segment -> Block.t list
+(** The segment's settled blocks (speeds fixed), earliest first. *)
 
 val breakpoints : t -> float list
 (** Budgets at which the optimal configuration changes, increasing
     (for the paper's Figure-1 instance: [8; 17]). *)
 
 val segment_at : t -> float -> segment
-(** @raise Invalid_argument when [energy <= 0] or the instance is empty. *)
+(** Binary search over the (energy-sorted) segments: O(log n) per query.
+    @raise Invalid_argument when [energy <= 0] or the instance is empty. *)
 
 val makespan_at : t -> float -> float
 (** The minimum makespan achievable with the given budget: the
@@ -56,8 +64,11 @@ val energy_for_makespan : t -> float -> float
 val schedule_at : t -> float -> Schedule.t
 (** Optimal schedule at a budget; agrees with {!Incmerge.solve}. *)
 
-val sample : t -> lo:float -> hi:float -> n:int -> (float * float) list
-(** [(energy, makespan)] pairs on an even grid, for plotting. *)
+val sample : ?jobs:int -> t -> lo:float -> hi:float -> n:int -> (float * float) list
+(** [(energy, makespan)] pairs on an even grid, for plotting.  Points
+    are evaluated through {!Par} ([?jobs] domains, default
+    {!Par.default_jobs}); the grid and every result are independent of
+    [jobs]. *)
 
 val min_makespan_limit : t -> float
 (** Infimum of achievable makespans as energy grows without bound (the

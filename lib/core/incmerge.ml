@@ -125,6 +125,21 @@ let window_blocks inst ~upto =
   done;
   List.rev !stack
 
+let prefix_sums model bs =
+  let m = Array.length bs in
+  let cum_work = Array.make (m + 1) 0.0 in
+  let cum_energy = Array.make (m + 1) 0.0 in
+  for j = 0 to m - 1 do
+    let b = bs.(j) in
+    cum_work.(j + 1) <- cum_work.(j) +. b.Block.work;
+    (* transient infinite-speed blocks carry infinite energy; they never
+       survive into an emitted configuration, so counting them as 0 keeps
+       the sums finite (same convention as the [blocks] stack cells) *)
+    cum_energy.(j + 1) <-
+      (cum_energy.(j) +. if Float.is_finite b.Block.speed then Block.energy model b else 0.0)
+  done;
+  (cum_work, cum_energy)
+
 let solve model ~energy inst =
   Obs.span "incmerge.solve" @@ fun () ->
   let bs = blocks model ~energy inst in

@@ -24,6 +24,14 @@ val energy_used : Power_model.t -> Block.t list -> float
 (** Total energy of a block decomposition — for a budget [E] this is
     [E] up to rounding (the last block exhausts the budget). *)
 
+val prefix_sums : Power_model.t -> Block.t array -> float array * float array
+(** [prefix_sums model bs] is [(cum_work, cum_energy)], both of length
+    [Array.length bs + 1], where [cum_work.(j)] sums the work of
+    [bs.(0..j-1)] and [cum_energy.(j)] sums their energies, counting
+    transient infinite-speed blocks as zero energy (they never appear in
+    an emitted configuration).  Built once, these let {!Frontier} price
+    any prefix/suffix split in O(1) instead of re-walking the blocks. *)
+
 val window_blocks : Instance.t -> upto:int -> Block.t list
 (** The merge phase of IncMerge with window-determined speeds only, on
     jobs [0..upto]: the block structure of the first configuration in

@@ -29,12 +29,22 @@ let histogram = Obs_metrics.histogram
 let incr c = if !on then Obs_metrics.incr c
 let add c k = if !on then Obs_metrics.add c k
 let set g v = if !on then Obs_metrics.set g v
-let observe h v = if !on then Obs_metrics.observe h v
 
-let span ?args name f = if !on then Obs_trace.with_span ?args name f else f ()
+(* Counters and gauges are atomic, so they record from pool workers
+   too.  Histograms and trace spans update unsynchronized shared state
+   (several mutable fields; the global span buffer), so on a worker
+   domain they degrade to no-ops rather than race — the main domain
+   still sees its own spans and timings, and parallel sections appear
+   in the metrics via the atomic counters. *)
+let main_domain () = not (Par.on_worker_domain ())
+
+let observe h v = if !on && main_domain () then Obs_metrics.observe h v
+
+let span ?args name f =
+  if !on && main_domain () then Obs_trace.with_span ?args name f else f ()
 
 let time h f =
-  if !on then begin
+  if !on && main_domain () then begin
     let sw = Obs_clock.start () in
     let finally () = Obs_metrics.observe h (Obs_clock.elapsed_s sw) in
     Fun.protect ~finally f

@@ -29,6 +29,15 @@
     Handle creation ({!counter}, {!gauge}, {!histogram}) interns
     unconditionally, so handles made while disabled work once enabled.
 
+    {2 Parallel domains}
+
+    Counter and gauge updates are atomic (see {!Obs_metrics}) and
+    record correctly from [Par] pool workers.  Trace spans and
+    histograms use unsynchronized shared state, so {!span}, {!time}
+    and {!observe} become no-ops on worker domains (they still run
+    [f], of course) — the recorded trace reflects the main domain
+    only, while counters aggregate across all domains.
+
     See {!Obs_metrics} for instrument semantics, {!Obs_trace} for the
     span model and Chrome export, {!Obs_report} for the text report,
     and {!Obs_bench} for benchmark artifacts. *)
@@ -66,15 +75,18 @@ val set : gauge -> float -> unit
 (** [set g v] records [v] — when enabled. *)
 
 val observe : histogram -> float -> unit
-(** [observe h v] folds [v] into [h] — when enabled. *)
+(** [observe h v] folds [v] into [h] — when enabled and on the main
+    domain; otherwise does nothing. *)
 
 val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] inside a trace span named [name] (see
-    {!Obs_trace.with_span}); when disabled it is exactly [f ()]. *)
+    {!Obs_trace.with_span}); when disabled, or on a [Par] worker
+    domain, it is exactly [f ()]. *)
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** [time h f] runs [f ()] and observes its duration in seconds into
-    [h] — when enabled; otherwise exactly [f ()]. *)
+    [h] — when enabled and on the main domain; otherwise exactly
+    [f ()]. *)
 
 val snapshot : unit -> Obs_metrics.snapshot
 (** [snapshot ()] is {!Obs_metrics.snapshot} (always available, even

@@ -1,14 +1,20 @@
 (* Named instruments backed by a global registry.
 
-   Handles are interned once (typically at module initialization) and
-   then updated by plain mutable-field writes: no lock, no allocation,
-   no hash lookup on the hot path.  OCaml's memory model makes each
-   such write atomic; under parallel domains concurrent increments may
-   lose updates but can never corrupt a value or the registry, which is
-   the right trade-off for best-effort telemetry. *)
+   Handles are interned once (typically at module initialization, on
+   the main domain) and then updated through Atomic cells: no lock, no
+   hash lookup on the hot path, and — since pasched.par started running
+   solver code on worker domains — no lost increments either.  On
+   OCaml 4.x the stdlib's Atomic is implemented as plain loads and
+   stores (the runtime is single-threaded), so the fallback build keeps
+   the historical zero-cost plain-int path; on OCaml 5 the same calls
+   compile to real atomic read-modify-writes.
 
-type counter = { c_name : string; mutable c_count : int }
-type gauge = { g_name : string; mutable value : float; mutable touched : bool }
+   The interning tables themselves are not domain-safe: handle creation
+   must stay on the main domain (module-initialization time in
+   practice), which snapshot/reset also assume. *)
+
+type counter = { c_name : string; c_count : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t; g_touched : bool Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -36,28 +42,28 @@ let counter name =
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_count = 0 } in
+    let c = { c_name = name; c_count = Atomic.make 0 } in
     Hashtbl.replace counters name c;
     c
 
-let incr c = c.c_count <- c.c_count + 1
-let add c k = c.c_count <- c.c_count + k
-let value c = c.c_count
+let incr c = Atomic.incr c.c_count
+let add c k = ignore (Atomic.fetch_and_add c.c_count k)
+let value c = Atomic.get c.c_count
 let counter_name c = c.c_name
 
 let gauge name =
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
-    let g = { g_name = name; value = 0.0; touched = false } in
+    let g = { g_name = name; g_value = Atomic.make 0.0; g_touched = Atomic.make false } in
     Hashtbl.replace gauges name g;
     g
 
 let set g v =
-  g.value <- v;
-  g.touched <- true
+  Atomic.set g.g_value v;
+  Atomic.set g.g_touched true
 
-let gauge_value g = g.value
+let gauge_value g = Atomic.get g.g_value
 let gauge_name g = g.g_name
 
 let histogram name =
@@ -97,9 +103,12 @@ let by_name (a, _) (b, _) = compare (a : string) b
 let snapshot () =
   {
     counters =
-      Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) counters [] |> List.sort by_name;
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_count) :: acc) counters []
+      |> List.sort by_name;
     gauges =
-      Hashtbl.fold (fun name g acc -> if g.touched then (name, g.value) :: acc else acc) gauges []
+      Hashtbl.fold
+        (fun name g acc -> if Atomic.get g.g_touched then (name, Atomic.get g.g_value) :: acc else acc)
+        gauges []
       |> List.sort by_name;
     histograms =
       Hashtbl.fold (fun name h acc -> if h.n > 0 then (name, stats h) :: acc else acc) histograms []
@@ -107,11 +116,11 @@ let snapshot () =
   }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_count 0) counters;
   Hashtbl.iter
     (fun _ g ->
-      g.value <- 0.0;
-      g.touched <- false)
+      Atomic.set g.g_value 0.0;
+      Atomic.set g.g_touched false)
     gauges;
   Hashtbl.iter
     (fun _ h ->

@@ -2,12 +2,29 @@
 
     Instruments are {e interned}: [counter "x"] returns the same
     handle every time, so modules create their handles once at
-    initialization and the hot path is a single mutable-field write —
-    no locking, no hashing, no allocation.  Under OCaml 5 parallel
-    domains, concurrent updates are "lock-free-ish": individual writes
-    are atomic (no torn values, no registry corruption) but racing
-    increments may drop counts — acceptable for telemetry, not for
-    program logic.
+    initialization and the hot path is a single [Atomic] operation —
+    no locking, no hashing, no allocation.
+
+    {2 Domain-safety guarantee (changed when [pasched.par] arrived)}
+
+    Counter and gauge updates are {e lock-free and lossless} under
+    OCaml 5 parallel domains: increments are [Atomic.fetch_and_add],
+    so concurrent [incr]/[add] from pool workers never drop counts,
+    and [set]/[value] never observe torn values.  On OCaml 4.x the
+    stdlib implements [Atomic] as plain loads and stores, so the
+    sequential-fallback build keeps the historical zero-cost
+    plain-int path — the stronger guarantee costs nothing where it
+    is not needed.
+
+    Two deliberate limits remain:
+    {ul
+    {- {e interning is main-domain-only}: create handles at module
+       initialization (as every instrumented module does), not from
+       inside a [Par] worker — the registry tables are unsynchronized;}
+    {- {e histograms are best-effort under domains}: [observe] updates
+       several fields non-atomically, so racing observations can
+       under-count or misreport extrema (never corrupt memory).  The
+       library only observes histograms from the main domain.}}
 
     This module is {e unconditional}: updates always land.  The
     enabled/disabled policy (and hence the zero-cost-when-off
@@ -45,10 +62,11 @@ val counter : string -> counter
     [name], creating it (at zero) on first use. *)
 
 val incr : counter -> unit
-(** [incr c] adds one. *)
+(** [incr c] adds one, atomically. *)
 
 val add : counter -> int -> unit
-(** [add c k] adds [k] (negative [k] is permitted but unconventional). *)
+(** [add c k] adds [k] atomically (negative [k] is permitted but
+    unconventional). *)
 
 val value : counter -> int
 (** [value c] reads the current count. *)

@@ -1,0 +1,72 @@
+(* Domain-based fork-join backend, selected by dune on OCaml >= 5.
+
+   One pool per [init] call: [jobs - 1] spawned domains plus the
+   calling domain drain a shared chunked index counter and write into
+   a preallocated result slot per index, so the output order — and
+   therefore every result the library produces — is independent of how
+   the work was interleaved.  Spawning per call (rather than keeping a
+   resident pool) keeps the backend state-free: there is nothing to
+   initialize, shut down, or leak, and a Domain.spawn is far cheaper
+   than the coarse-grained tasks (solver calls, fuzz cases) routed
+   through it.
+
+   Worker domains are tagged through domain-local storage so nested
+   [init] calls degrade to the sequential loop instead of spawning
+   domains from domains, and so the Obs facade can keep its
+   single-domain trace machinery away from workers. *)
+
+let backend = "domains"
+let recommended () = Domain.recommended_domain_count ()
+
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let on_worker_domain () = Domain.DLS.get worker_key
+
+let seq_init n f =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+
+let init ~jobs n f =
+  if n < 0 then invalid_arg "Par.init: negative length";
+  if jobs <= 1 || n <= 1 || on_worker_domain () then seq_init n f
+  else begin
+    let jobs = Stdlib.min jobs n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* first failure, kept at the smallest failing index so the raised
+       exception does not depend on scheduling more than it must *)
+    let failed : (int * exn) option Atomic.t = Atomic.make None in
+    let rec record i e =
+      match Atomic.get failed with
+      | Some (j, _) when j <= i -> ()
+      | cur -> if not (Atomic.compare_and_set failed cur (Some (i, e))) then record i e
+    in
+    let chunk = Stdlib.max 1 (n / (jobs * 8)) in
+    let drain () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failed <> None then continue := false
+        else
+          for i = start to Stdlib.min n (start + chunk) - 1 do
+            match f i with
+            | v -> results.(i) <- Some v
+            | exception e -> record i e
+          done
+      done
+    in
+    let worker () =
+      Domain.DLS.set worker_key true;
+      drain ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    drain ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failed with Some (_, e) -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,19 @@
+(* Sequential fallback backend, selected by dune on OCaml 4.x (no
+   Domain module).  Same signature as the domains backend; [jobs] is
+   accepted and ignored, indices are evaluated in increasing order, so
+   the determinism contract of [Par] holds trivially. *)
+
+let backend = "sequential"
+let recommended () = 1
+let on_worker_domain () = false
+
+let init ~jobs:_ n f =
+  if n < 0 then invalid_arg "Par.init: negative length";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end

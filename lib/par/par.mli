@@ -1,0 +1,67 @@
+(** Multicore execution layer: a fork-join Domain pool on OCaml 5, a
+    sequential stand-in on 4.x — one API, build-time selected by dune.
+
+    Everything embarrassingly parallel in the library (Pareto-point
+    evaluation, fuzz campaigns, registry enumeration) funnels through
+    {!init}/{!map} so parallelism is a deployment knob, not an
+    algorithmic concern.
+
+    {2 Determinism contract}
+
+    For a pure [f], the result of every function in this module is a
+    deterministic function of its arguments only — element [i] of the
+    output is [f i] (or [f a.(i)]) regardless of [jobs], backend, or
+    scheduling.  Callers preserve the contract end-to-end by keeping
+    per-element work self-contained (the fuzz runner derives case [k]'s
+    RNG from [Rng.of_pair seed k]; the frontier sweeps fix their grids
+    and warm-start chains independently of [jobs]), which is what makes
+    the CLI's golden outputs byte-identical for every [--jobs] value.
+
+    {2 Exceptions}
+
+    When [f] raises, the pool stops issuing new work, joins, and
+    re-raises the exception of the lowest-indexed failing element among
+    those evaluated.  Which later elements were already evaluated when
+    the failure surfaced is unspecified (their results are discarded).
+
+    {2 Nesting}
+
+    [init]/[map] called from inside a worker run sequentially — domains
+    are never spawned from domains, so routing a parallel layer through
+    a solver that is itself being driven in parallel cannot oversubscribe
+    the machine. *)
+
+val backend : string
+(** ["domains"] (OCaml 5 build) or ["sequential"] (4.x fallback). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on the domains backend; [1] on
+    the sequential backend. *)
+
+val default_jobs : unit -> int
+(** The pool width used when [?jobs] is omitted: the last value given
+    to {!set_default_jobs}, or {!recommended_jobs} if never set. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide default, set once at the CLI boundary ([--jobs]).
+    @raise Invalid_argument when the value is below 1. *)
+
+val on_worker_domain : unit -> bool
+(** [true] iff the calling domain is a pool worker.  Used by the Obs
+    facade to keep single-domain machinery (trace spans) on the main
+    domain; counters stay atomic and aggregate from everywhere. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [[| f 0; ...; f (n-1) |]], evaluated by up to
+    [jobs] domains ([{!default_jobs} ()] when omitted).  Work is dealt
+    in chunks off a shared counter, so uneven per-element cost balances
+    dynamically.
+    @raise Invalid_argument when [n < 0] or [jobs < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] is [Array.map f a] with the same pool, ordering and
+    exception semantics as {!init}. *)
+
+val list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map] through {!map} (the list is arrayed first; element order
+    is preserved). *)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two Obs_bench JSON artifacts and flag wall-clock regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Prints a Markdown table (suitable for $GITHUB_STEP_SUMMARY) of every
+section present in both files, with the relative wall-clock change and
+a flag on sections slower than the threshold (default +25%).  Sections
+present in only one file are listed but not flagged.
+
+Exit status is always 0: the diff is informational.  Bench runners are
+noisy shared machines, so a flagged regression means "look", not
+"fail" — the tier-1 tests, not this script, gate merges.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative slowdown that gets flagged (0.25 = +25%%)")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: cannot read artifacts: {e}")
+        return 0
+
+    print("### Benchmark wall-clock vs committed baseline")
+    print()
+    print(f"baseline `{args.baseline}` vs current `{args.current}` "
+          f"(flag at +{args.threshold:.0%})")
+    print()
+    print("| section | baseline (s) | current (s) | change | |")
+    print("|---|---:|---:|---:|---|")
+
+    flagged = 0
+    for name in sorted(set(base) | set(cur)):
+        b = base.get(name)
+        c = cur.get(name)
+        if b is None:
+            print(f"| {name} | — | {c['wall_s']:.4f} | new | |")
+            continue
+        if c is None:
+            print(f"| {name} | {b['wall_s']:.4f} | — | removed | |")
+            continue
+        bw, cw = b["wall_s"], c["wall_s"]
+        if bw <= 0.0:
+            print(f"| {name} | {bw:.4f} | {cw:.4f} | n/a | |")
+            continue
+        rel = (cw - bw) / bw
+        mark = ""
+        if rel > args.threshold:
+            mark = "⚠️ regression"
+            flagged += 1
+        print(f"| {name} | {bw:.4f} | {cw:.4f} | {rel:+.1%} | {mark} |")
+
+    print()
+    if flagged:
+        print(f"{flagged} section(s) slower than the +{args.threshold:.0%} "
+              "threshold (non-blocking; machines differ).")
+    else:
+        print("No section regressed past the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

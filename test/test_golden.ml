@@ -112,15 +112,23 @@ let test_fuzz_list_prefix () =
        (fun l -> String.length l >= 7 && String.sub l 0 7 = "engine:")
        got_lines)
 
-let test_fuzz_campaign_golden () =
+let test_fuzz_campaign_golden ?(extra = "") () =
   let expected = read_file (golden "fuzz_25.txt") in
   let args =
-    "fuzz --seed 1 --runs 25 "
+    "fuzz --seed 1 --runs 25 " ^ extra
     ^ String.concat " " (List.map (fun p -> "--prop " ^ p) golden_props)
   in
   let code, got, err = run_cli args in
   Alcotest.(check int) (Printf.sprintf "golden fuzz campaign exits 0 (stderr: %s)" err) 0 code;
-  Alcotest.(check string) "golden fuzz campaign output is byte-identical" expected got
+  Alcotest.(check string)
+    (Printf.sprintf "golden fuzz campaign output is byte-identical (%s)" args)
+    expected got
+
+(* parallel determinism at the CLI boundary: the same goldens must
+   reproduce byte-for-byte with worker domains enabled.  On the 4.14
+   sequential backend this degenerates to the plain golden check. *)
+let jobs_variants =
+  [ ("frontier.txt", "frontier --par-jobs 2"); ("frontier.txt", "frontier -j 8") ]
 
 (* ---------------------------------------------------------------- *)
 (* CLI boundary validation: errors must be clean cmdliner usage
@@ -170,8 +178,14 @@ let () =
       ( "fuzz",
         [
           Alcotest.test_case "--list golden prefix" `Quick test_fuzz_list_prefix;
-          Alcotest.test_case "campaign byte-identical" `Quick test_fuzz_campaign_golden;
+          Alcotest.test_case "campaign byte-identical" `Quick (test_fuzz_campaign_golden ?extra:None);
         ] );
+      ( "jobs-invariance",
+        Alcotest.test_case "fuzz campaign --jobs 2 byte-identical" `Quick
+          (test_fuzz_campaign_golden ~extra:"--jobs 2 ")
+        :: List.map
+             (fun (file, args) -> Alcotest.test_case args `Quick (check_golden (file, args)))
+             jobs_variants );
       ( "cli-errors",
         [
           Alcotest.test_case "alpha <= 1 rejected" `Quick test_alpha_rejected;
