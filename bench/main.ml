@@ -584,6 +584,62 @@ let section_registry () =
      other — treat them as per-solver sanity numbers, not absolutes *)
   List.iter print_string (Par.list_map bench_one (Engine.all ()))
 
+(* ---------------------------------------------------------------- *)
+(* GUARD: supervision overhead of pasched.guard.  The guard-off path
+   adds one disarmed-hook load per instrumented-loop iteration plus a
+   constant-size wrapper per call, so a supervised solve must time
+   within noise of the raw Engine.solve_with it wraps.  A ratio that
+   drifts well past ~1.05 on the hot solvers is a regression in the
+   Fault hook or in the Guard wrapper itself. *)
+
+let section_guard () =
+  header "GUARD  supervision overhead (Guard.solve_with vs raw Engine.solve_with)";
+  Builtin.init ();
+  let alpha = 3.0 in
+  let inst = Workload.equal_work ~seed:23 ~n:48 ~work:1.0 (Workload.Poisson 1.0) in
+  let energy = 1.5 *. float_of_int (Instance.n inst) in
+  let cases =
+    [
+      ("incmerge", Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget energy) ~alpha ());
+      ("flow", Problem.make ~objective:Problem.Total_flow ~mode:(Problem.Budget energy) ~alpha ());
+    ]
+  in
+  let reps = 5 and inner = 20 in
+  Printf.printf "%-12s %-12s %-12s %-8s\n" "solver" "raw_s" "guarded_s" "ratio";
+  List.iter
+    (fun (name, problem) ->
+      let solver =
+        match Engine.find name with
+        | Some s -> s
+        | None -> failwith ("guard bench: unknown solver " ^ name)
+      in
+      let raw () =
+        for _ = 1 to inner do
+          ignore (Sys.opaque_identity (Engine.solve_with solver problem inst))
+        done
+      in
+      let guarded () =
+        for _ = 1 to inner do
+          ignore (Sys.opaque_identity (Guard.solve_with ~policy:Guard.off solver problem inst))
+        done
+      in
+      (* warm-up covers lazy caches on both paths *)
+      raw ();
+      guarded ();
+      let t_raw = time_best ~reps raw in
+      let t_guard = time_best ~reps guarded in
+      Printf.printf "%-12s %-12.6f %-12.6f %-8.3f\n" name (t_raw /. float_of_int inner)
+        (t_guard /. float_of_int inner) (t_guard /. t_raw))
+    cases;
+  (* the supervised path must also stay error-free on these cases *)
+  let clean =
+    List.for_all
+      (fun (name, problem) ->
+        match Guard.solve ~policy:Guard.default name problem inst with Ok _ -> true | Error _ -> false)
+      cases
+  in
+  Printf.printf "\nsupervised solves clean under the default policy: %b\n" clean
+
 let sections =
   [
     ("fig1", section_fig1);
@@ -605,6 +661,7 @@ let sections =
     ("par_fuzz_jobs1", run_fuzz ~jobs:1);
     ("par_fuzz_jobs4", run_fuzz ~jobs:4);
     ("registry", section_registry);
+    ("guard", section_guard);
   ]
 
 (* ---------------------------------------------------------------- *)

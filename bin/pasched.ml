@@ -14,7 +14,9 @@
 
 open Cmdliner
 
-let () = Builtin.init ()
+let () =
+  Builtin.init ();
+  Guard_chaos.register ()
 
 (* ---------- observability flags (every subcommand) ---------- *)
 
@@ -85,8 +87,83 @@ let apply_par_jobs = function None -> () | Some n -> Par.set_default_jobs n
 (* [`Ok] / [`Error] conversion for solver preconditions: the registry
    and the model constructors signal misuse with [Invalid_argument]
    (e.g. an equal-work-only solver on unequal works), which should be a
-   clean CLI error, not a crash. *)
-let wrap_errors f = try f () with Invalid_argument msg | Failure msg -> `Error (false, msg)
+   clean CLI error, not a crash.  Typed guard errors get a one-line
+   stderr message and their class's distinct exit code (2 usage /
+   invalid input, 3 infeasible, 4 no convergence, 5 deadline, 6 solver
+   fault); they are raised only after [with_obs] has flushed. *)
+let wrap_errors f =
+  try f () with
+  | Guard_error.Error e ->
+    Printf.eprintf "pasched: [%s] %s\n%!" (Guard_error.class_string e) (Guard_error.to_string e);
+    Stdlib.exit (Guard_error.exit_code e)
+  | Invalid_argument msg | Failure msg -> `Error (false, msg)
+
+(* ---------- guard (supervision) flags ---------- *)
+
+let guard_term =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Wall-clock budget for the solve (polled from instrumented solver loops); exceeding \
+             it exits with code 5.  0 trips at the first poll.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Tolerance-relaxation retries after a non-convergence (default 2).")
+  in
+  let no_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Fail immediately instead of falling back along the capability-ranked solver chain \
+             after the requested solver fails.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. 'all', 'nonconv:rootfind\\@1', \
+             'nan\\@0.2,delay\\@0.05' (kinds: nan|nonconv|delay|raise|all; optional :site-prefix \
+             and \\@probability).")
+  in
+  let build deadline_s max_retries no_fallback inject =
+    if max_retries < 0 then Error (`Msg "--max-retries must be >= 0")
+    else begin
+      let policy = { Guard.default with Guard.deadline_s; max_retries; fallback = not no_fallback } in
+      match inject with
+      | None -> Ok (policy, None)
+      | Some spec -> (
+        match Guard_inject.parse spec with
+        | Ok s -> Ok (policy, Some (Guard_inject.make ~seed:0 s))
+        | Error msg -> Error (`Msg ("--inject: " ^ msg)))
+    end
+  in
+  Term.term_result Term.(const build $ deadline $ retries $ no_fallback $ inject)
+
+(* supervision with every feature off: pure error normalization, used
+   by the subcommands that do not expose the guard flags *)
+let guard_off = (Guard.off, None)
+
+(* supervised registry solve; a typed error is raised (and mapped to
+   its exit code by [wrap_errors]) after the obs flush *)
+let gsolve (policy, inject) ?name problem inst =
+  let res =
+    match name with
+    | Some n -> Guard.solve ~policy ?inject n problem inst
+    | None -> Guard.solve_auto ~policy ?inject problem inst
+  in
+  match res with Ok r -> r | Error e -> raise (Guard_error.Error e)
+
+let gprotect ~name f =
+  match Guard.protect ~name f with Ok v -> v | Error e -> raise (Guard_error.Error e)
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -194,12 +271,12 @@ let budget_problem ?procs ?speed_cap ?levels ?weights ~objective ~alpha energy =
 (* ---------- commands ---------- *)
 
 let frontier_cmd =
-  let run obs par_jobs alpha inst points =
+  let run obs par_jobs gp alpha inst points =
     wrap_errors @@ fun () ->
     apply_par_jobs par_jobs;
     with_obs obs "frontier" @@ fun () ->
     let r =
-      Engine.solve "frontier"
+      gsolve gp ~name:"frontier"
         (Problem.make ~objective:Problem.Makespan ~mode:Problem.Pareto ~alpha ())
         inst
     in
@@ -222,26 +299,26 @@ let frontier_cmd =
       ret
         (const run $ obs_term
         $ par_jobs_term [ "j"; "par-jobs" ]
-        $ alpha_term $ instance_term $ points))
+        $ guard_term $ alpha_term $ instance_term $ points))
 
 let laptop_cmd =
-  let run obs alpha inst energy gantt =
+  let run obs gp alpha inst energy gantt =
     wrap_errors @@ fun () ->
     with_obs obs "laptop" @@ fun () ->
-    let r = Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst in
+    let r = gsolve gp ~name:"incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst in
     print_schedule (model_of_alpha alpha) ~gantt (schedule_of_result r);
     `Ok ()
   in
   Cmd.v
     (Cmd.info "laptop" ~doc:"Minimize makespan within an energy budget (IncMerge).")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
+    Term.(ret (const run $ obs_term $ guard_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
 
 let server_cmd =
-  let run obs alpha inst makespan gantt =
+  let run obs gp alpha inst makespan gantt =
     wrap_errors @@ fun () ->
     with_obs obs "server" @@ fun () ->
     let r =
-      Engine.solve "server"
+      gsolve gp ~name:"server"
         (Problem.make ~objective:Problem.Makespan ~mode:(Problem.Target makespan) ~alpha ())
         inst
     in
@@ -255,13 +332,13 @@ let server_cmd =
   in
   Cmd.v
     (Cmd.info "server" ~doc:"Minimize energy for a makespan target.")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ makespan $ gantt_flag))
+    Term.(ret (const run $ obs_term $ guard_term $ alpha_term $ instance_term $ makespan $ gantt_flag))
 
 let flow_cmd =
-  let run obs alpha inst energy gantt =
+  let run obs gp alpha inst energy gantt =
     wrap_errors @@ fun () ->
     with_obs obs "flow" @@ fun () ->
-    let r = Engine.solve "flow" (budget_problem ~objective:Problem.Total_flow ~alpha energy) inst in
+    let r = gsolve gp ~name:"flow" (budget_problem ~objective:Problem.Total_flow ~alpha energy) inst in
     let last_speed =
       match Solve_result.diag r "last_speed" with Some s -> s | None -> assert false
     in
@@ -272,23 +349,23 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Minimize total flow within an energy budget (equal-work jobs).")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
+    Term.(ret (const run $ obs_term $ guard_term $ alpha_term $ instance_term $ energy_term $ gantt_flag))
 
 let multi_cmd =
-  let run obs alpha inst energy m use_flow gantt =
+  let run obs gp alpha inst energy m use_flow gantt =
     wrap_errors @@ fun () ->
     with_obs obs "multi" @@ fun () ->
     let model = model_of_alpha alpha in
     if use_flow then begin
       let r =
-        Engine.solve "multi-flow" (budget_problem ~procs:m ~objective:Problem.Total_flow ~alpha energy) inst
+        gsolve gp ~name:"multi-flow" (budget_problem ~procs:m ~objective:Problem.Total_flow ~alpha energy) inst
       in
       Printf.printf "# total flow %.8g on %d processors\n" r.Solve_result.value m;
       print_schedule model ~gantt (schedule_of_result r)
     end
     else begin
       let r =
-        Engine.solve "multi-cyclic" (budget_problem ~procs:m ~objective:Problem.Makespan ~alpha energy) inst
+        gsolve gp ~name:"multi-cyclic" (budget_problem ~procs:m ~objective:Problem.Makespan ~alpha energy) inst
       in
       Printf.printf "# makespan %.8g on %d processors\n" r.Solve_result.value m;
       print_schedule model ~gantt (schedule_of_result r)
@@ -299,7 +376,10 @@ let multi_cmd =
   let use_flow = Arg.(value & flag & info [ "flow" ] ~doc:"Optimize total flow instead of makespan.") in
   Cmd.v
     (Cmd.info "multi" ~doc:"Multiprocessor scheduling for equal-work jobs (cyclic, Theorem 10).")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ use_flow $ gantt_flag))
+    Term.(
+      ret
+        (const run $ obs_term $ guard_term $ alpha_term $ instance_term $ energy_term $ m $ use_flow
+        $ gantt_flag))
 
 let simulate_cmd =
   let run obs alpha inst energy levels switch_time switch_energy =
@@ -308,7 +388,7 @@ let simulate_cmd =
     let model = model_of_alpha alpha in
     let plan =
       schedule_of_result
-        (Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
+        (gsolve guard_off ~name:"incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
     in
     let config =
       {
@@ -399,7 +479,7 @@ let deadline_cmd =
     let problem =
       Problem.make ~objective:Problem.Deadline_energy ~mode:Problem.Feasible ~alpha ~deadlines ()
     in
-    let energy_of solver = (Engine.solve solver problem inst).Solve_result.value in
+    let energy_of solver = (gsolve guard_off ~name:solver problem inst).Solve_result.value in
     let yds = energy_of "yds" in
     let avr = energy_of "avr" in
     let oa = energy_of "optimal-available" in
@@ -418,12 +498,12 @@ let deadline_cmd =
     Term.(ret (const run $ obs_term $ alpha_term $ n $ seed))
 
 let maxflow_cmd =
-  let run obs alpha inst energy m gantt =
+  let run obs gp alpha inst energy m gantt =
     wrap_errors @@ fun () ->
     with_obs obs "maxflow" @@ fun () ->
     let solver = if m <= 1 then "max-flow" else "max-flow-cyclic" in
     let r =
-      Engine.solve solver
+      gsolve gp ~name:solver
         (budget_problem ~procs:(Stdlib.max 1 m) ~objective:Problem.Max_flow ~alpha energy)
         inst
     in
@@ -434,7 +514,8 @@ let maxflow_cmd =
   let m = Arg.(value & opt int 1 & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.") in
   Cmd.v
     (Cmd.info "maxflow" ~doc:"Minimize the worst response time within an energy budget (YDS duality).")
-    Term.(ret (const run $ obs_term $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag))
+    Term.(
+      ret (const run $ obs_term $ guard_term $ alpha_term $ instance_term $ energy_term $ m $ gantt_flag))
 
 let discrete_cmd =
   (* stays on the concrete module: the per-job two-level segment plans
@@ -447,7 +528,9 @@ let discrete_cmd =
     let levels =
       Discrete_levels.create (List.map (parse_float "level") (String.split_on_char ',' levels))
     in
-    let d = Discrete_makespan.solve model levels ~energy inst in
+    let d =
+      gprotect ~name:"discrete-makespan" (fun () -> Discrete_makespan.solve model levels ~energy inst)
+    in
     Printf.printf "# makespan %.8g using energy %.8g (budget %g)\n" d.Discrete_makespan.makespan
       d.Discrete_makespan.energy energy;
     Printf.printf "# continuous relaxation: %.8g\n" (Incmerge.makespan model ~energy inst);
@@ -501,7 +584,7 @@ let thermal_cmd =
     let model = model_of_alpha alpha in
     let plan =
       schedule_of_result
-        (Engine.solve "incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
+        (gsolve guard_off ~name:"incmerge" (budget_problem ~objective:Problem.Makespan ~alpha energy) inst)
     in
     let profile = Schedule.profile_of_proc plan 0 in
     Printf.printf "# peak temperature %.6g (heating %g, cooling %g)\n"
@@ -521,7 +604,7 @@ let thermal_cmd =
 (* ---------- the generic registry front end ---------- *)
 
 let solve_cmd =
-  let run obs par_jobs list_solvers solver objective pareto target energy procs alpha cap levels
+  let run obs par_jobs gp list_solvers solver objective pareto target energy procs alpha cap levels
       weights deadlines points gantt inst =
     wrap_errors @@ fun () ->
     apply_par_jobs par_jobs;
@@ -559,11 +642,7 @@ let solve_cmd =
             ?deadlines:(Option.map (fun s -> Array.of_list (parse_floats "deadline" s)) deadlines)
             ~objective:obj ~mode ~alpha ()
         in
-        let r =
-          match solver with
-          | Some name -> Engine.solve name problem inst
-          | None -> Engine.solve_auto problem inst
-        in
+        let r = gsolve gp ?name:solver problem inst in
         (match r.Solve_result.pareto with
         | Some p ->
           Printf.printf "# solver %s (%s)\n" r.Solve_result.solver (Problem.to_string problem);
@@ -645,14 +724,49 @@ let solve_cmd =
       ret
         (const run $ obs_term
         $ par_jobs_term [ "j"; "par-jobs" ]
-        $ list_solvers $ solver $ objective $ pareto $ target $ energy_term $ procs $ alpha_term
-        $ cap $ levels $ weights $ deadlines $ points $ gantt_flag $ instance_term))
+        $ guard_term $ list_solvers $ solver $ objective $ pareto $ target $ energy_term $ procs
+        $ alpha_term $ cap $ levels $ weights $ deadlines $ points $ gantt_flag $ instance_term))
 
 let fuzz_cmd =
-  let run obs par_jobs seed runs props list_props replay =
+  let run obs par_jobs seed runs props list_props replay inject =
     match apply_par_jobs par_jobs with
     | exception Invalid_argument msg -> `Error (false, msg)
     | () ->
+    (* --inject SPEC turns the run into a chaos campaign: the spec is
+       handed to the chaos properties (each guarded solve arms a plan
+       derived from its case seed), a campaign-wide plan is installed so
+       the check.worker site itself can fault (exercising per-case
+       containment in the runner), and — unless --prop narrowed the
+       selection — only the chaos properties run *)
+    let inject_spec =
+      match inject with
+      | None -> Ok None
+      | Some s -> (match Guard_inject.parse s with Ok spec -> Ok (Some spec) | Error m -> Error m)
+    in
+    match inject_spec with
+    | Error msg -> `Error (false, Printf.sprintf "--inject: %s" msg)
+    | Ok spec ->
+    Guard_chaos.configure spec;
+    (* only the Raise clauses target the workers: a nan/nonconv/delay
+       outside any guarded solve would read as a genuine solver bug,
+       while an injected worker exception is exactly what per-case
+       containment must absorb *)
+    (match spec with
+    | None -> ()
+    | Some spec -> (
+      match
+        List.filter_map
+          (fun (c : Guard_inject.clause) ->
+            if c.Guard_inject.kind = Guard_inject.Raise then
+              Some { c with Guard_inject.site = Some "check.worker" }
+            else None)
+          spec
+      with
+      | [] -> ()
+      | worker_spec -> Guard_inject.install (Guard_inject.make ~seed worker_spec)));
+    let props =
+      match (props, spec) with [], Some _ -> Guard_chaos.names () | ps, _ -> ps
+    in
     (* run the campaign under [with_obs] but defer [exit] until after the
        trace/metrics have been flushed *)
     let outcome =
@@ -705,6 +819,16 @@ let fuzz_cmd =
       & opt (some string) None
       & info [ "replay" ] ~docv:"LINE" ~doc:"Re-run one serialized counterexample line and exit.")
   in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Chaos campaign: inject deterministic faults (same SPEC grammar as the solver \
+             commands) into guarded solves and the fuzz workers themselves; runs the chaos \
+             properties unless --prop is given.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Property-based differential testing: random instances against the oracle registry.")
@@ -712,11 +836,22 @@ let fuzz_cmd =
       ret
         (const run $ obs_term
         $ par_jobs_term [ "jobs"; "j" ]
-        $ seed $ runs $ props $ list_props $ replay))
+        $ seed $ runs $ props $ list_props $ replay $ inject))
 
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
   let info = Cmd.info "pasched" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-    [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
-      workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]))
+  let group =
+    Cmd.group info
+      [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
+        workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]
+  in
+  (* exit-code contract: 0 ok, 1 fuzz counterexample (via Stdlib.exit
+     above), 2 usage / invalid input, 3 infeasible, 4 no convergence,
+     5 deadline, 6 solver fault (3-6 via Guard_error in wrap_errors),
+     125 unexpected exception *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error `Parse | Error `Term -> 2
+    | Error `Exn -> 125)

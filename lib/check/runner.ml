@@ -1,8 +1,11 @@
 let c_cases = Obs.counter "check.cases_generated"
 let c_checks = Obs.counter "check.property_checks"
 let c_failures = Obs.counter "check.failures"
+let c_crashes = Obs.counter "check.worker_crashes"
 
 type prop_stats = { name : string; passed : int; skipped : int; failed : int }
+
+type crash = { case_index : int; message : string; injected : bool; replay_hint : string }
 
 type failure = {
   prop : string;
@@ -20,6 +23,7 @@ type summary = {
   checks : int;
   stats : prop_stats list;
   failures : failure list;
+  crashes : crash list;
 }
 
 let guard run case =
@@ -43,6 +47,7 @@ let run_props ?jobs ?(size = 25) ~props ~seed ~runs () =
      below then reproduces exactly the tallies and failure order of
      the historical single-threaded loop. *)
   let eval k =
+    Fault.enter "check.worker";
     let rng = Rng.of_pair seed k in
     let case = Gen.case ~size:(3 + (k mod (size - 2))) rng in
     Obs.incr c_cases;
@@ -70,22 +75,42 @@ let run_props ?jobs ?(size = 25) ~props ~seed ~runs () =
             })
       props_arr
   in
-  let outcomes = Par.init ?jobs runs eval in
+  (* per-case containment: an exception escaping the case pipeline
+     itself (generation, not a property — those are guarded above)
+     becomes a recorded crash, and the campaign continues instead of
+     aborting on the first faulted worker item *)
+  let outcomes = Par.try_init ?jobs runs eval in
   let passed = Array.make nprops 0 in
   let skipped = Array.make nprops 0 in
   let failed = Array.make nprops 0 in
   let failures = ref [] in
-  Array.iter
-    (fun per_prop ->
-      Array.iteri
-        (fun pi outcome ->
-          match outcome with
-          | C_pass -> passed.(pi) <- passed.(pi) + 1
-          | C_skip -> skipped.(pi) <- skipped.(pi) + 1
-          | C_fail f ->
-            failed.(pi) <- failed.(pi) + 1;
-            failures := f :: !failures)
-        per_prop)
+  let crashes = ref [] in
+  Array.iteri
+    (fun k outcome ->
+      match outcome with
+      | Ok per_prop ->
+        Array.iteri
+          (fun pi outcome ->
+            match outcome with
+            | C_pass -> passed.(pi) <- passed.(pi) + 1
+            | C_skip -> skipped.(pi) <- skipped.(pi) + 1
+            | C_fail f ->
+              failed.(pi) <- failed.(pi) + 1;
+              failures := f :: !failures)
+          per_prop
+      | Error e ->
+        Obs.incr c_crashes;
+        let injected = match e with Fault.Injected _ -> true | _ -> false in
+        crashes :=
+          {
+            case_index = k;
+            message = Printexc.to_string e;
+            injected;
+            (* case k regenerates from (seed, k): replay with the same
+               seed and enough runs to reach it *)
+            replay_hint = Printf.sprintf "fuzz --seed %d --runs %d" seed (k + 1);
+          }
+          :: !crashes)
     outcomes;
   let stats =
     List.mapi
@@ -93,7 +118,14 @@ let run_props ?jobs ?(size = 25) ~props ~seed ~runs () =
         { name = p.Oracle.name; passed = passed.(pi); skipped = skipped.(pi); failed = failed.(pi) })
       props
   in
-  { seed; cases = runs; checks = runs * nprops; stats; failures = List.rev !failures }
+  {
+    seed;
+    cases = runs;
+    checks = runs * nprops;
+    stats;
+    failures = List.rev !failures;
+    crashes = List.rev !crashes;
+  }
 
 let run ?jobs ?size ?props ~seed ~runs () =
   let selected =
@@ -112,7 +144,8 @@ let run ?jobs ?size ?props ~seed ~runs () =
   in
   run_props ?jobs ?size ~props:selected ~seed ~runs ()
 
-let ok s = s.failures = []
+let real_crashes s = List.filter (fun c -> not c.injected) s.crashes
+let ok s = s.failures = [] && real_crashes s = []
 
 let report ?(out = stdout) s =
   Printf.fprintf out "fuzz: seed=%d cases=%d property-checks=%d\n" s.seed s.cases s.checks;
@@ -128,5 +161,16 @@ let report ?(out = stdout) s =
         (Format.asprintf "%a" Instance.pp f.shrunk.Oracle.inst);
       Printf.fprintf out "  replay: %s\n" f.replay)
     s.failures;
-  if s.failures = [] then Printf.fprintf out "all properties passed\n"
-  else Printf.fprintf out "\n%d failure(s)\n" (List.length s.failures)
+  List.iter
+    (fun c ->
+      Printf.fprintf out "\n%s case %d crashed before property evaluation: %s\n"
+        (if c.injected then "CONTAINED (injected)" else "CRASH") c.case_index c.message;
+      Printf.fprintf out "  replay: %s\n" c.replay_hint)
+    s.crashes;
+  (match List.filter (fun c -> c.injected) s.crashes with
+  | [] -> ()
+  | l -> Printf.fprintf out "\ncontained %d injected worker fault(s)\n" (List.length l));
+  if ok s then Printf.fprintf out "all properties passed\n"
+  else
+    Printf.fprintf out "\n%d failure(s)\n"
+      (List.length s.failures + List.length (real_crashes s))

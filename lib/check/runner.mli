@@ -25,12 +25,24 @@ type failure = {
   replay : string;  (** {!Replay.to_line} of the shrunk case *)
 }
 
+type crash = {
+  case_index : int;  (** which case faulted before properties ran *)
+  message : string;  (** [Printexc.to_string] of the escaped exception *)
+  injected : bool;  (** [true] when it was a [Fault.Injected] chaos fault *)
+  replay_hint : string;  (** a [fuzz] invocation that regenerates the case *)
+}
+(** A worker item that crashed outside any property (e.g. during case
+    generation, or from an injected worker fault).  Crashes are
+    contained per-case — the campaign continues — and recorded here
+    instead of aborting the whole run. *)
+
 type summary = {
   seed : int;
   cases : int;  (** generated cases *)
   checks : int;  (** property evaluations, excluding shrinking *)
   stats : prop_stats list;  (** one per property, registry order *)
   failures : failure list;
+  crashes : crash list;  (** contained per-case worker crashes, case order *)
 }
 
 val run_props :
@@ -46,6 +58,9 @@ val run :
     @raise Invalid_argument on an unknown property name. *)
 
 val ok : summary -> bool
+(** [true] iff there are no failures and no {e non-injected} crashes
+    (faults deliberately injected by a chaos campaign are expected and
+    do not fail it). *)
 
 val report : ?out:out_channel -> summary -> unit
 (** Stats table on [out] (default stdout), then one block per failure

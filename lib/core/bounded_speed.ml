@@ -70,6 +70,7 @@ let release_bound_speed inst (b : Block.t) =
 
 let improve model ~energy ~cap inst blocks =
   let rec loop blocks iter =
+    Fault.tick ();
     if iter <= 0 then blocks
     else begin
       let leftover = energy -. spent model blocks in
@@ -94,6 +95,7 @@ let improve model ~energy ~cap inst blocks =
   loop blocks (4 * List.length blocks)
 
 let capped_blocks model ~energy ~cap inst =
+  Fault.enter "bounded_speed.solve";
   if cap <= 0.0 then invalid_arg "Bounded_speed: cap must be positive";
   let unbounded = Incmerge.blocks model ~energy inst in
   if List.for_all (fun b -> b.Block.speed <= cap +. eps) unbounded then unbounded

@@ -62,10 +62,12 @@ let all_feasible_partitions model ~energy inst =
     if n > 20 then invalid_arg "Brute: instance too large for exponential search";
     if energy <= 0.0 then invalid_arg "Brute: energy budget must be positive";
     Obs.span "brute.search" @@ fun () ->
+    Fault.enter "brute.search";
     let feasible =
       List.filter_map
         (fun cuts ->
           Obs.incr c_states;
+          Fault.tick ();
           match blocks_of_cuts model ~energy inst cuts with
           | None -> None
           | Some bs ->

@@ -18,6 +18,7 @@ let min_prefix_energy model inst =
   if n >= 2 then Obs.add c_states (n * (n - 1) / 2);
   for j = 0 to n - 2 do
     for i = 0 to j do
+      Fault.tick ();
       let before = if i = 0 then 0.0 else dp.(i - 1) in
       if Float.is_finite before then begin
         let w = work_range i j in
@@ -33,6 +34,7 @@ let min_prefix_energy model inst =
 
 let best_split model ~energy inst =
   Obs.span "dp_makespan.best_split" @@ fun () ->
+  Fault.enter "dp.solve";
   let n = Instance.n inst in
   if n = 0 then None
   else begin

@@ -67,6 +67,7 @@ let solve_with ~alpha ~h inst s =
           let hi = ref (Float.max (2.0 *. s) (2.0 *. float_of_int len *. w /. window)) in
           let i = ref 0 in
           while f !hi > 0.0 && !i < 200 do
+            Fault.tick ();
             hi := !hi *. 2.0;
             incr i
           done;
@@ -146,6 +147,7 @@ let solve_for_last_speed ~alpha inst s =
 
 let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
   Obs.span "flow.solve_budget" @@ fun () ->
+  Fault.enter "flow.solve_budget";
   if energy <= 0.0 then invalid_arg "Flow.solve_budget: energy must be positive";
   if Instance.n inst = 0 then empty_solution 0.0
   else begin
@@ -164,6 +166,7 @@ let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
              root very little — and double only if that misses *)
           let hi = ref (s0 *. 1.05) in
           while g !hi < 0.0 && !hi < 1e300 do
+            Fault.tick ();
             hi := !hi *. 2.0
           done;
           (s0, !hi)
@@ -171,6 +174,7 @@ let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
         else begin
           let lo = ref (s0 /. 1.05) in
           while g !lo > 0.0 && !lo > 1e-300 do
+            Fault.tick ();
             lo := !lo /. 2.0
           done;
           (!lo, s0)
@@ -178,10 +182,12 @@ let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
       | _ ->
         let lo = ref 1e-6 in
         while g !lo > 0.0 && !lo > 1e-300 do
+          Fault.tick ();
           lo := !lo /. 16.0
         done;
         let hi = ref 1.0 in
         while g !hi < 0.0 && !hi < 1e300 do
+          Fault.tick ();
           hi := !hi *. 2.0
         done;
         (!lo, !hi)
@@ -201,10 +207,12 @@ let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
     (* flow(s) is decreasing: large s -> tiny flows *)
     let lo = ref 1e-6 in
     while g !lo < 0.0 && !lo > 1e-300 do
+      Fault.tick ();
       lo := !lo /. 16.0
     done;
     let hi = ref 1.0 in
     while g !hi > 0.0 && !hi < 1e300 do
+      Fault.tick ();
       hi := !hi *. 2.0
     done;
     let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in

@@ -127,12 +127,14 @@ let deriv2_at t e =
 let min_makespan_limit t =
   if Array.length t.segs = 0 then 0.0 else t.segs.(0).last_start
 
+exception Infeasible_target of { target : float; infimum : float }
+
 let energy_for_makespan t m =
   let nsegs = Array.length t.segs in
   if nsegs = 0 then 0.0
   else begin
     if m <= min_makespan_limit t then
-      invalid_arg "Frontier.energy_for_makespan: target below the achievable infimum";
+      raise (Infeasible_target { target = m; infimum = min_makespan_limit t });
     (* segments in decreasing energy order = increasing makespan order *)
     let rec go k =
       let s = t.segs.(k) in

@@ -56,10 +56,15 @@ val deriv2_at : t -> float -> float
 (** d²M/dE² (Figure 3); discontinuous at breakpoints — the value of the
     configuration in force at energies [<= e] is returned. *)
 
+exception Infeasible_target of { target : float; infimum : float }
+(** A makespan target at or below {!min_makespan_limit}: unreachable
+    even with unbounded energy.  Typed (rather than
+    [Invalid_argument]) so supervisors can classify it as an
+    infeasible {e problem} instead of malformed input. *)
+
 val energy_for_makespan : t -> float -> float
 (** The server problem: the least energy achieving a target makespan.
-    @raise Invalid_argument when the target is below the infimum
-    (unreachable even with unbounded energy). *)
+    @raise Infeasible_target when the target is below the infimum. *)
 
 val schedule_at : t -> float -> Schedule.t
 (** Optimal schedule at a budget; agrees with {!Incmerge.solve}. *)

@@ -1,0 +1,10 @@
+(* Domain-local hook slot (OCaml >= 5).  Each domain sees its own
+   hooks: a Par worker that arms fault injection for one fuzz case
+   cannot perturb solves running concurrently on sibling domains, and
+   freshly spawned domains start with the slot empty. *)
+
+type 'a slot = 'a option Domain.DLS.key
+
+let make () : 'a slot = Domain.DLS.new_key (fun () -> None)
+let get (s : 'a slot) = Domain.DLS.get s
+let set (s : 'a slot) v = Domain.DLS.set s v

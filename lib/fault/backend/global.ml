@@ -1,0 +1,9 @@
+(* Global hook slot (OCaml < 5).  Without domains execution is
+   sequential, so a single ref has the same visibility semantics as
+   the domain-local backend. *)
+
+type 'a slot = 'a option ref
+
+let make () : 'a slot = ref None
+let get (s : 'a slot) = !s
+let set (s : 'a slot) v = s := v

@@ -1,0 +1,168 @@
+type policy = {
+  deadline_s : float option;
+  max_retries : int;
+  fallback : bool;
+  iter_cap : int option;
+  retry_seed : int;
+}
+
+let off = { deadline_s = None; max_retries = 0; fallback = false; iter_cap = None; retry_seed = 0 }
+let default = { off with max_retries = 2; fallback = true }
+
+let tick = Fault.tick
+
+let c_solves = Obs.counter "guard.solves"
+let c_retries = Obs.counter "guard.retries"
+let c_fallbacks = Obs.counter "guard.fallbacks"
+let c_deadline = Obs.counter "guard.deadline_hits"
+let c_recovered = Obs.counter "guard.recovered"
+let c_errors = Obs.counter "guard.errors"
+
+(* a NaN/infinite objective or energy is a convergence failure that
+   slipped past the kernels (e.g. an injected NaN root): surface it as
+   typed non-convergence so retry/fallback can engage.  Pareto bundles
+   legitimately carry nan values and are exempt. *)
+let nonfinite (r : Solve_result.t) =
+  Option.is_none r.Solve_result.pareto
+  && (not (Float.is_finite r.Solve_result.value) || not (Float.is_finite r.Solve_result.energy))
+
+(* relaxed tolerance for retry round [r >= 1]: one decade per round,
+   jittered by the splittable RNG so repeated retries do not probe the
+   exact same tolerance twice across seeds *)
+let tol_scale_for ~retry_seed r =
+  if r = 0 then 1.0
+  else begin
+    let jitter = 0.5 +. Rng.float (Rng.of_pair retry_seed r) 1.0 in
+    (10.0 ** float_of_int r) *. jitter
+  end
+
+let deadline_poll ~t0 = function
+  | None -> None
+  | Some budget_s ->
+    let n = ref 0 in
+    Some
+      (fun () ->
+        (* poll on the first tick (so a 0 budget trips deterministically
+           even on a solve with very few ticks), then every 32nd *)
+        if !n land 31 = 0 then begin
+          let elapsed_s = Unix.gettimeofday () -. t0 in
+          if elapsed_s >= budget_s then
+            raise (Guard_error.Deadline_hit { budget_s; elapsed_s })
+        end;
+        incr n)
+
+let solve_with ?(policy = default) ?inject solver problem inst =
+  Obs.incr c_solves;
+  let t0 = Unix.gettimeofday () in
+  let poll = deadline_poll ~t0 policy.deadline_s in
+  let base = match inject with Some plan -> Guard_inject.hooks plan | None -> Fault.null in
+  let run_one ~tol_scale s =
+    let name = Engine.name_of s in
+    let armed =
+      Option.is_some poll || Option.is_some inject || Option.is_some policy.iter_cap
+      || tol_scale <> 1.0
+    in
+    let go () = Engine.solve_with s problem inst in
+    let run =
+      if not armed then go
+      else begin
+        let on_tick =
+          match poll with
+          | None -> base.Fault.on_tick
+          | Some p -> fun () -> base.Fault.on_tick (); p ()
+        in
+        let hooks = { base with Fault.on_tick; tol_scale; iter_cap = policy.iter_cap } in
+        fun () -> Fault.with_hooks hooks go
+      end
+    in
+    match run () with
+    | r when nonfinite r ->
+      Error (Guard_error.No_convergence { iters = 0; residual = Float.nan })
+    | r -> Ok r
+    | exception e -> Error (Guard_error.of_exn ~solver:name e)
+  in
+  (* retry the same solver with relaxed tolerances while it reports
+     non-convergence; deadline errors are final (the budget covers the
+     whole supervised call) *)
+  let rec attempts s r =
+    match run_one ~tol_scale:(tol_scale_for ~retry_seed:policy.retry_seed r) s with
+    | Ok res -> Ok (res, r)
+    | Error (Guard_error.No_convergence _ as e) ->
+      if r < policy.max_retries then begin
+        Obs.incr c_retries;
+        attempts s (r + 1)
+      end
+      else Error e
+    | Error e -> Error e
+  in
+  let add_diag (res : Solve_result.t) extra =
+    { res with Solve_result.diagnostics = res.Solve_result.diagnostics @ extra }
+  in
+  let requested = Engine.name_of solver in
+  let finish_err e =
+    Obs.incr c_errors;
+    (match e with Guard_error.Deadline_exceeded _ -> Obs.incr c_deadline | _ -> ());
+    Error e
+  in
+  match attempts solver 0 with
+  | Ok (res, 0) -> Ok res
+  | Ok (res, r) ->
+    Obs.incr c_recovered;
+    Ok (add_diag res [ ("guard.degraded", 1.0); ("guard.retries", float_of_int r) ])
+  | Error (Guard_error.Deadline_exceeded _ as e) -> finish_err e
+  | Error (Guard_error.Invalid_input _ as e) ->
+    (* the caller's problem is malformed for this solver on purpose;
+       silently answering with a different solver would mask it *)
+    finish_err e
+  | Error first_err ->
+    if not policy.fallback then finish_err first_err
+    else begin
+      let chain =
+        List.filter (fun s -> Engine.name_of s <> requested) (Engine.supporting problem inst)
+      in
+      let rec walk tried = function
+        | [] -> finish_err first_err
+        | s :: rest -> (
+          Obs.incr c_fallbacks;
+          match run_one ~tol_scale:1.0 s with
+          | Ok res ->
+            Obs.incr c_recovered;
+            let path = List.rev ((Engine.name_of s, List.length tried + 1) :: tried) in
+            Ok
+              (add_diag res
+                 ([
+                    ("guard.degraded", 1.0);
+                    ("guard.fallbacks", float_of_int (List.length tried + 1));
+                  ]
+                 @ List.map
+                     (fun (n, i) -> (Printf.sprintf "guard.path.%d.%s" i n, float_of_int i))
+                     ((requested, 0) :: path)))
+          | Error (Guard_error.Deadline_exceeded _ as e) -> finish_err e
+          | Error _ -> walk ((Engine.name_of s, List.length tried + 1) :: tried) rest)
+      in
+      walk [] chain
+    end
+
+let solve ?policy ?inject name problem inst =
+  match Engine.find name with
+  | None -> (
+    Obs.incr c_solves;
+    Obs.incr c_errors;
+    let known = String.concat ", " (Engine.names ()) in
+    Error (Guard_error.Invalid_input (Printf.sprintf "unknown solver %S (known: %s)" name known)))
+  | Some s -> solve_with ?policy ?inject s problem inst
+
+let solve_auto ?policy ?inject problem inst =
+  match Engine.supporting problem inst with
+  | [] ->
+    Obs.incr c_solves;
+    Obs.incr c_errors;
+    Error
+      (Guard_error.Invalid_input
+         (Printf.sprintf "no registered solver supports %s" (Problem.to_string problem)))
+  | s :: _ -> solve_with ?policy ?inject s problem inst
+
+let protect ~name f =
+  match f () with
+  | v -> Ok v
+  | exception e -> Error (Guard_error.of_exn ~solver:name e)

@@ -1,0 +1,78 @@
+(** The resilient solve supervisor.
+
+    [Guard] wraps {!Engine} solves with the failure semantics a
+    long-running service needs: every outcome is an [Ok] result or a
+    typed {!Guard_error.t} (never an escaped exception), a wall-clock
+    deadline bounds each supervised call, a {!Rootfind.No_convergence}
+    is retried with geometrically relaxed (seed-jittered) tolerances,
+    and a still-failing solve falls back along the capability-ranked
+    chain of {!Engine.supporting} (exact solvers first).
+
+    A recovered result is marked {e degraded} in
+    [Solve_result.diagnostics]:
+    - [guard.degraded = 1] — not the pristine requested solve;
+    - [guard.retries = r] — tolerance-relaxation rounds used;
+    - [guard.fallbacks = k] — solvers tried after the requested one;
+    - [guard.path.<i>.<solver> = <i>] — the attempt chain, in order.
+
+    With {!off} (no deadline, no retries, no fallback, no injection)
+    the supervised solve is {e transparent}: same result, same
+    observable behaviour, no hooks armed — locked by the golden
+    tests. *)
+
+type policy = {
+  deadline_s : float option;
+      (** wall-clock budget for the whole supervised call, retries and
+          fallbacks included.  Polled from [Fault.tick], so it fires
+          only inside instrumented loops; [Some 0.] trips at the first
+          poll (useful for testing). *)
+  max_retries : int;  (** tolerance-relaxation rounds on [No_convergence] *)
+  fallback : bool;  (** walk [Engine.supporting] after the requested solver fails *)
+  iter_cap : int option;  (** clamp every kernel's per-call iteration budget *)
+  retry_seed : int;  (** seeds the jitter on relaxed tolerances *)
+}
+
+val off : policy
+(** Supervision disabled: normalize errors, change nothing else. *)
+
+val default : policy
+(** No deadline, 2 retries, fallback enabled, no iteration cap. *)
+
+val tick : unit -> unit
+(** The cooperative-progress hook instrumented kernels call once per
+    iteration (an alias of [Fault.tick], which lower layers use
+    directly to avoid depending on this library).  Custom solvers
+    should call it in their hot loops so deadlines can interrupt
+    them. *)
+
+val solve_with :
+  ?policy:policy ->
+  ?inject:Guard_inject.plan ->
+  Engine.solver ->
+  Problem.t ->
+  Instance.t ->
+  (Solve_result.t, Guard_error.t) result
+(** Supervise one solve ([policy] defaults to {!default}).  [inject]
+    arms a fault-injection plan for the duration of the call (chaos
+    testing).  Never raises. *)
+
+val solve :
+  ?policy:policy ->
+  ?inject:Guard_inject.plan ->
+  string ->
+  Problem.t ->
+  Instance.t ->
+  (Solve_result.t, Guard_error.t) result
+(** Look up by name first; an unknown name is [Invalid_input]. *)
+
+val solve_auto :
+  ?policy:policy ->
+  ?inject:Guard_inject.plan ->
+  Problem.t ->
+  Instance.t ->
+  (Solve_result.t, Guard_error.t) result
+(** Supervise the first supporting solver (exact preferred). *)
+
+val protect : name:string -> (unit -> 'a) -> ('a, Guard_error.t) result
+(** Normalize any exception out of a non-registry computation into
+    the taxonomy (e.g. the CLI's direct solver calls). *)

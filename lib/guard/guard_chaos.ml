@@ -1,0 +1,99 @@
+let config : Guard_inject.spec option ref = ref None
+let configure s = config := s
+
+let budget_problem (c : Oracle.case) =
+  Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget c.Oracle.energy)
+    ~alpha:c.Oracle.alpha ()
+
+(* chaos cases stay small: containment runs up to (1 + retries +
+   fallback-chain) solves per case, and transparency needs the
+   exponential solvers to stay cheap *)
+let prepare c = Oracle.truncate 6 c
+
+let transparent (c : Oracle.case) =
+  let c = prepare c in
+  let p = budget_problem c in
+  match Engine.supporting p c.Oracle.inst with
+  | [] -> Oracle.Skip "no supporting solver"
+  | s :: _ -> (
+    let r0 = Engine.solve_with s p c.Oracle.inst in
+    match Guard.solve_with ~policy:Guard.off s p c.Oracle.inst with
+    | Error e -> Oracle.Fail ("guard-off errored: " ^ Guard_error.to_string e)
+    | Ok r1 ->
+      let open Solve_result in
+      if
+        r1.solver = r0.solver && r1.value = r0.value && r1.energy = r0.energy
+        && r1.schedule = r0.schedule && r1.diagnostics = r0.diagnostics
+      then Oracle.Pass
+      else Oracle.Fail "guard-off result differs from the raw engine result")
+
+(* the seed-chosen supervised solve the injection properties share *)
+let guarded_solve (c : Oracle.case) =
+  let p = budget_problem c in
+  match Engine.supporting p c.Oracle.inst with
+  | [] -> None
+  | sols ->
+    let rng = Rng.of_pair c.Oracle.seed 0x6a5d in
+    let s = List.nth sols (Rng.int rng (List.length sols)) in
+    let inject = Option.map (fun spec -> Guard_inject.make ~seed:c.Oracle.seed spec) !config in
+    let policy = { Guard.default with Guard.retry_seed = c.Oracle.seed } in
+    Some (Guard.solve_with ~policy ?inject s p c.Oracle.inst, inject)
+
+let containment c =
+  match guarded_solve (prepare c) with
+  | None -> Oracle.Skip "no supporting solver"
+  | Some ((Ok _ | Error _), _) -> Oracle.Pass
+
+let outcome_key = function
+  | Ok (r : Solve_result.t) ->
+    let degraded = match Solve_result.diag r "guard.degraded" with Some _ -> "+degraded" | None -> "" in
+    "ok:" ^ r.Solve_result.solver ^ degraded
+  | Error e -> "error:" ^ Guard_error.class_string e
+
+let determinism c =
+  let c = prepare c in
+  match (guarded_solve c, guarded_solve c) with
+  | None, _ | _, None -> Oracle.Skip "no supporting solver"
+  | Some (o1, p1), Some (o2, p2) ->
+    let log = function None -> [] | Some plan -> Guard_inject.fired plan in
+    if outcome_key o1 <> outcome_key o2 then
+      Oracle.Fail
+        (Printf.sprintf "outcome not reproducible: %s vs %s" (outcome_key o1) (outcome_key o2))
+    else if log p1 <> log p2 then Oracle.Fail "fault-firing log not reproducible"
+    else Oracle.Pass
+
+let deadline (c : Oracle.case) =
+  let c = Oracle.equal_work_view (prepare c) in
+  let p =
+    Problem.make ~objective:Problem.Total_flow ~mode:(Problem.Budget c.Oracle.energy)
+      ~alpha:c.Oracle.alpha ()
+  in
+  let policy = { Guard.off with Guard.deadline_s = Some 0.0 } in
+  match Guard.solve ~policy "flow" p c.Oracle.inst with
+  | Error (Guard_error.Deadline_exceeded _) -> Oracle.Pass
+  | Ok _ -> Oracle.Pass (* beat the first 32-tick poll; containment still holds *)
+  | Error e -> Oracle.Fail ("zero deadline produced a different error: " ^ Guard_error.to_string e)
+
+let props =
+  [
+    ( "chaos:transparent",
+      "Guard.off supervision reproduces the raw engine result bit-for-bit",
+      transparent );
+    ( "chaos:containment",
+      "injected faults end as Ok or a typed Guard_error, never an escaped exception",
+      containment );
+    ( "chaos:determinism",
+      "same seed, fresh plan: same outcome class and same fault-firing log",
+      determinism );
+    ("chaos:deadline", "a zero wall-clock budget fails only as Deadline_exceeded", deadline);
+  ]
+
+let names () = List.map (fun (n, _, _) -> n) props
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    List.iter (fun (name, doc, run) -> Oracle.register { Oracle.name; doc; run }) props
+  end

@@ -1,0 +1,32 @@
+(** Chaos-testing bridge: the guard's recovery paths, fuzzed.
+
+    Registers [chaos:*] properties into the {!Oracle} registry so the
+    ordinary fuzz campaign exercises the supervisor itself:
+
+    - [chaos:transparent] — with {!Guard.off} and no injection, the
+      supervised result is identical to the raw engine result;
+    - [chaos:containment] — under the configured injection spec, a
+      supervised solve of a seed-chosen supporting solver returns
+      [Ok] or a typed error, never an escaped exception;
+    - [chaos:determinism] — re-running the same case with a fresh
+      plan for the same seed reproduces the same outcome class and
+      the same fault-firing log;
+    - [chaos:deadline] — a zero wall-clock budget yields
+      [Deadline_exceeded] (or a completed solve that beat the first
+      poll), never any other failure.
+
+    Without {!configure} the properties run with injection disabled —
+    they then check transparency and totality only, keeping the
+    default fuzz campaign injection-free and [--jobs]-invariant. *)
+
+val configure : Guard_inject.spec option -> unit
+(** Set (or clear) the campaign-wide injection spec the [chaos:*]
+    properties derive their per-case plans from.  Call before the
+    campaign starts; per-case seeds keep runs deterministic. *)
+
+val register : unit -> unit
+(** Register the [chaos:*] properties (idempotent).  Requires the
+    builtin solvers to be registered first. *)
+
+val names : unit -> string list
+(** The property names, in registration order. *)

@@ -21,9 +21,13 @@ let is_convex_on_samples ~f ~lo ~hi ~n = is_convex_gen ~strict:false ~f ~lo ~hi 
 let is_strictly_convex_on_samples ~f ~lo ~hi ~n = is_convex_gen ~strict:true ~f ~lo ~hi ~n
 
 let ternary_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
+  Fault.enter "convex.min";
+  let eps = eps *. Fault.tol_scale () in
+  let max_iter = Fault.cap_iters max_iter in
   let lo = ref lo and hi = ref hi in
   let i = ref 0 in
   while !hi -. !lo > eps *. (1.0 +. Float.abs !lo +. Float.abs !hi) && !i < max_iter do
+    Fault.tick ();
     let m1 = !lo +. ((!hi -. !lo) /. 3.0) in
     let m2 = !hi -. ((!hi -. !lo) /. 3.0) in
     if f m1 <= f m2 then hi := m2 else lo := m1;
@@ -32,6 +36,9 @@ let ternary_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
   0.5 *. (!lo +. !hi)
 
 let golden_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
+  Fault.enter "convex.min";
+  let eps = eps *. Fault.tol_scale () in
+  let max_iter = Fault.cap_iters max_iter in
   let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
   let a = ref lo and b = ref hi in
   let x1 = ref (!b -. (phi *. (!b -. !a))) in
@@ -39,6 +46,7 @@ let golden_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
   let f1 = ref (f !x1) and f2 = ref (f !x2) in
   let i = ref 0 in
   while !b -. !a > eps *. (1.0 +. Float.abs !a +. Float.abs !b) && !i < max_iter do
+    Fault.tick ();
     if !f1 <= !f2 then begin
       b := !x2;
       x2 := !x1;
@@ -58,6 +66,7 @@ let golden_min ~f ~lo ~hi ?(eps = 1e-12) ?(max_iter = 300) () =
   0.5 *. (!a +. !b)
 
 let minimize_convex_sum ~n ~f ~total ?(eps = 1e-10) ?(max_iter = 200) () =
+  Fault.enter "convex.minimize";
   if n <= 0 then invalid_arg "Convex.minimize_convex_sum: n <= 0";
   if total < 0.0 then invalid_arg "Convex.minimize_convex_sum: negative total";
   if total = 0.0 then Array.make n 0.0
@@ -81,11 +90,13 @@ let minimize_convex_sum ~n ~f ~total ?(eps = 1e-10) ?(max_iter = 200) () =
     let mu_lo = ref (-1.0) and mu_hi = ref 1.0 in
     let i = ref 0 in
     while sum_for !mu_lo > total && !i < 60 do
+      Fault.tick ();
       mu_lo := !mu_lo *. 2.0;
       incr i
     done;
     let i = ref 0 in
     while sum_for !mu_hi < total && !i < 60 do
+      Fault.tick ();
       mu_hi := !mu_hi *. 2.0;
       incr i
     done;

@@ -1,4 +1,5 @@
-exception No_bracket
+exception No_bracket of { lo : float; hi : float; f_lo : float; f_hi : float }
+exception No_convergence of { iters : int; residual : float }
 
 (* iteration counters are batched: one [Obs.add] per solver call, so
    the per-iteration cost of instrumentation is zero *)
@@ -13,14 +14,20 @@ let default_eps = 1e-12
 let opposite fa fb = (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0)
 
 let bisect ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
+  Fault.enter "rootfind.bisect";
+  let eps = eps *. Fault.tol_scale () in
+  let max_iter = Fault.cap_iters max_iter in
   let fa = f lo and fb = f hi in
-  if not (opposite fa fb) then raise No_bracket;
+  if not (opposite fa fb) then raise (No_bracket { lo; hi; f_lo = fa; f_hi = fb });
   if fa = 0.0 then lo
   else if fb = 0.0 then hi
   else begin
     let lo = ref lo and hi = ref hi and fa = ref fa in
     let i = ref 0 in
-    while !hi -. !lo > eps *. (1.0 +. Float.abs !lo +. Float.abs !hi) && !i < max_iter do
+    let width () = !hi -. !lo in
+    let tol () = eps *. (1.0 +. Float.abs !lo +. Float.abs !hi) in
+    while width () > tol () && !i < max_iter do
+      Fault.tick ();
       let mid = 0.5 *. (!lo +. !hi) in
       let fm = f mid in
       if fm = 0.0 then begin
@@ -36,13 +43,18 @@ let bisect ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
     done;
     Obs.incr c_calls;
     Obs.add c_bisect !i;
-    0.5 *. (!lo +. !hi)
+    let mid = 0.5 *. (!lo +. !hi) in
+    if width () > tol () then raise (No_convergence { iters = !i; residual = Float.abs (f mid) });
+    Fault.observe_float "rootfind.bisect" mid
   end
 
 let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
+  Fault.enter "rootfind.brent";
+  let eps = eps *. Fault.tol_scale () in
+  let max_iter = Fault.cap_iters max_iter in
   let a = ref lo and b = ref hi in
   let fa = ref (f !a) and fb = ref (f !b) in
-  if not (opposite !fa !fb) then raise No_bracket;
+  if not (opposite !fa !fb) then raise (No_bracket { lo; hi; f_lo = !fa; f_hi = !fb });
   if Float.abs !fa < Float.abs !fb then begin
     let t = !a in
     a := !b;
@@ -55,7 +67,9 @@ let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
   let d = ref (!b -. !a) in
   let mflag = ref true in
   let iter = ref 0 in
-  while !fb <> 0.0 && Float.abs (!b -. !a) > eps *. (1.0 +. Float.abs !b) && !iter < max_iter do
+  let converged () = !fb = 0.0 || Float.abs (!b -. !a) <= eps *. (1.0 +. Float.abs !b) in
+  while (not (converged ())) && !iter < max_iter do
+    Fault.tick ();
     let s =
       if !fa <> !fc && !fb <> !fc then
         (* inverse quadratic interpolation *)
@@ -65,7 +79,7 @@ let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
       else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
     in
     let lo_bound = (3.0 *. !a +. !b) /. 4.0 in
-    let in_range = (s > Float.min lo_bound !b) && (s < Float.max lo_bound !b) in
+    let in_range = s > Float.min lo_bound !b && s < Float.max lo_bound !b in
     let cond_bisect =
       (not in_range)
       || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
@@ -99,25 +113,28 @@ let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
   done;
   Obs.incr c_calls;
   Obs.add c_brent !iter;
-  !b
+  if not (converged ()) then raise (No_convergence { iters = !iter; residual = Float.abs !fb });
+  Fault.observe_float "rootfind.brent" !b
 
 let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
+  let max_iter = Fault.cap_iters max_iter in
+  let eps = eps *. Fault.tol_scale () in
   let steps = ref 0 in
   let rec go x i =
     steps := i;
-    if i >= max_iter then failwith "Rootfind.newton: no convergence"
+    Fault.tick ();
+    let fx = f x in
+    if i >= max_iter then raise (No_convergence { iters = i; residual = Float.abs fx })
+    else if Float.abs fx = 0.0 then x
     else begin
-      let fx = f x in
-      if Float.abs fx = 0.0 then x
+      let d = df x in
+      if d = 0.0 || not (Float.is_finite d) then
+        raise (No_convergence { iters = i; residual = Float.abs fx })
       else begin
-        let d = df x in
-        if d = 0.0 || not (Float.is_finite d) then failwith "Rootfind.newton: zero derivative"
-        else begin
-          let x' = x -. (fx /. d) in
-          if not (Float.is_finite x') then failwith "Rootfind.newton: diverged"
-          else if Float.abs (x' -. x) <= eps *. (1.0 +. Float.abs x') then x'
-          else go x' (i + 1)
-        end
+        let x' = x -. (fx /. d) in
+        if not (Float.is_finite x') then raise (No_convergence { iters = i; residual = Float.abs fx })
+        else if Float.abs (x' -. x) <= eps *. (1.0 +. Float.abs x') then x'
+        else go x' (i + 1)
       end
     end
   in
@@ -127,11 +144,13 @@ let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
   root
 
 let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
-  if lo >= hi then raise No_bracket;
+  if lo >= hi then raise (No_bracket { lo; hi; f_lo = Float.nan; f_hi = Float.nan });
+  let max_iter = Fault.cap_iters max_iter in
   let lo = ref lo and hi = ref hi in
   let fa = ref (f !lo) and fb = ref (f !hi) in
   let i = ref 0 in
   while (not (opposite !fa !fb)) && !i < max_iter do
+    Fault.tick ();
     let width = !hi -. !lo in
     if Float.abs !fa < Float.abs !fb then begin
       lo := !lo -. (grow *. width);
@@ -144,7 +163,8 @@ let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
     incr i
   done;
   Obs.add c_bracket !i;
-  if opposite !fa !fb then (!lo, !hi) else raise No_bracket
+  if opposite !fa !fb then (!lo, !hi)
+  else raise (No_bracket { lo = !lo; hi = !hi; f_lo = !fa; f_hi = !fb })
 
 let find_root ~f ~lo ~hi ?(eps = default_eps) () =
   let lo, hi = if opposite (f lo) (f hi) then (lo, hi) else bracket_outward ~f ~lo ~hi () in

@@ -2,26 +2,43 @@
 
     The speed-scaling solvers reduce many subproblems ("what energy makes
     these two blocks merge?", "what speed exhausts the budget?") to
-    finding a zero of a monotone function; these are the workhorses. *)
+    finding a zero of a monotone function; these are the workhorses.
 
-exception No_bracket
-(** Raised when a bracketing step cannot find a sign change. *)
+    Failures are typed so the guard layer can classify them:
+    {!No_bracket} carries the rejected endpoints, {!No_convergence}
+    the iteration count and final residual.  Every iterative loop
+    calls [Fault.tick] (the guard deadline/injection hook) and the
+    tolerance/iteration budgets honour [Fault.tol_scale]/
+    [Fault.cap_iters], all of which are free when no hooks are
+    armed. *)
+
+exception No_bracket of { lo : float; hi : float; f_lo : float; f_hi : float }
+(** Raised when a bracketing step cannot find a sign change; carries
+    the final endpoints and their function values. *)
+
+exception No_convergence of { iters : int; residual : float }
+(** Raised when an iteration budget is exhausted before the tolerance
+    is met; [residual] is [|f x|] at the last iterate. *)
 
 val bisect : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
 (** Plain bisection.  Requires [f lo] and [f hi] to have opposite signs
     (zero counts as either).  [eps] is the interval-width tolerance
     (default [1e-12] relative to magnitude).
-    @raise No_bracket when the endpoints do not bracket a root. *)
+    @raise No_bracket when the endpoints do not bracket a root.
+    @raise No_convergence when [max_iter] halvings leave the interval
+    wider than the tolerance (only reachable under a tightened cap). *)
 
 val brent : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
 (** Brent's method (inverse quadratic interpolation + secant + bisection);
     superlinear on smooth functions, never worse than bisection.
-    @raise No_bracket when the endpoints do not bracket a root. *)
+    @raise No_bracket when the endpoints do not bracket a root.
+    @raise No_convergence when the iteration budget is exhausted. *)
 
 val newton :
   f:(float -> float) -> df:(float -> float) -> x0:float -> ?eps:float -> ?max_iter:int -> unit -> float
-(** Newton iteration from [x0]; raises [Failure] if it fails to converge
-    (non-finite step or iteration budget exhausted). *)
+(** Newton iteration from [x0].
+    @raise No_convergence on a vanishing derivative, a non-finite
+    step, or an exhausted iteration budget. *)
 
 val bracket_outward :
   f:(float -> float) -> lo:float -> hi:float -> ?grow:float -> ?max_iter:int -> unit -> float * float

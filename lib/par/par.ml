@@ -27,3 +27,11 @@ let resolve = function
 let init ?jobs n f = Par_pool.init ~jobs:(resolve jobs) n f
 let map ?jobs f a = init ?jobs (Array.length a) (fun i -> f a.(i))
 let list_map ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))
+
+(* containment wrappers: a faulted element becomes its own [Error]
+   instead of aborting the whole batch, so campaign-style callers
+   (Check.Runner) keep every other element's result *)
+let try_init ?jobs n f =
+  init ?jobs n (fun i -> match f i with v -> Ok v | exception e -> Error e)
+
+let try_map ?jobs f a = try_init ?jobs (Array.length a) (fun i -> f a.(i))

@@ -65,3 +65,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map] through {!map} (the list is arrayed first; element order
     is preserved). *)
+
+val try_init : ?jobs:int -> int -> (int -> 'a) -> ('a, exn) result array
+(** {!init} with per-element fault containment: element [i] is
+    [Ok (f i)], or [Error e] when [f i] raised [e].  The batch always
+    completes; no exception propagates.  Used by campaign runners that
+    must survive one faulted item. *)
+
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** {!map} with the same containment. *)

@@ -131,21 +131,24 @@ let jobs_variants =
   [ ("frontier.txt", "frontier --par-jobs 2"); ("frontier.txt", "frontier -j 8") ]
 
 (* ---------------------------------------------------------------- *)
-(* CLI boundary validation: errors must be clean cmdliner usage
-   errors (exit 124 with a message), never an uncaught exception
-   (exit 125, "internal error"). *)
+(* CLI boundary validation: every failure must be a clean one-line
+   error with its class's exit code — 2 usage / invalid input,
+   3 infeasible, 4 no convergence, 5 deadline, 6 solver fault — never
+   an uncaught exception (exit 125, "internal error"). *)
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
-let check_usage_error ~what ~needle args () =
+let check_exit ~what ~code:expected ~needle args () =
   let code, _, err = run_cli args in
-  Alcotest.(check int) (Printf.sprintf "%s exits 124" what) 124 code;
+  Alcotest.(check int) (Printf.sprintf "%s exits %d (stderr: %s)" what expected err) expected code;
   Alcotest.(check bool)
     (Printf.sprintf "%s error mentions %S (stderr: %s)" what needle err)
     true (contains ~needle err)
+
+let check_usage_error ~what ~needle args = check_exit ~what ~code:2 ~needle args
 
 let test_alpha_rejected =
   check_usage_error ~what:"laptop --alpha 1.0" ~needle:"alpha must exceed 1" "laptop --alpha 1.0"
@@ -163,10 +166,38 @@ let test_equal_work_rejected =
 
 let test_bad_jobs_file_rejected () =
   let code, _, err = run_cli "laptop --file /nonexistent/jobs.txt" in
-  Alcotest.(check int) "missing jobs file exits 124" 124 code;
+  Alcotest.(check int) "missing jobs file exits 2" 2 code;
   Alcotest.(check bool)
     (Printf.sprintf "missing jobs file reports an error (stderr: %s)" err)
     true (String.length err > 0)
+
+(* the typed guard exit codes, each triggered deterministically *)
+
+let test_infeasible_exit =
+  (* figure1's last release is 6: no energy reaches makespan 0.1 *)
+  check_exit ~what:"server --makespan 0.1" ~code:3 ~needle:"infeasible" "server --makespan 0.1"
+
+let test_no_convergence_exit =
+  check_exit ~what:"flow with forced non-convergence" ~code:4 ~needle:"no convergence"
+    ("flow --inject nonconv@1 --no-fallback --max-retries 0 --jobs " ^ eq_jobs)
+
+let test_deadline_exit =
+  (* a zero budget trips at the solver's first deadline poll *)
+  check_exit ~what:"flow --deadline 0" ~code:5 ~needle:"deadline exceeded"
+    ("flow --deadline 0 --jobs " ^ eq_jobs)
+
+let test_solver_fault_exit =
+  check_exit ~what:"flow with an injected worker exception" ~code:6 ~needle:"faulted"
+    ("flow --inject raise:flow@1 --no-fallback --jobs " ^ eq_jobs)
+
+(* with the guard features at their defaults (or explicitly disabled)
+   the supervised commands must reproduce the goldens byte-for-byte *)
+let guard_off_variants =
+  [
+    ("laptop.txt", "laptop --max-retries 0 --no-fallback");
+    ("flow.txt", "flow --max-retries 0 --no-fallback --jobs " ^ eq_jobs);
+    ("server.txt", "server --deadline 3600");
+  ]
 
 let () =
   Alcotest.run "golden"
@@ -193,5 +224,13 @@ let () =
           Alcotest.test_case "unknown solver rejected" `Quick test_unknown_solver_rejected;
           Alcotest.test_case "equal-work capability enforced" `Quick test_equal_work_rejected;
           Alcotest.test_case "bad jobs file rejected" `Quick test_bad_jobs_file_rejected;
+          Alcotest.test_case "infeasible target exits 3" `Quick test_infeasible_exit;
+          Alcotest.test_case "non-convergence exits 4" `Quick test_no_convergence_exit;
+          Alcotest.test_case "deadline exits 5" `Quick test_deadline_exit;
+          Alcotest.test_case "solver fault exits 6" `Quick test_solver_fault_exit;
         ] );
+      ( "guard-off",
+        List.map
+          (fun (file, args) -> Alcotest.test_case args `Quick (check_golden (file, args)))
+          guard_off_variants );
     ]

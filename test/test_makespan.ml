@@ -284,9 +284,11 @@ let test_server_module () =
   check_bool "feasible" true (Validate.is_feasible fig1 s);
   checkf6 "achieves target" 6.5 (Metrics.makespan s);
   check_bool "infeasible target rejected" true (not (Server.feasible_makespan cube fig1 5.9));
-  Alcotest.check_raises "below infimum raises"
-    (Invalid_argument "Frontier.energy_for_makespan: target below the achievable infimum")
-    (fun () -> ignore (Server.min_energy cube ~makespan:5.9 fig1))
+  (match Server.min_energy cube ~makespan:5.9 fig1 with
+  | _ -> Alcotest.fail "below-infimum target should raise Infeasible_target"
+  | exception Frontier.Infeasible_target { target; infimum } ->
+    checkf6 "payload echoes the target" 5.9 target;
+    check_bool "payload carries the infimum" true (infimum >= 5.9))
 
 let prop_frontier_matches_incmerge_random =
   QCheck.Test.make ~count:150 ~name:"frontier curve = incmerge at every budget" arb_instance_energy

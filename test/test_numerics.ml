@@ -299,8 +299,22 @@ let test_newton () =
   checkf "newton sqrt2" (Float.sqrt 2.0) r
 
 let test_no_bracket () =
-  Alcotest.check_raises "no bracket" Rootfind.No_bracket (fun () ->
-      ignore (Rootfind.bisect ~f:(fun x -> (x *. x) +. 1.0) ~lo:(-1.0) ~hi:1.0 ()))
+  match Rootfind.bisect ~f:(fun x -> (x *. x) +. 1.0) ~lo:(-1.0) ~hi:1.0 () with
+  | _ -> Alcotest.fail "expected No_bracket"
+  | exception Rootfind.No_bracket { lo; hi; f_lo; f_hi } ->
+    checkf "No_bracket lo" (-1.0) lo;
+    checkf "No_bracket hi" 1.0 hi;
+    checkf "No_bracket f_lo" 2.0 f_lo;
+    checkf "No_bracket f_hi" 2.0 f_hi
+
+let test_no_convergence_capped () =
+  (* an artificially tight iteration cap must surface as a typed
+     No_convergence carrying the residual, not a silent midpoint *)
+  match Rootfind.bisect ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 ~max_iter:3 () with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception Rootfind.No_convergence { iters; residual } ->
+    Alcotest.(check int) "iters = cap" 3 iters;
+    check_bool "residual finite" true (Float.is_finite residual)
 
 let test_bracket_outward () =
   let lo, hi = Rootfind.bracket_outward ~f:(fun x -> x -. 100.0) ~lo:0.0 ~hi:1.0 () in
@@ -504,6 +518,8 @@ let () =
           Alcotest.test_case "brent" `Quick test_brent_cubic;
           Alcotest.test_case "newton" `Quick test_newton;
           Alcotest.test_case "no bracket raises" `Quick test_no_bracket;
+          Alcotest.test_case "capped iterations raise No_convergence" `Quick
+            test_no_convergence_capped;
           Alcotest.test_case "bracket outward" `Quick test_bracket_outward;
           qt prop_brent_finds_planted_root;
         ] );
