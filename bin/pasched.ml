@@ -16,7 +16,8 @@ open Cmdliner
 
 let () =
   Builtin.init ();
-  Guard_chaos.register ()
+  Guard_chaos.register ();
+  Serve_check.register ()
 
 (* ---------- observability flags (every subcommand) ---------- *)
 
@@ -130,9 +131,9 @@ let guard_term =
       & opt (some string) None
       & info [ "inject" ] ~docv:"SPEC"
           ~doc:
-            "Deterministic fault injection, e.g. 'all', 'nonconv:rootfind\\@1', \
-             'nan\\@0.2,delay\\@0.05' (kinds: nan|nonconv|delay|raise|all; optional :site-prefix \
-             and \\@probability).")
+            "Deterministic fault injection, e.g. 'all', 'nonconv:rootfind@1', \
+             'nan@0.2,delay@0.05' (kinds: nan|nonconv|delay|raise|all; optional :site-prefix \
+             and @probability).")
   in
   let build deadline_s max_retries no_fallback inject =
     if max_retries < 0 then Error (`Msg "--max-retries must be >= 0")
@@ -838,13 +839,160 @@ let fuzz_cmd =
         $ par_jobs_term [ "jobs"; "j" ]
         $ seed $ runs $ props $ list_props $ replay $ inject))
 
+(* ---------- serve: the long-running solve daemon ---------- *)
+
+let serve_cmd =
+  let run obs par_jobs (policy, inject) socket cache_capacity max_batch =
+    match apply_par_jobs par_jobs with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | () ->
+      if inject <> None then `Error (false, "serve does not support --inject")
+      else if cache_capacity < 1 then `Error (false, "--cache must be >= 1")
+      else if max_batch < 1 then `Error (false, "--max-batch must be >= 1")
+      else
+        wrap_errors @@ fun () ->
+        with_obs obs "serve" @@ fun () ->
+        let t = Serve.create ?jobs:par_jobs ~cache_capacity ~policy () in
+        (match socket with
+        | None -> Serve.run_pipe ~max_batch t
+        | Some path -> Serve.run_socket ~max_batch ~path t);
+        `Ok ()
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) instead of serving stdin to stdout.  A \
+             stale socket file is replaced; the path is unlinked on shutdown.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"LRU result-cache capacity in entries (default 256); least-recently-used eviction.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 32
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Largest request batch dispatched to the domain pool at once (default 32).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running solve service: newline-delimited JSON requests over stdin or a Unix \
+          socket, answered from an LRU cache backed by a persistent domain pool.")
+    Term.(
+      ret
+        (const run $ obs_term
+        $ par_jobs_term [ "jobs"; "j" ]
+        $ guard_term $ socket $ cache $ max_batch))
+
+let client_cmd =
+  let run socket file reqs =
+    wrap_errors @@ fun () ->
+    let read_lines ic =
+      let rec go acc = match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+    in
+    let lines =
+      match (reqs, file) with
+      | [], None -> read_lines stdin
+      | [], Some "-" -> read_lines stdin
+      | [], Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
+      | rs, None -> rs
+      | _ :: _, Some _ -> failwith "give positional requests or --file, not both"
+    in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    if lines = [] then `Ok ()
+    else begin
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let replies =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try Unix.connect fd (Unix.ADDR_UNIX socket)
+             with Unix.Unix_error (err, _, _) ->
+               failwith
+                 (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err)));
+            let payload = String.concat "\n" lines ^ "\n" in
+            let len = String.length payload in
+            let sent = ref 0 in
+            while !sent < len do
+              sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
+            done;
+            (* one reply line per request line, in order *)
+            let want = List.length lines in
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 65536 in
+            let count s = String.fold_left (fun k c -> if c = '\n' then k + 1 else k) 0 s in
+            while count (Buffer.contents buf) < want do
+              let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+              if got = 0 then failwith "server closed the connection mid-reply";
+              Buffer.add_subbytes buf chunk 0 got
+            done;
+            List.filteri
+              (fun i _ -> i < want)
+              (String.split_on_char '\n' (Buffer.contents buf)))
+      in
+      List.iter print_endline replies;
+      (* exit-code contract: first error reply's class decides, same
+         codes as the one-shot subcommands *)
+      let code_of reply =
+        match Obs_json.of_string reply with
+        | Ok doc -> (
+          match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
+          | Some "ok" -> 0
+          | _ -> (
+            match Option.bind (Obs_json.member "class" doc) Obs_json.to_string_val with
+            | Some "invalid-input" -> 2
+            | Some "infeasible" -> 3
+            | Some "no-convergence" -> 4
+            | Some "deadline" -> 5
+            | _ -> 6))
+        | Error _ -> 6
+      in
+      match List.find_opt (fun r -> code_of r <> 0) replies with
+      | None -> `Ok ()
+      | Some bad -> Stdlib.exit (code_of bad)
+    end
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the running $(b,pasched serve).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH"
+          ~doc:"Read request lines from $(docv) ('-' = stdin) instead of the command line.")
+  in
+  let reqs = Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc:"Request lines (JSON).") in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines to a running serve daemon and print the replies; exits with the \
+          first error reply's class code.")
+    Term.(ret (const run $ socket $ file $ reqs))
+
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
   let info = Cmd.info "pasched" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
       [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
-        workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd; fuzz_cmd ]
+        workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd;
+        fuzz_cmd; serve_cmd; client_cmd ]
   in
   (* exit-code contract: 0 ok, 1 fuzz counterexample (via Stdlib.exit
      above), 2 usage / invalid input, 3 infeasible, 4 no convergence,

@@ -39,6 +39,34 @@ let solve_with (module S : SOLVER) problem inst =
     ("engine.solve." ^ S.name)
     (fun () -> S.solve problem inst)
 
+let c_batches = Obs.counter "engine.batches"
+
+let solve_many ?pool (module S : SOLVER) items =
+  (* validate the whole batch up front so a capability mismatch is an
+     argument error naming the offending index, not a mid-batch
+     [Error] that depends on evaluation order *)
+  Array.iteri
+    (fun i (problem, inst) ->
+      match Capability.accepts S.capability problem inst with
+      | Ok () -> ()
+      | Error why ->
+        invalid_arg (Printf.sprintf "Engine.solve_many %s: item %d: %s" S.name i why))
+    items;
+  let n = Array.length items in
+  Obs.incr c_batches;
+  Obs.add c_solves n;
+  let eval i =
+    let problem, inst = items.(i) in
+    match S.solve problem inst with v -> Ok v | exception e -> Error e
+  in
+  Obs.span
+    ~args:[ ("batch", string_of_int n) ]
+    ("engine.solve_many." ^ S.name)
+    (fun () ->
+      match pool with
+      | Some p -> Par.Pool.init p n eval
+      | None -> Array.init n eval)
+
 let solve name problem inst =
   match find name with
   | Some s -> solve_with s problem inst

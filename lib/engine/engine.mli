@@ -54,6 +54,24 @@ val solve : string -> Problem.t -> Instance.t -> Solve_result.t
 val solve_with : solver -> Problem.t -> Instance.t -> Solve_result.t
 (** Same checks and instrumentation, solver already in hand. *)
 
+val solve_many :
+  ?pool:Par.Pool.t ->
+  solver ->
+  (Problem.t * Instance.t) array ->
+  (Solve_result.t, exn) result array
+(** Batched {!solve_with}: one capability sweep, one [Obs] span
+    ([engine.solve_many.<name>]) and one counter update
+    ([engine.batches] +1, [engine.solves] +n) for the whole batch
+    instead of per item — the amortization the serve batcher and the
+    bench registry sweep rely on.  With [?pool] the items are evaluated
+    on the resident {!Par.Pool} workers (order-deterministic per the
+    [Par] contract); without it they run sequentially in index order.
+
+    Per-item solver failures are contained as [Error e] in the result
+    slot, so one pathological instance cannot sink its batch.
+    @raise Invalid_argument when any item fails the capability check
+    (checked before any solve runs, naming the offending index). *)
+
 val solve_auto : Problem.t -> Instance.t -> Solve_result.t
 (** Route to the first supporting solver (exact preferred).
     @raise Invalid_argument when no registered solver accepts the

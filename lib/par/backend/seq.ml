@@ -1,7 +1,8 @@
 (* Sequential fallback backend, selected by dune on OCaml 4.x (no
    Domain module).  Same signature as the domains backend; [jobs] is
    accepted and ignored, indices are evaluated in increasing order, so
-   the determinism contract of [Par] holds trivially. *)
+   the determinism contract of [Par] holds trivially.  The resident
+   pool degenerates to a record tracking the shutdown flag. *)
 
 let backend = "sequential"
 let recommended () = 1
@@ -17,3 +18,12 @@ let init ~jobs:_ n f =
     done;
     results
   end
+
+type pool = { mutable stopping : bool }
+
+let pool_create ~jobs:_ = { stopping = false }
+let pool_jobs _ = 1
+
+let pool_init _pool n f = init ~jobs:1 n f
+
+let pool_shutdown pool = pool.stopping <- true

@@ -29,7 +29,16 @@
     [init]/[map] called from inside a worker run sequentially — domains
     are never spawned from domains, so routing a parallel layer through
     a solver that is itself being driven in parallel cannot oversubscribe
-    the machine. *)
+    the machine.
+
+    {2 Clamping}
+
+    The effective worker count never exceeds {!recommended_jobs}: OCaml 5
+    minor collections are stop-the-world across domains, so widths above
+    the core count make every minor GC wait on descheduled domains and
+    run dramatically {e slower} (measured ~5x on a single core).  Since
+    [jobs] is a performance knob and never a semantic one (see the
+    determinism contract), clamping changes no result. *)
 
 val backend : string
 (** ["domains"] (OCaml 5 build) or ["sequential"] (4.x fallback). *)
@@ -74,3 +83,51 @@ val try_init : ?jobs:int -> int -> (int -> 'a) -> ('a, exn) result array
 
 val try_map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** {!map} with the same containment. *)
+
+(** Resident worker pool for long-running dispatch loops.
+
+    {!init} spawns its domains per call, which is the right trade for a
+    few coarse batches (fuzz campaigns, Pareto sweeps) but not for a
+    daemon dispatching thousands of small batches.  A [Pool.t] spawns
+    its workers once at {!Pool.create} and parks them between batches on
+    a condition variable; each {!Pool.init} wakes them, deals the same
+    chunked work queue as the per-call path, and waits for quiescence
+    before returning.
+
+    All contracts of the per-call API hold unchanged: determinism in the
+    element order, lowest-index exception propagation, sequential
+    degradation when called from a worker domain, and clamping to
+    {!recommended_jobs}.  A pool is driven from one domain at a time —
+    it is a fork-join accelerator, not a concurrent task queue. *)
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn a resident pool of up to [jobs] workers (defaulting to
+      [{!default_jobs} ()], clamped to {!recommended_jobs}).  Created
+      from a worker domain, the pool is sequential (width 1): domains
+      are never spawned from domains.
+      @raise Invalid_argument when [jobs < 1]. *)
+
+  val jobs : t -> int
+  (** Effective parallel width (after clamping), including the calling
+      domain.  [1] means sequential. *)
+
+  val init : t -> int -> (int -> 'a) -> 'a array
+  (** As {!Par.init} but on the resident workers.  After {!shutdown},
+      runs sequentially.
+      @raise Invalid_argument when [n < 0]. *)
+
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** As {!Par.map} on the resident workers. *)
+
+  val try_init : t -> int -> (int -> 'a) -> ('a, exn) result array
+  (** As {!Par.try_init} on the resident workers. *)
+
+  val try_map : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+  (** As {!Par.try_map} on the resident workers. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the workers.  Idempotent; subsequent {!init} calls
+      degrade to sequential evaluation rather than failing. *)
+end

@@ -1,0 +1,233 @@
+type t = {
+  pool : Par.Pool.t;
+  cache : Serve_cache.t;
+  policy : Guard.policy;
+  mutable requests : int;
+  mutable batches : int;
+  mutable stop : bool;
+}
+
+type stats = { cache : Serve_cache.stats; jobs : int; requests : int; batches : int }
+
+let c_requests = Obs.counter "serve.requests"
+let c_batches = Obs.counter "serve.batches"
+
+let create ?jobs ?(cache_capacity = 256) ?(policy = Guard.default) () =
+  {
+    pool = Par.Pool.create ?jobs ();
+    cache = Serve_cache.create ~capacity:cache_capacity;
+    policy;
+    requests = 0;
+    batches = 0;
+    stop = false;
+  }
+
+let stats (t : t) =
+  {
+    cache = Serve_cache.stats t.cache;
+    jobs = Par.Pool.jobs t.pool;
+    requests = t.requests;
+    batches = t.batches;
+  }
+
+let stopping t = t.stop
+let shutdown t = Par.Pool.shutdown t.pool
+
+let stats_payload t =
+  let s = stats t in
+  let open Obs_json in
+  [
+    ("status", String "ok");
+    ( "stats",
+      Obj
+        [
+          ("hits", Int s.cache.Serve_cache.hits);
+          ("misses", Int s.cache.Serve_cache.misses);
+          ("evictions", Int s.cache.Serve_cache.evictions);
+          ("size", Int s.cache.Serve_cache.size);
+          ("capacity", Int s.cache.Serve_cache.capacity);
+          ("jobs", Int s.jobs);
+          ("requests", Int s.requests);
+          ("batches", Int s.batches);
+        ] );
+  ]
+
+let handle_batch (t : t) lines =
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  t.requests <- t.requests + n;
+  t.batches <- t.batches + 1;
+  Obs.add c_requests n;
+  Obs.incr c_batches;
+  let decoded = Array.map Serve_protocol.decode lines in
+  let ids =
+    Array.map
+      (function
+        | Ok (r : Serve_protocol.request) -> r.Serve_protocol.id
+        | Error (id, _) -> id)
+      decoded
+  in
+  let payloads : (string * Obs_json.t) list option array = Array.make n None in
+  let solves = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Error (_, e) -> payloads.(i) <- Some (Serve_protocol.error_payload e)
+      | Ok { Serve_protocol.op = Serve_protocol.Solve sr; _ } -> solves := (i, sr) :: !solves
+      | Ok _ -> ())
+    decoded;
+  let solves = Array.of_list (List.rev !solves) in
+  if Array.length solves > 0 then begin
+    let answers =
+      Serve_batch.run ~pool:t.pool ~cache:t.cache ~policy:t.policy (Array.map snd solves)
+    in
+    Array.iteri (fun k (i, _) -> payloads.(i) <- Some answers.(k)) solves
+  end;
+  (* ops answer after the batch's solves, so an in-batch "stats"
+     observes them *)
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Ok { Serve_protocol.op = Serve_protocol.Stats; _ } ->
+        payloads.(i) <- Some (stats_payload t)
+      | Ok { Serve_protocol.op = Serve_protocol.Ping; _ } ->
+        payloads.(i) <- Some [ ("status", Obs_json.String "ok"); ("pong", Obs_json.Bool true) ]
+      | Ok { Serve_protocol.op = Serve_protocol.Shutdown; _ } ->
+        t.stop <- true;
+        payloads.(i) <-
+          Some [ ("status", Obs_json.String "ok"); ("stopping", Obs_json.Bool true) ]
+      | Ok { Serve_protocol.op = Serve_protocol.Solve _; _ } | Error _ -> ())
+    decoded;
+  Array.to_list
+    (Array.mapi
+       (fun i id ->
+         let payload =
+           match payloads.(i) with
+           | Some p -> p
+           | None ->
+             Serve_protocol.error_payload
+               (Guard_error.Solver_fault
+                  { solver = "serve"; exn = Failure "internal: unanswered request" })
+         in
+         Serve_protocol.reply_string ~id payload)
+       ids)
+
+let handle_line t line = match handle_batch t [ line ] with [ r ] -> r | _ -> assert false
+
+(* ---------------- transports ---------------- *)
+
+(* a carry buffer of bytes read so far; complete lines go to [queue],
+   the unterminated tail stays in [carry] *)
+let split_lines carry queue data len =
+  Buffer.add_subbytes carry data 0 len;
+  let s = Buffer.contents carry in
+  Buffer.clear carry;
+  let cursor = ref 0 in
+  (try
+     while true do
+       let nl = String.index_from s !cursor '\n' in
+       Queue.add (String.sub s !cursor (nl - !cursor)) queue;
+       cursor := nl + 1
+     done
+   with Not_found -> ());
+  Buffer.add_substring carry s !cursor (String.length s - !cursor)
+
+let take_batch ?(max_batch = 32) queue =
+  let rec go k acc =
+    if k >= max_batch || Queue.is_empty queue then List.rev acc
+    else go (k + 1) (Queue.pop queue :: acc)
+  in
+  go 0 []
+
+let run_pipe ?(max_batch = 32) t =
+  let fd = Unix.stdin in
+  let chunk = Bytes.create 65536 in
+  let carry = Buffer.create 4096 in
+  let queue = Queue.create () in
+  let eof = ref false in
+  (try
+     while not (t.stop || (!eof && Queue.is_empty queue && Buffer.length carry = 0)) do
+       if Queue.is_empty queue && not !eof then begin
+         let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+         if got = 0 then begin
+           eof := true;
+           (* an unterminated final line still gets served *)
+           if Buffer.length carry > 0 then begin
+             Queue.add (Buffer.contents carry) queue;
+             Buffer.clear carry
+           end
+         end
+         else split_lines carry queue chunk got
+       end;
+       match take_batch ~max_batch queue with
+       | [] -> ()
+       | batch ->
+         List.iter
+           (fun reply ->
+             print_string reply;
+             print_newline ())
+           (handle_batch t batch);
+         flush stdout
+     done
+   with End_of_file -> ());
+  shutdown t
+
+let run_socket ?(max_batch = 32) ~path t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if Sys.file_exists path then Unix.unlink path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  (* fd -> (carry buffer, line queue) *)
+  let clients : (Unix.file_descr, Buffer.t * string Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let chunk = Bytes.create 65536 in
+  let drop fd =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove clients fd
+  in
+  let send fd reply =
+    let data = reply ^ "\n" in
+    try
+      let len = String.length data in
+      let sent = ref 0 in
+      while !sent < len do
+        sent := !sent + Unix.write_substring fd data !sent (len - !sent)
+      done
+    with Unix.Unix_error _ -> drop fd
+  in
+  while not t.stop do
+    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = srv then begin
+            let client, _ = Unix.accept srv in
+            Hashtbl.replace clients client (Buffer.create 4096, Queue.create ())
+          end
+          else
+            match Hashtbl.find_opt clients fd with
+            | None -> ()
+            | Some (carry, queue) -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error _ -> drop fd
+              | 0 -> drop fd
+              | got ->
+                split_lines carry queue chunk got;
+                (* all complete lines this client has buffered form
+                   batches — natural batching under load *)
+                let rec serve_queued () =
+                  match take_batch ~max_batch queue with
+                  | [] -> ()
+                  | batch ->
+                    List.iter (send fd) (handle_batch t batch);
+                    if not t.stop then serve_queued ()
+                in
+                serve_queued ()))
+        ready
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  shutdown t

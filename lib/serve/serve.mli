@@ -1,0 +1,59 @@
+(** The long-running solve service: admission, batching and transport.
+
+    A {!t} owns the resident {!Par.Pool} (created once, at
+    {!create} — never per request), the {!Serve_cache} and the base
+    {!Guard.policy}.  {!handle_batch} is the whole request path —
+    decode, validate, cache, dispatch, encode — as a pure-ish function
+    from request lines to reply lines, which is what the tests and the
+    benchmark harness drive directly; {!run_pipe} and {!run_socket}
+    are thin transports around it.
+
+    The daemon never dies on request content: malformed lines, solver
+    faults and deadline expiries all become typed error replies (see
+    {!Serve_protocol}), and only a ["shutdown"] op (or transport EOF)
+    ends a loop. *)
+
+type t
+
+type stats = { cache : Serve_cache.stats; jobs : int; requests : int; batches : int }
+
+val create : ?jobs:int -> ?cache_capacity:int -> ?policy:Guard.policy -> unit -> t
+(** [jobs] sizes the resident pool (default {!Par.default_jobs},
+    clamped per the [Par] contract); [cache_capacity] bounds the LRU
+    (default 256); [policy] supervises every solve (default
+    {!Guard.default} — no deadline unless a request carries one).
+    @raise Invalid_argument when [jobs < 1] or [cache_capacity < 1]. *)
+
+val handle_batch : t -> string list -> string list
+(** One reply line per request line, in order.  Requests in the batch
+    are deduplicated and dispatched together (see {!Serve_batch}); a
+    ["stats"]/["ping"]/["shutdown"] op is answered inline.  Never
+    raises on request content. *)
+
+val handle_line : t -> string -> string
+(** [handle_batch] of a singleton. *)
+
+val stats : t -> stats
+
+val stopping : t -> bool
+(** Set by a ["shutdown"] request; the transports exit their loop once
+    the reply is flushed. *)
+
+val shutdown : t -> unit
+(** Stop the resident pool workers.  Idempotent; the transports call it
+    on exit. *)
+
+val run_pipe : ?max_batch:int -> t -> unit
+(** Serve newline-delimited requests from stdin to stdout until EOF or
+    a ["shutdown"] op.  Reads are drained greedily, so lines already
+    buffered by the kernel form one batch (up to [max_batch], default
+    32) — a client that writes [k] requests at once gets them
+    deduplicated and pool-dispatched together. *)
+
+val run_socket : ?max_batch:int -> path:string -> t -> unit
+(** Serve over a Unix domain socket at [path] (created at start,
+    unlinked on exit; an existing stale socket file is replaced).
+    Multiplexes clients with [select]; each client's buffered complete
+    lines form one batch, and replies go back on that client's
+    connection.  A ["shutdown"] from any client stops the daemon after
+    its reply is written. *)

@@ -1,0 +1,156 @@
+let effective_policy (policy : Guard.policy) (sr : Serve_protocol.solve_request) =
+  match sr.deadline_s with
+  | Some d -> { policy with Guard.deadline_s = Some d }
+  | None -> policy
+
+let resolve_solver (sr : Serve_protocol.solve_request) =
+  match sr.solver with
+  | Some name -> (
+    match Engine.find name with
+    | None ->
+      Error
+        (Guard_error.Invalid_input
+           (Printf.sprintf "unknown solver %S (registered: %s)" name
+              (String.concat ", " (Engine.names ()))))
+    | Some s -> (
+      match Capability.accepts (Engine.capability_of s) sr.problem sr.inst with
+      | Ok () -> Ok s
+      | Error why -> Error (Guard_error.Invalid_input (Printf.sprintf "%s: %s" name why))))
+  | None -> (
+    match Engine.supporting sr.problem sr.inst with
+    | s :: _ -> Ok s
+    | [] ->
+      Error
+        (Guard_error.Invalid_input
+           (Printf.sprintf "no registered solver accepts %s on this instance"
+              (Problem.to_string sr.problem))))
+
+(* a fast-path result that Guard would have rejected (non-finite value
+   outside Pareto mode) is re-run under full supervision, so the
+   amortized path converges to the same reply the supervised path
+   would give *)
+let acceptable (sr : Serve_protocol.solve_request) (r : Solve_result.t) =
+  sr.problem.Problem.mode = Problem.Pareto
+  || (Float.is_finite r.Solve_result.value && Float.is_finite r.Solve_result.energy)
+
+(* Pareto payloads run result closures (value_at/sample); keep even
+   those failures inside the taxonomy *)
+let encode (sr : Serve_protocol.solve_request) r =
+  match Guard.protect ~name:"serve.encode" (fun () -> Serve_protocol.ok_payload ~points:sr.points r) with
+  | Ok payload -> payload
+  | Error e -> Serve_protocol.error_payload e
+
+let is_ok_payload = function ("status", Obs_json.String "ok") :: _ -> true | _ -> false
+
+let run ~pool ~cache ~policy (reqs : Serve_protocol.solve_request array) =
+  let n = Array.length reqs in
+  let payloads : (string * Obs_json.t) list option array = Array.make n None in
+  (* 1. cache probe, every request *)
+  Array.iteri
+    (fun i (sr : Serve_protocol.solve_request) ->
+      payloads.(i) <- Serve_cache.find cache ~hash:sr.hash ~canon:sr.canon)
+    reqs;
+  (* 2. dedupe the misses: first index per canonical key solves, the
+     rest share its payload *)
+  let first_of = Hashtbl.create 16 in
+  let uniq = ref [] in
+  Array.iteri
+    (fun i (sr : Serve_protocol.solve_request) ->
+      if payloads.(i) = None && not (Hashtbl.mem first_of sr.Serve_protocol.canon) then begin
+        Hashtbl.add first_of sr.Serve_protocol.canon i;
+        uniq := i :: !uniq
+      end)
+    reqs;
+  let uniq = Array.of_list (List.rev !uniq) in
+  (* 3. partition unique work: solver-resolution failures answer
+     immediately; supervised (deadline / iter-cap) items take the
+     per-item Guard path; the rest take the amortized solve_many path *)
+  let fast = ref [] and slow = ref [] in
+  Array.iter
+    (fun i ->
+      let sr = reqs.(i) in
+      match resolve_solver sr with
+      | Error e -> payloads.(i) <- Some (Serve_protocol.error_payload e)
+      | Ok s ->
+        let eff = effective_policy policy sr in
+        if eff.Guard.deadline_s = None && eff.Guard.iter_cap = None then
+          fast := (i, s) :: !fast
+        else slow := (i, s, eff) :: !slow)
+    uniq;
+  (* 4a. fast path: group by solver, one Engine.solve_many per group *)
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (i, s) ->
+      let name = Engine.name_of s in
+      match Hashtbl.find_opt groups name with
+      | Some (_, r) -> r := i :: !r
+      | None -> Hashtbl.add groups name (s, ref [ i ]))
+    (List.rev !fast);
+  Hashtbl.iter
+    (fun _ (s, indices) ->
+      let indices = Array.of_list (List.rev !indices) in
+      let items =
+        Array.map
+          (fun i -> (reqs.(i).Serve_protocol.problem, reqs.(i).Serve_protocol.inst))
+          indices
+      in
+      let results = Engine.solve_many ~pool s items in
+      Array.iteri
+        (fun k i ->
+          let sr = reqs.(i) in
+          match results.(k) with
+          | Ok r when acceptable sr r -> payloads.(i) <- Some (encode sr r)
+          | Ok _ | Error _ ->
+            (* escalate to full supervision: retries, fallback chain *)
+            let payload =
+              match
+                Guard.solve_with ~policy:(effective_policy policy sr) s
+                  sr.Serve_protocol.problem sr.Serve_protocol.inst
+              with
+              | Ok r -> encode sr r
+              | Error e -> Serve_protocol.error_payload e
+            in
+            payloads.(i) <- Some payload)
+        indices)
+    groups;
+  (* 4b. supervised path: per-item Guard calls across the pool *)
+  let slow = Array.of_list (List.rev !slow) in
+  if Array.length slow > 0 then begin
+    let answers =
+      Par.Pool.init pool (Array.length slow) (fun k ->
+          let i, s, eff = slow.(k) in
+          let sr = reqs.(i) in
+          match Guard.solve_with ~policy:eff s sr.Serve_protocol.problem sr.Serve_protocol.inst with
+          | Ok r -> encode sr r
+          | Error e -> Serve_protocol.error_payload e)
+    in
+    Array.iteri (fun k (i, _, _) -> payloads.(i) <- Some answers.(k)) slow
+  end;
+  (* 5. fill successful unique answers into the cache, then share
+     payloads out to the duplicate requests *)
+  Array.iter
+    (fun i ->
+      let sr = reqs.(i) in
+      match payloads.(i) with
+      | Some payload when is_ok_payload payload ->
+        Serve_cache.insert cache ~hash:sr.Serve_protocol.hash ~canon:sr.Serve_protocol.canon payload
+      | _ -> ())
+    uniq;
+  Array.mapi
+    (fun i (sr : Serve_protocol.solve_request) ->
+      match payloads.(i) with
+      | Some payload -> payload
+      | None -> (
+        match Hashtbl.find_opt first_of sr.Serve_protocol.canon with
+        | Some j -> (
+          match payloads.(j) with
+          | Some payload -> payload
+          | None ->
+            Serve_protocol.error_payload
+              (Guard_error.Solver_fault
+                 { solver = "serve.batch"; exn = Failure "internal: unanswered request" }))
+        | None ->
+          Serve_protocol.error_payload
+            (Guard_error.Solver_fault
+               { solver = "serve.batch"; exn = Failure "internal: unanswered request" })))
+    reqs

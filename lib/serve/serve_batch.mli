@@ -1,0 +1,36 @@
+(** The dispatch core of the daemon: one batch of decoded solve
+    requests in, one reply payload per request out, in order.
+
+    Per batch:
+    + every request probes the {!Serve_cache} (hit → its stored payload,
+      verbatim — byte-identical to the cold solve that filled it);
+    + the misses are deduplicated by canonical key, so [k] copies of the
+      same problem in one batch cost one solve;
+    + unique items with no effective deadline and no iteration cap are
+      grouped by solver and run through {!Engine.solve_many} on the
+      resident {!Par.Pool} (the amortized fast path); any item that
+      fails there is re-run under full [Guard.solve_with] supervision
+      (retries, fallback), so the fast path never weakens the failure
+      semantics;
+    + items carrying a deadline or iteration cap go straight to
+      {!Guard.solve_with}, one supervised call per item, distributed
+      across the same pool;
+    + successful payloads are inserted into the cache; errors are not
+      (a deadline miss must not poison the key for a patient caller).
+
+    Nothing raises out of [run]: solver faults, capability mismatches
+    and deadline expiries all come back as {!Serve_protocol.error_payload}
+    rows.  Replies are a pure function of the request batch (given a
+    fixed registry), independent of pool width — the [Par] determinism
+    contract extended to the service boundary. *)
+
+val run :
+  pool:Par.Pool.t ->
+  cache:Serve_cache.t ->
+  policy:Guard.policy ->
+  Serve_protocol.solve_request array ->
+  (string * Obs_json.t) list array
+(** [run ~pool ~cache ~policy reqs] is the reply payload (sans ["id"])
+    for each request, index-aligned with [reqs].  [policy] is the
+    daemon-wide base; a request's [deadline_s] overrides the policy's
+    deadline for that request only. *)

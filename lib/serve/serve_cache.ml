@@ -1,0 +1,102 @@
+type node = {
+  hash : int64;
+  canon : string;
+  mutable payload : (string * Obs_json.t) list;
+  mutable prev : node option;  (* towards most-recently used *)
+  mutable next : node option;  (* towards least-recently used *)
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+type t = {
+  capacity : int;
+  table : (int64, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let c_hit = Obs.counter "serve.cache.hit"
+let c_miss = Obs.counter "serve.cache.miss"
+let c_evict = Obs.counter "serve.evictions"
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let miss t =
+  t.misses <- t.misses + 1;
+  Obs.incr c_miss;
+  None
+
+let find t ~hash ~canon =
+  match Hashtbl.find_opt t.table hash with
+  | Some n when String.equal n.canon canon ->
+    t.hits <- t.hits + 1;
+    Obs.incr c_hit;
+    unlink t n;
+    push_front t n;
+    Some n.payload
+  | Some _ | None -> miss t
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.hash;
+    t.evictions <- t.evictions + 1;
+    Obs.incr c_evict
+
+let insert t ~hash ~canon payload =
+  (match Hashtbl.find_opt t.table hash with
+  | Some n when String.equal n.canon canon ->
+    (* refresh in place: same key solved again (e.g. duplicate within a
+       batch racing a concurrent fill) *)
+    n.payload <- payload;
+    unlink t n;
+    push_front t n
+  | Some n ->
+    (* true FNV collision: the newcomer wins the slot *)
+    unlink t n;
+    Hashtbl.remove t.table hash;
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let fresh = { hash; canon; payload; prev = None; next = None } in
+    Hashtbl.replace t.table hash fresh;
+    push_front t fresh
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let fresh = { hash; canon; payload; prev = None; next = None } in
+    Hashtbl.replace t.table hash fresh;
+    push_front t fresh)
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+    capacity = t.capacity;
+  }

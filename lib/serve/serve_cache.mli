@@ -1,0 +1,33 @@
+(** Size-bounded LRU cache of solve replies, keyed by
+    {!Serve_key.hash} with full canonical-string verification.
+
+    Both lookup and insertion are O(1): a hash table from the 64-bit
+    FNV key to an intrusive doubly-linked recency list.  A lookup whose
+    stored canonical string differs from the probe's (a true FNV
+    collision) is reported as a miss; an insert over such a slot
+    replaces it, so a wrong answer can never be served.
+
+    Hit/miss/eviction totals are kept as plain internal ints (so the
+    ["stats"] op reports correctly even with [Obs] disabled) and
+    mirrored to the [serve.cache.hit] / [serve.cache.miss] /
+    [serve.evictions] counters for the observability pipeline.
+
+    Not thread-safe: the serve loop drives it from one domain. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : t -> hash:int64 -> canon:string -> (string * Obs_json.t) list option
+(** The cached reply payload, freshening its recency — or [None]
+    (counted as a miss) when absent or canonical-string verification
+    fails. *)
+
+val insert : t -> hash:int64 -> canon:string -> (string * Obs_json.t) list -> unit
+(** Insert or overwrite, evicting the least-recently-used entry when
+    the bound is reached. *)
+
+val stats : t -> stats

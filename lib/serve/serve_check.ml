@@ -1,0 +1,138 @@
+(* serve cases stay small for the same reason chaos cases do: the
+   transparency property runs real solves, twice *)
+let prepare c = Oracle.truncate 6 c
+
+let request_json ?(rev = false) (c : Oracle.case) =
+  let open Obs_json in
+  let jobs = Array.to_list (Instance.jobs c.Oracle.inst) in
+  let jobs = if rev then List.rev jobs else jobs in
+  Obj
+    [
+      ("id", Int c.Oracle.seed);
+      ("op", String "solve");
+      ("objective", String "makespan");
+      ("alpha", Float c.Oracle.alpha);
+      ("budget", Float c.Oracle.energy);
+      ("procs", Int 1);
+      ( "jobs",
+        List (List.map (fun (j : Job.t) -> List [ Float j.Job.release; Float j.Job.work ]) jobs)
+      );
+    ]
+
+let decode_solve line =
+  match Serve_protocol.decode line with
+  | Ok { Serve_protocol.op = Serve_protocol.Solve sr; id } -> Ok (id, sr)
+  | Ok _ -> Error "decoded to a non-solve op"
+  | Error (_, e) -> Error (Guard_error.to_string e)
+
+let roundtrip c =
+  let c = prepare c in
+  match decode_solve (Obs_json.to_string (request_json ~rev:true c)) with
+  | Error m -> Oracle.Fail ("decode failed: " ^ m)
+  | Ok (id, sr) -> (
+    match decode_solve (Obs_json.to_string (Serve_protocol.solve_request_json ~id sr)) with
+    | Error m -> Oracle.Fail ("re-encoded request rejected: " ^ m)
+    | Ok (_, sr2) ->
+      if
+        String.equal sr.Serve_protocol.canon sr2.Serve_protocol.canon
+        && Int64.equal sr.Serve_protocol.hash sr2.Serve_protocol.hash
+      then Oracle.Pass
+      else Oracle.Fail "canonical form is not a fixed point of encode/decode")
+
+let canonical c =
+  let c = prepare c in
+  match
+    ( decode_solve (Obs_json.to_string (request_json c)),
+      decode_solve (Obs_json.to_string (request_json ~rev:true c)) )
+  with
+  | Error m, _ | _, Error m -> Oracle.Fail ("decode failed: " ^ m)
+  | Ok (_, a), Ok (_, b) ->
+    if not (String.equal a.Serve_protocol.canon b.Serve_protocol.canon) then
+      Oracle.Fail "job order leaked into the canonical string"
+    else if not (Int64.equal a.Serve_protocol.hash b.Serve_protocol.hash) then
+      Oracle.Fail "job order leaked into the hash"
+    else if
+      not
+        (Array.for_all2
+           (fun (x : Job.t) (y : Job.t) -> x.Job.release = y.Job.release && x.Job.work = y.Job.work)
+           (Instance.jobs a.Serve_protocol.inst)
+           (Instance.jobs b.Serve_protocol.inst))
+    then Oracle.Fail "job order leaked into the decoded instance"
+    else Oracle.Pass
+
+let malformed (c : Oracle.case) =
+  let base = Obs_json.to_string (request_json (prepare c)) in
+  let corrupt =
+    match abs c.Oracle.seed mod 5 with
+    | 0 ->
+      (* truncation somewhere strictly inside the line *)
+      let len = String.length base in
+      String.sub base 0 (1 + (abs (c.Oracle.seed / 5) mod (len - 1)))
+    | 1 -> {|{"id": 0, "op": "bogus"}|}
+    | 2 -> {|{"op": "solve", "objective": "makespan", "budget": 1, "jobs": []}|}
+    | 3 -> {|{"op": "solve", "objective": "makespan", "budget": 1, "alpha": 1.0, "jobs": [[0, 1]]}|}
+    | _ -> {|{"op": "solve", "objective": "makespan", "budget": -5, "jobs": [[0, 1]]}|}
+  in
+  match Serve_protocol.decode corrupt with
+  | Error (_, Guard_error.Invalid_input _) -> Oracle.Pass
+  | Error (_, e) ->
+    Oracle.Fail ("rejected with the wrong class: " ^ Guard_error.class_string e)
+  | Ok _ -> Oracle.Fail ("corrupted request was accepted: " ^ corrupt)
+  | exception e -> Oracle.Fail ("decode raised: " ^ Printexc.to_string e)
+
+let status_of reply =
+  match Obs_json.of_string reply with
+  | Ok doc -> Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val
+  | Error _ -> None
+
+let transparency c =
+  let c = prepare c in
+  let p =
+    Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget c.Oracle.energy)
+      ~alpha:c.Oracle.alpha ()
+  in
+  match Engine.supporting p c.Oracle.inst with
+  | [] -> Oracle.Skip "no supporting solver"
+  | _ :: _ -> (
+    let t = Serve.create ~jobs:1 ~cache_capacity:8 ~policy:Guard.off () in
+    let line = Obs_json.to_string (request_json c) in
+    let cold = Serve.handle_line t line in
+    let warm = Serve.handle_line t line in
+    let st = Serve.stats t in
+    Serve.shutdown t;
+    if not (String.equal cold warm) then Oracle.Fail "warm reply differs from cold reply"
+    else
+      match status_of cold with
+      | None -> Oracle.Fail "reply is not a JSON object with a status"
+      | Some "ok" when st.Serve.cache.Serve_cache.hits < 1 ->
+        Oracle.Fail "repeat of an ok reply recorded no cache hit"
+      | Some _ -> (
+        match Obs_json.of_string cold with
+        | Error m -> Oracle.Fail ("reply not valid JSON: " ^ m)
+        | Ok doc ->
+          if String.equal (Obs_json.to_string doc) cold then Oracle.Pass
+          else Oracle.Fail "reply JSON does not round-trip through the parser"))
+
+let props =
+  [
+    ( "serve:roundtrip",
+      "decode . encode is the identity on canonical request forms",
+      roundtrip );
+    ("serve:canonical", "job order never reaches the cache key or the instance", canonical);
+    ( "serve:malformed",
+      "corrupted requests are rejected as invalid-input, never an escaped exception",
+      malformed );
+    ( "serve:cache-transparent",
+      "a repeated request is answered byte-identically from cache",
+      transparency );
+  ]
+
+let names () = List.map (fun (n, _, _) -> n) props
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    List.iter (fun (name, doc, run) -> Oracle.register { Oracle.name; doc; run }) props
+  end

@@ -1,0 +1,37 @@
+(** Canonical cache keys for solve requests.
+
+    Two requests describing the same mathematical problem must map to
+    the same key even when they spell it differently: jobs listed in a
+    different order, speed levels permuted, floats that print
+    differently but compare equal.  {!canonical_jobs} sorts the job
+    rows (release first — matching the order {!Instance.of_pairs}
+    imposes, so the decoded instance, its job ids, and therefore the
+    {e reply} are also identical across reorderings), carrying each
+    job's weight and deadline along with it; {!canon} then renders
+    every model parameter with ["%h"] hex-float formatting (exact, no
+    rounding ambiguity) into one canonical string, and {!hash} folds it
+    through 64-bit FNV-1a.
+
+    The per-request wall-clock deadline is deliberately {e not} part of
+    the key: it bounds supervision, not the answer, so a cached result
+    may satisfy a request that arrives with any deadline. *)
+
+type row = { release : float; work : float; weight : float option; deadline : float option }
+(** One job row as decoded from a request, before canonical
+    ordering. *)
+
+val canonical_jobs : row array -> row array
+(** A sorted copy: ascending by (release, work, weight, deadline).
+    Total on any finite inputs; does not mutate its argument. *)
+
+val canon : solver:string option -> points:int -> Problem.t -> (float * float) array -> string
+(** The canonical string of a request: solver choice, Pareto sample
+    count, every {!Problem.t} field (levels sorted — {!Discrete_levels}
+    treats them as a set) and the canonically-ordered [(release, work)]
+    pairs.  Weights and deadlines are read from the problem, where they
+    are already in canonical job order. *)
+
+val hash : string -> int64
+(** 64-bit FNV-1a of the canonical string — the cache's bucket key.
+    Entries verify the full canonical string on lookup, so a (vanishingly
+    rare) FNV collision degrades to a cache miss, never a wrong answer. *)

@@ -1,0 +1,80 @@
+(** Wire codec of the serve daemon: newline-delimited JSON, one
+    request and one reply per line.
+
+    {2 Requests}
+
+    {[
+      {"id": 1, "op": "solve", "objective": "makespan", "alpha": 3,
+       "budget": 10, "jobs": [[0, 5], [5, 2], [6, 1]]}
+    ]}
+
+    - ["id"]: any JSON value, echoed verbatim in the reply ([null] when
+      omitted).
+    - ["op"]: ["solve"] (default), ["stats"], ["ping"] or ["shutdown"].
+    - solve fields: ["objective"] (["makespan"|"flow"|"maxflow"|"wflow"|
+      "deadline"], required), ["jobs"] (non-empty list of
+      [[release, work]] pairs, required), ["alpha"] (default 3),
+      ["procs"] (default 1), exactly one of ["budget"], ["target"],
+      ["pareto": true] — or none for a ["deadline"] objective
+      (feasibility mode); optional ["solver"] (registry name; ["auto"]
+      or omitted routes via capabilities), ["weights"], ["deadlines"]
+      (parallel to ["jobs"]), ["speed_cap"], ["levels"],
+      ["points"] (Pareto curve samples, default 0) and ["deadline_s"]
+      (per-request wall-clock budget).
+
+    {2 Replies}
+
+    [{"id": ..., "status": "ok", "solver": ..., "value": ..., "energy":
+    ..., "diagnostics": {...}}] plus ["schedule"] when the solver
+    returns one and ["breakpoints"]/["curve"] in Pareto mode — or
+    [{"id": ..., "status": "error", "class": <class>, "message": ...}]
+    where [<class>] is the {!Guard_error.class_string} taxonomy.  A
+    reply never reveals whether it was served from cache: a hit is
+    byte-identical to the cold solve that populated the entry.
+
+    {!decode} is total: any malformed line becomes
+    [Error (id, Invalid_input _)] — never an exception — so one bad
+    client cannot take the daemon down. *)
+
+type solve_request = {
+  solver : string option;  (** [None] = capability-routed auto *)
+  problem : Problem.t;  (** weights/deadlines in canonical job order *)
+  inst : Instance.t;  (** built from canonically ordered jobs *)
+  points : int;  (** Pareto curve samples ([>= 0]) *)
+  deadline_s : float option;  (** per-request wall-clock budget *)
+  canon : string;  (** {!Serve_key.canon} of the request *)
+  hash : int64;  (** {!Serve_key.hash} of [canon] *)
+}
+
+type op = Solve of solve_request | Stats | Ping | Shutdown
+
+type request = { id : Obs_json.t; op : op }
+
+val decode : string -> (request, Obs_json.t * Guard_error.t) result
+(** Parse and validate one request line.  Jobs are canonicalized
+    ({!Serve_key.canonical_jobs}) before the instance is built, so
+    reordered-but-equal requests decode to identical
+    [(problem, inst, canon, hash)].  On failure the returned id is the
+    request's ["id"] field when one could be parsed ([Null] otherwise),
+    and the error is always classified — malformed input maps to
+    [Invalid_input].  Never raises. *)
+
+val solve_request_json : id:Obs_json.t -> solve_request -> Obs_json.t
+(** Re-encode a decoded request as a canonical request document (jobs
+    in canonical order, defaults made explicit).  [decode
+    (Obs_json.to_string (solve_request_json ~id sr))] succeeds with the
+    same canonical string — the round-trip law the protocol fuzz
+    property checks. *)
+
+val ok_payload : points:int -> Solve_result.t -> (string * Obs_json.t) list
+(** The reply fields (sans ["id"]) of a successful solve: status,
+    solver, value, energy, diagnostics, optional schedule, optional
+    Pareto breakpoints and a curve of [points] samples. *)
+
+val error_payload : Guard_error.t -> (string * Obs_json.t) list
+(** The reply fields (sans ["id"]) of a failed request: status
+    ["error"], the taxonomy class string and a one-line message. *)
+
+val reply_string : id:Obs_json.t -> (string * Obs_json.t) list -> string
+(** One reply line: the payload with ["id"] prepended, serialized
+    compactly (no newline). *)

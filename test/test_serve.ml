@@ -1,0 +1,420 @@
+(* pasched.serve: protocol codec, canonical cache keys, LRU bounds,
+   batched dispatch on the resident pool, and daemon-grade failure
+   semantics (typed replies, never a dead loop). *)
+
+let () = Builtin.init ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let req ?(id = 1) ?(objective = "makespan") ?budget ?target ?(pareto = false) ?points ?deadline_s
+    ?solver ?alpha jobs =
+  let open Obs_json in
+  let fields =
+    [ ("id", Int id); ("objective", String objective) ]
+    @ (match budget with Some b -> [ ("budget", Float b) ] | None -> [])
+    @ (match target with Some t -> [ ("target", Float t) ] | None -> [])
+    @ (if pareto then [ ("pareto", Bool true) ] else [])
+    @ (match points with Some p -> [ ("points", Int p) ] | None -> [])
+    @ (match deadline_s with Some d -> [ ("deadline_s", Float d) ] | None -> [])
+    @ (match solver with Some s -> [ ("solver", String s) ] | None -> [])
+    @ (match alpha with Some a -> [ ("alpha", Float a) ] | None -> [])
+    @ [ ("jobs", List (List.map (fun (r, w) -> List [ Float r; Float w ]) jobs)) ]
+  in
+  to_string (Obj fields)
+
+let jobs3 = [ (0.0, 5.0); (5.0, 2.0); (6.0, 1.0) ]
+let jobs3_rev = List.rev jobs3
+
+let decode_solve line =
+  match Serve_protocol.decode line with
+  | Ok { Serve_protocol.op = Serve_protocol.Solve sr; _ } -> sr
+  | Ok _ -> Alcotest.fail "decoded to a non-solve op"
+  | Error (_, e) -> Alcotest.failf "decode failed: %s" (Guard_error.to_string e)
+
+let decode_error line =
+  match Serve_protocol.decode line with
+  | Error (_, e) -> e
+  | Ok _ -> Alcotest.failf "expected a decode error for %s" line
+
+let status_of reply =
+  match Obs_json.of_string reply with
+  | Ok doc -> Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val
+  | Error m -> Alcotest.failf "reply is not JSON (%s): %s" m reply
+
+let class_of reply =
+  match Obs_json.of_string reply with
+  | Ok doc -> Option.bind (Obs_json.member "class" doc) Obs_json.to_string_val
+  | Error m -> Alcotest.failf "reply is not JSON (%s): %s" m reply
+
+let with_session ?(jobs = 1) ?(cache_capacity = 32) ?(policy = Guard.default) f =
+  let t = Serve.create ~jobs ~cache_capacity ~policy () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) (fun () -> f t)
+
+(* ---------------- protocol ---------------- *)
+
+let test_roundtrip () =
+  let sr = decode_solve (req ~budget:10.0 jobs3_rev) in
+  let line2 =
+    Obs_json.to_string (Serve_protocol.solve_request_json ~id:(Obs_json.Int 1) sr)
+  in
+  let sr2 = decode_solve line2 in
+  check_string "canonical string is an encode/decode fixed point" sr.Serve_protocol.canon
+    sr2.Serve_protocol.canon;
+  check_bool "hash survives the round trip" true
+    (Int64.equal sr.Serve_protocol.hash sr2.Serve_protocol.hash)
+
+let test_defaults () =
+  let sr = decode_solve (req ~budget:10.0 jobs3) in
+  check_bool "solver defaults to auto" true (sr.Serve_protocol.solver = None);
+  check_bool "alpha defaults to 3" true (sr.Serve_protocol.problem.Problem.alpha = 3.0);
+  check_int "procs defaults to 1" 1 sr.Serve_protocol.problem.Problem.procs;
+  check_int "points defaults to 0" 0 sr.Serve_protocol.points;
+  check_bool "no deadline by default" true (sr.Serve_protocol.deadline_s = None)
+
+let invalid_input e =
+  match e with Guard_error.Invalid_input _ -> true | _ -> false
+
+let test_malformed_json () =
+  check_bool "garbage line" true (invalid_input (decode_error "this is not json"));
+  check_bool "non-object document" true (invalid_input (decode_error "[1,2,3]"));
+  check_bool "truncated document" true
+    (invalid_input (decode_error (String.sub (req ~budget:1.0 jobs3) 0 20)))
+
+let test_malformed_fields () =
+  check_bool "unknown op" true (invalid_input (decode_error {|{"op":"bogus"}|}));
+  check_bool "missing objective" true (invalid_input (decode_error {|{"jobs":[[0,1]]}|}));
+  check_bool "unknown objective" true
+    (invalid_input (decode_error {|{"objective":"nope","budget":1,"jobs":[[0,1]]}|}));
+  check_bool "empty jobs" true
+    (invalid_input (decode_error {|{"objective":"makespan","budget":1,"jobs":[]}|}));
+  check_bool "malformed job pair" true
+    (invalid_input (decode_error {|{"objective":"makespan","budget":1,"jobs":[[0]]}|}))
+
+let test_malformed_model () =
+  check_bool "alpha at 1 rejected" true
+    (invalid_input (decode_error {|{"objective":"makespan","budget":1,"alpha":1.0,"jobs":[[0,1]]}|}));
+  check_bool "negative budget rejected" true
+    (invalid_input (decode_error {|{"objective":"makespan","budget":-2,"jobs":[[0,1]]}|}));
+  check_bool "budget and target exclusive" true
+    (invalid_input
+       (decode_error {|{"objective":"makespan","budget":1,"target":2,"jobs":[[0,1]]}|}));
+  check_bool "missing mode rejected" true
+    (invalid_input (decode_error {|{"objective":"makespan","jobs":[[0,1]]}|}));
+  check_bool "weights arity checked" true
+    (invalid_input
+       (decode_error {|{"objective":"wflow","budget":1,"jobs":[[0,1],[0,2]],"weights":[1]}|}))
+
+(* ---------------- canonical keys ---------------- *)
+
+let test_canonical_reorder () =
+  let a = decode_solve (req ~budget:10.0 jobs3) in
+  let b = decode_solve (req ~budget:10.0 jobs3_rev) in
+  check_string "reordered jobs share the canonical string" a.Serve_protocol.canon
+    b.Serve_protocol.canon;
+  check_bool "reordered jobs share the hash" true
+    (Int64.equal a.Serve_protocol.hash b.Serve_protocol.hash);
+  check_bool "decoded instances coincide" true
+    (Array.for_all2
+       (fun (x : Job.t) (y : Job.t) -> x.Job.release = y.Job.release && x.Job.work = y.Job.work)
+       (Instance.jobs a.Serve_protocol.inst)
+       (Instance.jobs b.Serve_protocol.inst))
+
+let test_canonical_distinguishes () =
+  let base = decode_solve (req ~budget:10.0 jobs3) in
+  let probes =
+    [
+      ("different work", decode_solve (req ~budget:10.0 [ (0.0, 5.0); (5.0, 2.0); (6.0, 1.5) ]));
+      ("different budget", decode_solve (req ~budget:11.0 jobs3));
+      ("different alpha", decode_solve (req ~budget:10.0 ~alpha:2.0 jobs3));
+      ("named solver", decode_solve (req ~budget:10.0 ~solver:"incmerge" jobs3));
+    ]
+  in
+  List.iter
+    (fun (what, sr) ->
+      check_bool (what ^ " changes the canonical string") false
+        (String.equal base.Serve_protocol.canon sr.Serve_protocol.canon))
+    probes
+
+let test_deadline_not_in_key () =
+  let a = decode_solve (req ~budget:10.0 jobs3) in
+  let b = decode_solve (req ~budget:10.0 ~deadline_s:5.0 jobs3) in
+  check_string "deadline_s stays out of the cache key" a.Serve_protocol.canon
+    b.Serve_protocol.canon
+
+(* ---------------- LRU cache ---------------- *)
+
+let payload tag = [ ("status", Obs_json.String "ok"); ("tag", Obs_json.String tag) ]
+
+let test_lru_eviction () =
+  let c = Serve_cache.create ~capacity:2 in
+  let key s = (Serve_key.hash s, s) in
+  let ha, ca = key "a" and hb, cb = key "b" and hc, cc = key "c" in
+  Serve_cache.insert c ~hash:ha ~canon:ca (payload "a");
+  Serve_cache.insert c ~hash:hb ~canon:cb (payload "b");
+  Serve_cache.insert c ~hash:hc ~canon:cc (payload "c");
+  let st = Serve_cache.stats c in
+  check_int "size stays at the bound" 2 st.Serve_cache.size;
+  check_int "one eviction recorded" 1 st.Serve_cache.evictions;
+  check_bool "least-recently-used entry evicted" true
+    (Serve_cache.find c ~hash:ha ~canon:ca = None);
+  check_bool "recent entries survive" true
+    (Serve_cache.find c ~hash:hb ~canon:cb <> None
+    && Serve_cache.find c ~hash:hc ~canon:cc <> None)
+
+let test_lru_recency () =
+  let c = Serve_cache.create ~capacity:2 in
+  let key s = (Serve_key.hash s, s) in
+  let ha, ca = key "a" and hb, cb = key "b" and hc, cc = key "c" in
+  Serve_cache.insert c ~hash:ha ~canon:ca (payload "a");
+  Serve_cache.insert c ~hash:hb ~canon:cb (payload "b");
+  (* freshen a: now b is the eviction victim *)
+  check_bool "freshening hit" true (Serve_cache.find c ~hash:ha ~canon:ca <> None);
+  Serve_cache.insert c ~hash:hc ~canon:cc (payload "c");
+  check_bool "freshened entry survives" true (Serve_cache.find c ~hash:ha ~canon:ca <> None);
+  check_bool "stale entry evicted" true (Serve_cache.find c ~hash:hb ~canon:cb = None)
+
+let test_collision_safety () =
+  let c = Serve_cache.create ~capacity:4 in
+  let h = Serve_key.hash "whatever" in
+  Serve_cache.insert c ~hash:h ~canon:"alpha" (payload "alpha");
+  (* same bucket hash, different canonical string: must miss, never
+     serve the other entry's payload *)
+  check_bool "forged-collision probe misses" true
+    (Serve_cache.find c ~hash:h ~canon:"beta" = None);
+  Serve_cache.insert c ~hash:h ~canon:"beta" (payload "beta");
+  (match Serve_cache.find c ~hash:h ~canon:"beta" with
+  | Some p -> check_bool "newcomer owns the slot" true (p = payload "beta")
+  | None -> Alcotest.fail "inserted colliding entry not found");
+  check_bool "displaced entry now misses" true (Serve_cache.find c ~hash:h ~canon:"alpha" = None)
+
+(* ---------------- serve sessions ---------------- *)
+
+let test_warm_cache_no_solver () =
+  with_session @@ fun t ->
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let c_root = Obs.counter "rootfind.calls" in
+  let c_hit = Obs.counter "serve.cache.hit" in
+  let cold = Serve.handle_line t (req ~budget:10.0 jobs3) in
+  let roots_cold = Obs_metrics.value c_root in
+  let hits_cold = Obs_metrics.value c_hit in
+  check_bool "cold solve is ok" true (status_of cold = Some "ok");
+  let warm = Serve.handle_line t (req ~budget:10.0 jobs3) in
+  check_string "warm reply byte-identical to cold" cold warm;
+  check_int "no solver re-entry on the warm path" roots_cold (Obs_metrics.value c_root);
+  check_int "exactly one cache hit recorded" (hits_cold + 1) (Obs_metrics.value c_hit);
+  check_int "session stats agree" 1 (Serve.stats t).Serve.cache.Serve_cache.hits
+
+let test_warm_cache_reordered () =
+  with_session @@ fun t ->
+  let cold = Serve.handle_line t (req ~budget:10.0 jobs3) in
+  let warm = Serve.handle_line t (req ~budget:10.0 jobs3_rev) in
+  check_string "reordered repeat served from cache, byte-identical" cold warm;
+  check_int "hit recorded for the reordered repeat" 1
+    (Serve.stats t).Serve.cache.Serve_cache.hits
+
+let test_batch_dedupe () =
+  with_session @@ fun t ->
+  let line i = req ~id:i ~budget:10.0 jobs3 in
+  match Serve.handle_batch t [ line 1; line 2; line 3 ] with
+  | [ r1; r2; r3 ] ->
+    let strip r =
+      match Obs_json.of_string r with
+      | Ok (Obs_json.Obj fields) ->
+        Obs_json.to_string (Obs_json.Obj (List.remove_assoc "id" fields))
+      | _ -> Alcotest.fail "reply is not a JSON object"
+    in
+    check_string "duplicate replies identical modulo id" (strip r1) (strip r2);
+    check_string "duplicate replies identical modulo id (3rd)" (strip r1) (strip r3);
+    check_bool "each reply keeps its own id" true
+      (Obs_json.member "id" (Result.get_ok (Obs_json.of_string r2)) = Some (Obs_json.Int 2))
+  | rs -> Alcotest.failf "expected 3 replies, got %d" (List.length rs)
+
+let flow12_deadline0 =
+  req ~id:9 ~objective:"flow" ~budget:30.0 ~deadline_s:0.0
+    (List.init 12 (fun i -> (0.1 *. float_of_int i, 1.0)))
+
+let test_deadline_reply () =
+  with_session @@ fun t ->
+  let r = Serve.handle_line t flow12_deadline0 in
+  check_bool "zero deadline returns an error reply" true (status_of r = Some "error");
+  check_bool "classified as deadline" true (class_of r = Some "deadline");
+  (* the daemon must keep serving after a deadline expiry *)
+  let after = Serve.handle_line t (req ~budget:10.0 jobs3) in
+  check_bool "daemon keeps serving after a deadline reply" true (status_of after = Some "ok");
+  check_bool "deadline replies are not cached" true
+    ((Serve.stats t).Serve.cache.Serve_cache.size = 1)
+
+let test_jobs_invariance () =
+  let batch =
+    [
+      req ~id:1 ~budget:10.0 jobs3;
+      req ~id:2 ~objective:"flow" ~budget:12.0 [ (0.0, 1.0); (0.5, 1.0); (1.0, 1.0) ];
+      req ~id:3 ~objective:"makespan" ~target:7.5 jobs3;
+      req ~id:4 ~budget:9.0 [ (0.0, 2.0); (1.0, 2.0) ];
+      flow12_deadline0;
+    ]
+  in
+  let run jobs = with_session ~jobs (fun t -> Serve.handle_batch t batch) in
+  List.iter2
+    (fun a b -> check_string "replies independent of pool width" a b)
+    (run 1) (run 4)
+
+let test_ops () =
+  with_session @@ fun t ->
+  let ping = Serve.handle_line t {|{"id":1,"op":"ping"}|} in
+  check_bool "ping pongs" true (status_of ping = Some "ok");
+  let stats = Serve.handle_line t {|{"id":2,"op":"stats"}|} in
+  (match Obs_json.of_string stats with
+  | Ok doc -> (
+    match Obs_json.member "stats" doc with
+    | Some s ->
+      List.iter
+        (fun k -> check_bool (k ^ " present in stats") true (Obs_json.member k s <> None))
+        [ "hits"; "misses"; "evictions"; "size"; "capacity"; "jobs"; "requests"; "batches" ]
+    | None -> Alcotest.fail "stats reply carries no stats object")
+  | Error m -> Alcotest.failf "stats reply unparseable: %s" m);
+  check_bool "not stopping before shutdown" false (Serve.stopping t);
+  let bye = Serve.handle_line t {|{"id":3,"op":"shutdown"}|} in
+  check_bool "shutdown acknowledged" true (status_of bye = Some "ok");
+  check_bool "stopping after shutdown" true (Serve.stopping t)
+
+let test_unknown_solver_reply () =
+  with_session @@ fun t ->
+  let r = Serve.handle_line t (req ~budget:10.0 ~solver:"nope" jobs3) in
+  check_bool "unknown solver is an error reply" true (status_of r = Some "error");
+  check_bool "classified invalid-input" true (class_of r = Some "invalid-input");
+  let r2 = Serve.handle_line t (req ~budget:10.0 jobs3) in
+  check_bool "daemon keeps serving" true (status_of r2 = Some "ok")
+
+let test_pareto_reply () =
+  with_session @@ fun t ->
+  let r = Serve.handle_line t (req ~pareto:true ~points:5 jobs3) in
+  check_bool "pareto solve is ok" true (status_of r = Some "ok");
+  match Obs_json.of_string r with
+  | Ok doc ->
+    check_bool "breakpoints present" true (Obs_json.member "breakpoints" doc <> None);
+    (match Option.bind (Obs_json.member "curve" doc) Obs_json.to_list with
+    | Some samples -> check_int "curve sampled at the requested points" 5 (List.length samples)
+    | None -> Alcotest.fail "curve missing from pareto reply")
+  | Error m -> Alcotest.failf "pareto reply unparseable: %s" m
+
+(* ---------------- Engine.solve_many and the pool ---------------- *)
+
+let makespan_budget energy =
+  Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget energy) ~alpha:3.0 ()
+
+let test_solve_many_matches () =
+  let inst = Instance.of_pairs jobs3 in
+  let items = Array.init 4 (fun i -> (makespan_budget (8.0 +. float_of_int i), inst)) in
+  let s =
+    match Engine.supporting (fst items.(0)) inst with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no supporting solver"
+  in
+  let batch = Engine.solve_many s items in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (r : Solve_result.t) ->
+        let direct = Engine.solve_with s (fst items.(i)) (snd items.(i)) in
+        check_bool
+          (Printf.sprintf "batch item %d matches the direct solve" i)
+          true
+          (r.Solve_result.value = direct.Solve_result.value
+          && r.Solve_result.energy = direct.Solve_result.energy)
+      | Error e -> Alcotest.failf "batch item %d failed: %s" i (Printexc.to_string e))
+    batch
+
+let test_solve_many_capability () =
+  let inst = Instance.of_pairs jobs3 in
+  let bad =
+    Problem.make ~objective:Problem.Deadline_energy ~mode:Problem.Feasible ~alpha:3.0
+      ~deadlines:[| 10.0; 10.0; 10.0 |] ()
+  in
+  let s =
+    match Engine.supporting (makespan_budget 10.0) inst with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no supporting solver"
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  match Engine.solve_many s [| (makespan_budget 10.0, inst); (bad, inst) |] with
+  | exception Invalid_argument msg ->
+    check_bool "capability error names the offending index" true (contains ~sub:"item 1" msg)
+  | _ -> Alcotest.fail "capability mismatch in a batch must raise Invalid_argument"
+
+let test_pool_determinism () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  let expect = Array.init 100 (fun i -> i * i) in
+  check_bool "pool init matches Array.init" true
+    (Par.Pool.init pool 100 (fun i -> i * i) = expect);
+  check_bool "pool reuse across batches" true
+    (Par.Pool.init pool 37 (fun i -> 3 * i) = Array.init 37 (fun i -> 3 * i))
+
+let test_pool_exception () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  (match Par.Pool.init pool 64 (fun i -> if i >= 10 then failwith (string_of_int i) else i) with
+  | _ -> Alcotest.fail "expected the lowest-index failure to propagate"
+  | exception Failure msg -> check_string "lowest-index exception wins" "10" msg);
+  check_bool "pool survives a failed batch" true
+    (Par.Pool.init pool 5 (fun i -> i) = [| 0; 1; 2; 3; 4 |])
+
+let test_pool_shutdown_degrades () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  check_bool "post-shutdown init runs sequentially" true
+    (Par.Pool.init pool 8 (fun i -> i + 1) = Array.init 8 (fun i -> i + 1))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "malformed-json" `Quick test_malformed_json;
+          Alcotest.test_case "malformed-fields" `Quick test_malformed_fields;
+          Alcotest.test_case "malformed-model" `Quick test_malformed_model;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "reorder-collides" `Quick test_canonical_reorder;
+          Alcotest.test_case "distinguishes" `Quick test_canonical_distinguishes;
+          Alcotest.test_case "deadline-excluded" `Quick test_deadline_not_in_key;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru-eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "lru-recency" `Quick test_lru_recency;
+          Alcotest.test_case "collision-safety" `Quick test_collision_safety;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "warm-cache-no-solver" `Quick test_warm_cache_no_solver;
+          Alcotest.test_case "warm-cache-reordered" `Quick test_warm_cache_reordered;
+          Alcotest.test_case "batch-dedupe" `Quick test_batch_dedupe;
+          Alcotest.test_case "deadline-reply" `Quick test_deadline_reply;
+          Alcotest.test_case "jobs-invariance" `Quick test_jobs_invariance;
+          Alcotest.test_case "ops" `Quick test_ops;
+          Alcotest.test_case "unknown-solver" `Quick test_unknown_solver_reply;
+          Alcotest.test_case "pareto" `Quick test_pareto_reply;
+        ] );
+      ( "engine-pool",
+        [
+          Alcotest.test_case "solve-many-matches" `Quick test_solve_many_matches;
+          Alcotest.test_case "solve-many-capability" `Quick test_solve_many_capability;
+          Alcotest.test_case "pool-determinism" `Quick test_pool_determinism;
+          Alcotest.test_case "pool-exception" `Quick test_pool_exception;
+          Alcotest.test_case "pool-shutdown" `Quick test_pool_shutdown_degrades;
+        ] );
+    ]
