@@ -17,7 +17,8 @@ open Cmdliner
 let () =
   Builtin.init ();
   Guard_chaos.register ();
-  Serve_check.register ()
+  Serve_check.register ();
+  Kernel_check.register ()
 
 (* ---------- observability flags (every subcommand) ---------- *)
 

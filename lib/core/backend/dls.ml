@@ -1,0 +1,9 @@
+(* Domain-local scratch slot (OCaml >= 5).  Each domain owns a private
+   arena: Par pool workers reuse their buffers across every item they
+   evaluate without synchronization, and a worker can never observe
+   (or clobber) a sibling's in-flight scratch. *)
+
+type 'a slot = 'a Domain.DLS.key
+
+let make (init : unit -> 'a) : 'a slot = Domain.DLS.new_key init
+let get (s : 'a slot) = Domain.DLS.get s

@@ -1,0 +1,15 @@
+(* Global scratch slot (OCaml < 5).  Without domains execution is
+   sequential, so one lazily-created arena has the same visibility
+   semantics as the domain-local backend. *)
+
+type 'a slot = { init : unit -> 'a; mutable v : 'a option }
+
+let make (init : unit -> 'a) : 'a slot = { init; v = None }
+
+let get (s : 'a slot) =
+  match s.v with
+  | Some v -> v
+  | None ->
+    let v = s.init () in
+    s.v <- Some v;
+    v

@@ -34,3 +34,67 @@ let jobs_feasible inst b =
 
 let pp fmt b =
   Format.fprintf fmt "block[%d..%d] w=%g start=%g speed=%g" b.first b.last b.work b.start b.speed
+
+(* Struct-of-arrays block storage for the unboxed kernel hot paths.
+   [floatarray] fields are guaranteed flat float64 storage on every
+   compiler configuration; int fields are plain immediate arrays.  The
+   boxed record above stays the public exchange type — a [Soa.t] is a
+   kernel-internal working set that materializes records on demand. *)
+module Soa = struct
+  type blocks = t
+
+  type t = {
+    mutable len : int;
+    mutable first : int array;
+    mutable last : int array;
+    mutable work : floatarray;
+    mutable start : floatarray;
+    mutable speed : floatarray;
+  }
+
+  let create cap =
+    let cap = Int.max cap 1 in
+    {
+      len = 0;
+      first = Array.make cap 0;
+      last = Array.make cap 0;
+      work = Float.Array.create cap;
+      start = Float.Array.create cap;
+      speed = Float.Array.create cap;
+    }
+
+  let capacity t = Array.length t.first
+
+  (* capacity-only growth: contents are NOT preserved (every kernel
+     knows its worst-case block count up front, so it reserves before
+     the first push and growth never happens mid-merge) *)
+  let reserve t cap =
+    if capacity t < cap then begin
+      t.first <- Array.make cap 0;
+      t.last <- Array.make cap 0;
+      t.work <- Float.Array.create cap;
+      t.start <- Float.Array.create cap;
+      t.speed <- Float.Array.create cap
+    end;
+    t.len <- 0
+
+  let set t i ~first ~last ~work ~start ~speed =
+    t.first.(i) <- first;
+    t.last.(i) <- last;
+    Float.Array.set t.work i work;
+    Float.Array.set t.start i start;
+    Float.Array.set t.speed i speed
+
+  let get t i : blocks =
+    {
+      first = t.first.(i);
+      last = t.last.(i);
+      work = Float.Array.get t.work i;
+      start = Float.Array.get t.start i;
+      speed = Float.Array.get t.speed i;
+    }
+
+  let to_list t =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (get t i :: acc) in
+    go (t.len - 1) []
+end

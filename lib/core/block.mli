@@ -36,3 +36,53 @@ val jobs_feasible : Instance.t -> t -> bool
     run consecutively at the block speed. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Struct-of-arrays block storage — the unboxed working set of the
+    kernel hot paths ({!Incmerge}, {!Frontier}, {!Flow_frontier}).
+
+    Float fields live in [floatarray] ([Float.Array]), which is flat
+    float64 storage under {e every} compiler configuration (a plain
+    [float array] is only flat with the default
+    [-flat-float-array]); index fields are immediate-int arrays, so a
+    merge pass touches no boxed values at all.  The boxed record {!t}
+    remains the public exchange type: a [Soa.t] is a mutable working
+    set whose rows materialize into records only at API boundaries.
+
+    Invariants: rows [0 .. len - 1] are the live blocks, in ascending
+    job order; [len <= capacity]. *)
+module Soa : sig
+  type blocks := t
+
+  type t = {
+    mutable len : int;  (** number of live rows *)
+    mutable first : int array;
+    mutable last : int array;
+    mutable work : floatarray;
+    mutable start : floatarray;
+    mutable speed : floatarray;
+  }
+
+  val create : int -> t
+  (** [create cap] is an empty store with room for [cap] rows (at
+      least one).
+      @param cap requested capacity; clamped up to 1. *)
+
+  val capacity : t -> int
+  (** Current row capacity. *)
+
+  val reserve : t -> int -> unit
+  (** [reserve t cap] guarantees capacity [>= cap] and resets [len] to
+      0.  Contents are {e not} preserved: kernels reserve their
+      worst-case block count before the first push, so growth never
+      happens mid-merge. *)
+
+  val set : t -> int -> first:int -> last:int -> work:float -> start:float -> speed:float -> unit
+  (** Write row [i].  No bounds extension: [i] must be below
+      {!capacity}. *)
+
+  val get : t -> int -> blocks
+  (** Materialize row [i] as a boxed {!Block.t}. *)
+
+  val to_list : t -> blocks list
+  (** All live rows as boxed blocks, ascending job order. *)
+end

@@ -22,128 +22,287 @@ let validate ~alpha inst =
   if not (Instance.is_equal_work inst) then
     invalid_arg "Flow: Theorem 1 structure requires equal-work jobs"
 
-(* harmonic-like partial sums: H.(l) = sum_{t=1..l} t^(-1/alpha), so a
-   free run of length l takes (w/s) * H.(l) time.  Depends only on
-   (alpha, n), so root finders build it once and share it across every
-   evaluation of the same instance. *)
-let harmonic ~alpha n =
-  let h = Array.make (n + 1) 0.0 in
-  for t = 1 to n do
-    h.(t) <- h.(t - 1) +. (float_of_int t ** (-1.0 /. alpha))
-  done;
-  h
+(* Evaluation environment for one solver call: the instance's releases
+   (plus their prefix sums) and the cached power tables unpacked into
+   unboxed arrays, plus the scratch run stack (see scratch.mli, Flow
+   owns slots 16..23).  Root finders evaluate the configuration dozens
+   of times per solve; with the environment prepared once, an
+   evaluation allocates only its closures — nothing proportional to
+   the instance.
 
-(* speed of job [k] inside a run ending at [last] with end speed [x]:
-   sigma_k^a = x^a + (last - k) s^a  (Theorem 1, case 2 chained) *)
-let job_speed ~alpha ~s x last k =
-  ((x ** alpha) +. (float_of_int (last - k) *. (s ** alpha))) ** (1.0 /. alpha)
+   The evaluation path works throughout with alpha-th powers of
+   speeds: a run's Theorem 1 job speeds are sigma_k = (e^a + j s^a)^(1/a)
+   (j jobs after k, e the run's end speed), so storing e^a alongside e
+   makes the merge test power-free, an energy term one power
+   (sigma^(a-1) = u^(1-1/a) for u = e^a + j s^a) and a duration term
+   one power (w/sigma = w u^(-1/a)).  Free (unpinned) runs have e = s,
+   where the per-length power sums are cached (Scratch.flow_tables):
+   their total energy and total flow are O(1) lookups, and only pinned
+   jobs are walked at all.  Kernel_ref mirrors this arithmetic
+   operation for operation on boxed storage — the [kernel:*] fuzz
+   properties compare the two bitwise — while Kernel_ref.Legacy
+   preserves the pre-scratch algorithm for tolerance comparison and
+   the before/after benchmark. *)
+type env = {
+  alpha : float;
+  inv_a : float;  (* 1.0 /. alpha *)
+  n : int;
+  w : float;  (* the common work *)
+  rel : floatarray;  (* releases, rel.(0 .. n-1) *)
+  rel_sum : floatarray;  (* prefix sums: rel_sum.(i) = sum rel.(0 .. i-1) *)
+  h : floatarray;  (* free-run durations: length-l free run takes (w/s) h.(l) *)
+  hp : floatarray;  (* prefix sums of h, for O(1) free-run flow *)
+  pw : floatarray;  (* pw.(l) = sum_{t=1..l} t^(1-1/a), for O(1) free-run energy *)
+  r_first : int array;  (* run stack, r_*.(0 .. top-1) *)
+  r_last : int array;
+  r_pinned : int array;  (* 0/1 *)
+  r_end : floatarray;  (* run end speeds e *)
+  r_end_a : floatarray;  (* e ** alpha, the form every evaluation consumes *)
+}
 
-(* the Theorem 1-consistent configuration for a fixed last speed [s];
-   assumes [inst] already validated and [h = harmonic ~alpha n] *)
-let solve_with ~alpha ~h inst s =
-  if s <= 0.0 || not (Float.is_finite s) then invalid_arg "Flow: last speed must be positive";
+let make_env ~alpha inst =
   let n = Instance.n inst in
-  if n = 0 then empty_solution s
-  else begin
-    let w = (Instance.job inst 0).Job.work in
-    let release i = (Instance.job inst i).Job.release in
-    let sa = s ** alpha in
-    let free_duration l = w /. s *. h.(l) in
-    (* pinned end speed: the x >= s at which the run exactly fills its
-       release window *)
-    let pinned_end_speed ~len ~window =
-      if window <= tol then Float.infinity
+  let scr = Scratch.get () in
+  let rel = Scratch.floats scr ~slot:17 n in
+  let rel_sum = Scratch.floats scr ~slot:19 (n + 1) in
+  Float.Array.unsafe_set rel_sum 0 0.0;
+  for i = 0 to n - 1 do
+    let r = (Instance.job inst i).Job.release in
+    Float.Array.unsafe_set rel i r;
+    Float.Array.unsafe_set rel_sum (i + 1) (Float.Array.unsafe_get rel_sum i +. r)
+  done;
+  let h, hp, pw = Scratch.flow_tables scr ~alpha ~n in
+  {
+    alpha;
+    inv_a = 1.0 /. alpha;
+    n;
+    w = (Instance.job inst 0).Job.work;
+    rel;
+    rel_sum;
+    h;
+    hp;
+    pw;
+    r_first = Scratch.ints scr ~slot:16 n;
+    r_last = Scratch.ints scr ~slot:17 n;
+    r_pinned = Scratch.ints scr ~slot:18 n;
+    r_end = Scratch.floats scr ~slot:16 n;
+    r_end_a = Scratch.floats scr ~slot:18 n;
+  }
+
+(* flat all-float accumulators: field updates do not box, unlike
+   [float ref], so evaluation loops allocate nothing per element *)
+type acc2 = { mutable s0 : float; mutable s1 : float }
+
+(* the Theorem 1-consistent run structure for a fixed last speed [s]:
+   a forward pass with merging (analogous to IncMerge) into the
+   scratch run stack; returns the stack height.  Each job starts its
+   own run; a run whose relaxed completion passes the next release is
+   pinned to it (a nested root find); a pinned run whose end speed
+   exceeds the Theorem 1 upper bound merges with its successor. *)
+let merge_pass env s =
+  if s <= 0.0 || not (Float.is_finite s) then invalid_arg "Flow: last speed must be positive";
+  (* one deadline/injection poll per configuration evaluation: even a
+     solve whose analytic bracket nails the root exactly (so no root
+     finder ever iterates) observes guard deadlines *)
+  Fault.tick ();
+  let { alpha; inv_a; n; w; rel; h; r_first; r_last; r_pinned; r_end; r_end_a; _ } = env in
+  let sa = s ** alpha in
+  (* pinned end speed (and its alpha-th power): the x >= s at which
+     the run exactly fills its release window *)
+  let pinned_end ~len ~window =
+    if window <= tol then (Float.infinity, Float.infinity)
+    else if len = 1 then begin
+      (* a single job's window equation w/x = window is closed-form *)
+      if w /. s <= window then (s, sa)
       else begin
-        let dur x =
-          let acc = ref 0.0 in
-          for t = 0 to len - 1 do
-            acc := !acc +. (w /. (((x ** alpha) +. (float_of_int t *. sa)) ** (1.0 /. alpha)))
-          done;
-          !acc
-        in
-        let f x = dur x -. window in
-        if f s <= 0.0 then s
-        else begin
-          let hi = ref (Float.max (2.0 *. s) (2.0 *. float_of_int len *. w /. window)) in
-          let i = ref 0 in
-          while f !hi > 0.0 && !i < 200 do
-            Fault.tick ();
-            hi := !hi *. 2.0;
-            incr i
-          done;
-          Rootfind.brent ~f ~lo:s ~hi:!hi ()
-        end
+        let x = w /. window in
+        (x, x ** alpha)
       end
-    in
-    let make_run first last =
+    end
+    else begin
+      (* dur x = sum_t w (x^a + t s^a)^(-1/a) is decreasing in x, and
+         its derivative reuses every power of the value:
+         dur' = -(x^a / x) sum_t term_t / u_t.  One fused evaluation
+         costs what a plain one does, so safeguarded Newton beats
+         derivative-free bracketing decisively here. *)
+      let f_df x =
+        let xa = x ** alpha in
+        let a = { s0 = 0.0; s1 = 0.0 } in
+        for t = 0 to len - 1 do
+          let u = xa +. (float_of_int t *. sa) in
+          let term = w /. (u ** inv_a) in
+          a.s0 <- a.s0 +. term;
+          a.s1 <- a.s1 +. (term /. u)
+        done;
+        (a.s0 -. window, -.(xa /. x) *. a.s1)
+      in
+      let fs, _ = f_df s in
+      if fs <= 0.0 then (s, sa)
+      else begin
+        (* dur x <= len w / x, so x0 = len w / window sits at or above
+           the root: a tight one-sided guess, with the doubled value as
+           the safeguard bracket's far end *)
+        let x0 = Float.max (2.0 *. s) (float_of_int len *. w /. window) in
+        let x = Rootfind.newton_bracketed ~f_df ~lo:s ~hi:(2.0 *. x0) ~x0 () in
+        (x, x ** alpha)
+      end
+    end
+  in
+  (* the run being built, in unboxed locals *)
+  let cur_first = ref 0 and cur_last = ref 0 in
+  let cur_pinned = ref false in
+  let cur = { s0 = s; s1 = sa } (* end speed, end speed ** alpha *) in
+  let make_run first last =
+    cur_first := first;
+    cur_last := last;
+    if last = n - 1 then begin
+      cur_pinned := false;
+      cur.s0 <- s;
+      cur.s1 <- sa
+    end
+    else begin
       let len = last - first + 1 in
-      if last = n - 1 then { first; last; pinned = false; end_speed = s }
-      else begin
-        let window = release (last + 1) -. release first in
-        if free_duration len < window -. tol then { first; last; pinned = false; end_speed = s }
-        else { first; last; pinned = true; end_speed = pinned_end_speed ~len ~window }
+      let window = Float.Array.unsafe_get rel (last + 1) -. Float.Array.unsafe_get rel first in
+      if w /. s *. Float.Array.unsafe_get h len < window -. tol then begin
+        cur_pinned := false;
+        cur.s0 <- s;
+        cur.s1 <- sa
       end
-    in
-    let first_speed r =
-      if Float.is_finite r.end_speed then job_speed ~alpha ~s r.end_speed r.last r.first
-      else Float.infinity
-    in
-    (* forward pass with merging: a pinned run whose end speed exceeds
-       the Theorem 1 upper bound against its successor merges with it.
-       The run stack is a preallocated array (at most n runs, top grows
-       rightward) — this is the innermost structure of every root-find
-       evaluation, so it must not allocate per push. *)
-    let stack = Array.make n { first = 0; last = 0; pinned = false; end_speed = s } in
-    let top = ref 0 in
-    let merges = ref 0 in
-    for i = 0 to n - 1 do
-      let cur = ref (make_run i i) in
-      let merging = ref true in
-      while !merging do
-        if !top > 0 then begin
-          let prev = stack.(!top - 1) in
-          if
-            prev.pinned
-            && (prev.end_speed ** alpha) > (first_speed !cur ** alpha) +. sa +. (1e-9 *. sa)
-          then begin
-            incr merges;
-            decr top;
-            cur := make_run prev.first !cur.last
-          end
-          else merging := false
+      else begin
+        cur_pinned := true;
+        let e, ea = pinned_end ~len ~window in
+        cur.s0 <- e;
+        cur.s1 <- ea
+      end
+    end
+  in
+  let top = ref 0 and merges = ref 0 in
+  for i = 0 to n - 1 do
+    make_run i i;
+    let merging = ref true in
+    while !merging do
+      if !top > 0 && r_pinned.(!top - 1) = 1 then begin
+        (* alpha-th power of the current run's first-job speed under
+           its own end speed; infinities propagate as the comparison
+           needs (an infinite predecessor always merges, an infinite
+           current run never forces one) *)
+        let first_a = cur.s1 +. (float_of_int (!cur_last - !cur_first) *. sa) in
+        if Float.Array.unsafe_get r_end_a (!top - 1) > first_a +. sa +. (1e-9 *. sa) then begin
+          incr merges;
+          decr top;
+          make_run r_first.(!top) !cur_last
         end
         else merging := false
-      done;
-      stack.(!top) <- !cur;
-      incr top
+      end
+      else merging := false
     done;
-    Obs.add c_run_merges !merges;
-    Obs.add c_runs !top;
-    (* materialize per-job speeds and completions *)
-    let speeds = Array.make n 0.0 in
-    let completions = Array.make n 0.0 in
-    for ri = 0 to !top - 1 do
-      let r = stack.(ri) in
-      let t = ref (release r.first) in
-      for k = r.first to r.last do
-        let sigma = job_speed ~alpha ~s r.end_speed r.last k in
-        speeds.(k) <- sigma;
-        t := !t +. (w /. sigma);
-        completions.(k) <- !t
+    r_first.(!top) <- !cur_first;
+    r_last.(!top) <- !cur_last;
+    r_pinned.(!top) <- (if !cur_pinned then 1 else 0);
+    Float.Array.unsafe_set r_end !top cur.s0;
+    Float.Array.unsafe_set r_end_a !top cur.s1;
+    incr top
+  done;
+  Obs.add c_run_merges !merges;
+  Obs.add c_runs !top;
+  !top
+
+(* energy of the configuration at [s], without materializing per-job
+   arrays — the root-find evaluation path of [solve_budget].  Pinned
+   runs cost one power per job; free runs are one cached lookup. *)
+let eval_energy env s =
+  let top = merge_pass env s in
+  let { alpha; inv_a; w; pw; r_first; r_last; r_pinned; r_end_a; _ } = env in
+  let sa = s ** alpha in
+  let am1_a = 1.0 -. inv_a in
+  let sam1 = s ** (alpha -. 1.0) in
+  let a = { s0 = 0.0; s1 = 0.0 } in
+  for ri = 0 to top - 1 do
+    let first = r_first.(ri) and last = r_last.(ri) in
+    if r_pinned.(ri) = 1 then begin
+      let ea = Float.Array.unsafe_get r_end_a ri in
+      for k = first to last do
+        let u = ea +. (float_of_int (last - k) *. sa) in
+        a.s0 <- a.s0 +. (w *. (u ** am1_a))
       done
-    done;
-    let flow = ref 0.0 and energy = ref 0.0 in
-    for k = 0 to n - 1 do
-      flow := !flow +. (completions.(k) -. release k);
-      energy := !energy +. (w *. (speeds.(k) ** (alpha -. 1.0)))
-    done;
-    let runs = List.init !top (fun i -> stack.(i)) in
-    { last_speed = s; runs; speeds; completions; flow = !flow; energy = !energy }
-  end
+    end
+    else a.s0 <- a.s0 +. (w *. sam1 *. Float.Array.unsafe_get pw (last - first + 1))
+  done;
+  a.s0
+
+(* total flow at [s], likewise array-free — the evaluation path of
+   [solve_flow_target] *)
+let eval_flow env s =
+  let top = merge_pass env s in
+  let { alpha; inv_a; w; rel; rel_sum; h; hp; r_first; r_last; r_pinned; r_end_a; _ } = env in
+  let sa = s ** alpha in
+  let w_over_s = w /. s in
+  let a = { s0 = 0.0; s1 = 0.0 } (* total flow, running completion *) in
+  for ri = 0 to top - 1 do
+    let first = r_first.(ri) and last = r_last.(ri) in
+    if r_pinned.(ri) = 1 then begin
+      let ea = Float.Array.unsafe_get r_end_a ri in
+      a.s1 <- Float.Array.unsafe_get rel first;
+      for k = first to last do
+        let u = ea +. (float_of_int (last - k) *. sa) in
+        a.s1 <- a.s1 +. (w /. (u ** inv_a));
+        a.s0 <- a.s0 +. (a.s1 -. Float.Array.unsafe_get rel k)
+      done
+    end
+    else begin
+      (* free run: completions rel_first + (w/s)(h(len) - h(last-k)),
+         summed in closed form over the run *)
+      let len = last - first + 1 in
+      a.s0 <-
+        a.s0
+        +. (float_of_int len *. Float.Array.unsafe_get rel first)
+        +. (w_over_s
+           *. ((float_of_int len *. Float.Array.unsafe_get h len)
+              -. Float.Array.unsafe_get hp (len - 1)))
+        -. (Float.Array.unsafe_get rel_sum (last + 1) -. Float.Array.unsafe_get rel_sum first)
+    end
+  done;
+  a.s0
+
+(* the full solution at [s]: per-job speeds/completions and the boxed
+   run list are materialized exactly once per solver call, at the root *)
+let solve_full env s =
+  let top = merge_pass env s in
+  let { alpha; inv_a; n; w; rel; r_first; r_last; r_pinned; r_end; r_end_a; _ } = env in
+  let sa = s ** alpha in
+  let speeds = Array.make n 0.0 in
+  let completions = Array.make n 0.0 in
+  for ri = 0 to top - 1 do
+    let first = r_first.(ri) and last = r_last.(ri) in
+    let xa = Float.Array.unsafe_get r_end_a ri in
+    let t = { s0 = Float.Array.unsafe_get rel first; s1 = 0.0 } in
+    for k = first to last do
+      let sigma = (xa +. (float_of_int (last - k) *. sa)) ** inv_a in
+      speeds.(k) <- sigma;
+      t.s0 <- t.s0 +. (w /. sigma);
+      completions.(k) <- t.s0
+    done
+  done;
+  let flow = ref 0.0 and energy = ref 0.0 in
+  for k = 0 to n - 1 do
+    flow := !flow +. (completions.(k) -. Float.Array.get rel k);
+    energy := !energy +. (w *. (speeds.(k) ** (alpha -. 1.0)))
+  done;
+  let runs =
+    List.init top (fun i ->
+        {
+          first = r_first.(i);
+          last = r_last.(i);
+          pinned = r_pinned.(i) = 1;
+          end_speed = Float.Array.get r_end i;
+        })
+  in
+  { last_speed = s; runs; speeds; completions; flow = !flow; energy = !energy }
 
 let solve_for_last_speed ~alpha inst s =
   validate ~alpha inst;
-  solve_with ~alpha ~h:(harmonic ~alpha (Instance.n inst)) inst s
+  if s <= 0.0 || not (Float.is_finite s) then invalid_arg "Flow: last speed must be positive";
+  if Instance.n inst = 0 then empty_solution s else solve_full (make_env ~alpha inst) s
 
 let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
   Obs.span "flow.solve_budget" @@ fun () ->
@@ -152,48 +311,91 @@ let solve_budget ?(eps = 1e-12) ?warm ~alpha ~energy inst =
   if Instance.n inst = 0 then empty_solution 0.0
   else begin
     validate ~alpha inst;
-    let h = harmonic ~alpha (Instance.n inst) in
-    let g s = (solve_with ~alpha ~h inst s).energy -. energy in
+    let n = Instance.n inst in
+    let env = make_env ~alpha inst in
+    let g s = eval_energy env s -. energy in
     (* energy(s) is continuous and increasing with range (0, inf).  A
        warm start (the root for a nearby budget, e.g. the previous
        Pareto point) seeds a one-sided bracket that is usually a couple
-       of evaluations wide; without it we bracket from scratch. *)
-    let lo, hi =
+       of evaluations wide.  Cold, every job runs at least at speed s,
+       so energy(s) >= n w s^(a-1): solving that bound for the budget
+       gives an analytic upper bracket endpoint, and halving walks the
+       lower endpoint down in a step or two. *)
+    let lo, glo, hi, ghi =
       match warm with
       | Some s0 when s0 > 0.0 && Float.is_finite s0 ->
-        if g s0 <= 0.0 then begin
+        let g0 = g s0 in
+        if g0 <= 0.0 then begin
           (* start a few percent out — adjacent sweep budgets move the
              root very little — and double only if that misses *)
           let hi = ref (s0 *. 1.05) in
-          while g !hi < 0.0 && !hi < 1e300 do
+          let ghi = ref (g !hi) in
+          while !ghi < 0.0 && !hi < 1e300 do
             Fault.tick ();
-            hi := !hi *. 2.0
+            hi := !hi *. 2.0;
+            ghi := g !hi
           done;
-          (s0, !hi)
+          (s0, g0, !hi, !ghi)
         end
         else begin
           let lo = ref (s0 /. 1.05) in
-          while g !lo > 0.0 && !lo > 1e-300 do
+          let glo = ref (g !lo) in
+          while !glo > 0.0 && !lo > 1e-300 do
             Fault.tick ();
-            lo := !lo /. 2.0
+            lo := !lo /. 2.0;
+            glo := g !lo
           done;
-          (!lo, s0)
+          (!lo, !glo, s0, g0)
         end
       | _ ->
-        let lo = ref 1e-6 in
-        while g !lo > 0.0 && !lo > 1e-300 do
-          Fault.tick ();
-          lo := !lo /. 16.0
-        done;
-        let hi = ref 1.0 in
-        while g !hi < 0.0 && !hi < 1e300 do
-          Fault.tick ();
-          hi := !hi *. 2.0
-        done;
-        (!lo, !hi)
+        let s0 = (energy /. (float_of_int n *. env.w)) ** (1.0 /. (alpha -. 1.0)) in
+        if s0 > 0.0 && Float.is_finite s0 then begin
+          let g0 = g s0 in
+          if g0 >= 0.0 then begin
+            let lo = ref (0.5 *. s0) in
+            let glo = ref (g !lo) in
+            while !glo > 0.0 && !lo > 1e-300 do
+              Fault.tick ();
+              lo := 0.5 *. !lo;
+              glo := g !lo
+            done;
+            (!lo, !glo, s0, g0)
+          end
+          else begin
+            (* only reachable when rounding puts s0 a hair under the
+               root (e.g. a single free job, where the bound is tight) *)
+            let hi = ref (2.0 *. s0) in
+            let ghi = ref (g !hi) in
+            while !ghi < 0.0 && !hi < 1e300 do
+              Fault.tick ();
+              hi := !hi *. 2.0;
+              ghi := g !hi
+            done;
+            (s0, g0, !hi, !ghi)
+          end
+        end
+        else begin
+          (* degenerate budgets (under/overflowing the bound): fall
+             back to bracketing from fixed seeds *)
+          let lo = ref 1e-6 in
+          let glo = ref (g !lo) in
+          while !glo > 0.0 && !lo > 1e-300 do
+            Fault.tick ();
+            lo := !lo /. 16.0;
+            glo := g !lo
+          done;
+          let hi = ref 1.0 in
+          let ghi = ref (g !hi) in
+          while !ghi < 0.0 && !hi < 1e300 do
+            Fault.tick ();
+            hi := !hi *. 2.0;
+            ghi := g !hi
+          done;
+          (!lo, !glo, !hi, !ghi)
+        end
     in
-    let s = Rootfind.brent ~f:g ~lo ~hi ~eps ~max_iter:300 () in
-    solve_with ~alpha ~h inst s
+    let s = Rootfind.brent ~f:g ~lo ~hi ~flo:glo ~fhi:ghi ~eps ~max_iter:300 () in
+    solve_full env s
   end
 
 let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
@@ -202,21 +404,25 @@ let solve_flow_target ?(eps = 1e-12) ~alpha ~flow inst =
   if Instance.n inst = 0 then empty_solution 0.0
   else begin
     validate ~alpha inst;
-    let h = harmonic ~alpha (Instance.n inst) in
-    let g s = (solve_with ~alpha ~h inst s).flow -. flow in
+    let env = make_env ~alpha inst in
+    let g s = eval_flow env s -. flow in
     (* flow(s) is decreasing: large s -> tiny flows *)
     let lo = ref 1e-6 in
-    while g !lo < 0.0 && !lo > 1e-300 do
+    let glo = ref (g !lo) in
+    while !glo < 0.0 && !lo > 1e-300 do
       Fault.tick ();
-      lo := !lo /. 16.0
+      lo := !lo /. 16.0;
+      glo := g !lo
     done;
     let hi = ref 1.0 in
-    while g !hi > 0.0 && !hi < 1e300 do
+    let ghi = ref (g !hi) in
+    while !ghi > 0.0 && !hi < 1e300 do
       Fault.tick ();
-      hi := !hi *. 2.0
+      hi := !hi *. 2.0;
+      ghi := g !hi
     done;
-    let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~eps ~max_iter:300 () in
-    solve_with ~alpha ~h inst s
+    let s = Rootfind.brent ~f:g ~lo:!lo ~hi:!hi ~flo:!glo ~fhi:!ghi ~eps ~max_iter:300 () in
+    solve_full env s
   end
 
 let schedule inst sol =

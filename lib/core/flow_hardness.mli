@@ -34,7 +34,8 @@ val derived_polynomial : energy:Rat.t -> Qpoly.t
 (** Eliminate σ1 and σ3 symbolically for an arbitrary rational budget:
     with [σ1 = x/(x−1)] and [σ3³ = σ1³ − x³],
     [x⁶(1−(x−1)³)² − (E(x−1)² − x² − x²(x−1)²)³].  For [energy = 9] this
-    equals {!paper_polynomial} up to a constant factor. *)
+    equals {!paper_polynomial} up to a constant factor.
+    @param energy exact rational energy budget of the boundary system. *)
 
 val derived_via_resultant : energy:Rat.t -> Qpoly.t
 (** The same elimination done by textbook elimination theory instead of
@@ -50,17 +51,31 @@ val proportional : Qpoly.t -> Qpoly.t -> bool
 
 val boundary_roots : energy:float -> float list
 (** Sturm-certified real roots of the derived polynomial inside the
-    feasible range [σ2 ∈ (1, 2)] (σ1 positive and no faster than ...
-    slower than σ2 would violate Theorem 1's monotone structure). *)
+    feasible range [σ2 ∈ (1, 2)]: below 1 the completion equation
+    [1/σ1 + 1/σ2 = 1] would force [σ1 <= 0], and at or above 2 it
+    would force [σ1 <= σ2], violating the Theorem 1 ordering
+    [σ1 > σ2] that the elimination assumed.  Ascending, isolated to
+    the default Sturm refinement width.
+    @param energy budget at which the boundary system is solved; the
+    float is converted to an exact rational before elimination, so the
+    certification is exact for the converted value. *)
 
 val sigma2_numeric : energy:float -> float
 (** σ2 of the flow-optimal schedule at the given budget (computed by
-    {!Flow.solve_budget} on the Theorem 8 instance). *)
+    {!Flow.solve_budget} on the Theorem 8 instance).  Inside
+    {!measured_window} this agrees with the Sturm-certified root of
+    {!boundary_roots} to solver precision — the cross-check the tests
+    pin.
+    @param energy energy budget, [> 0].
+    @raise Invalid_argument when [energy <= 0] (from the solver). *)
 
 val measured_window : ?tol:float -> unit -> float * float
 (** The energy interval on which the optimum of the Theorem 8 instance
     has the boundary configuration ([C2 = 1]), located by bisection on
-    the solver's classification. *)
+    the solver's classification.  Agrees with {!analytic_window} to
+    [tol] — the measured correction to the paper's ≈8.43 lower end.
+    @param tol bisection interval width at which the endpoint search
+    stops (default [1e-9]). *)
 
 val analytic_window : unit -> float * float
 (** Closed forms for the window endpoints:

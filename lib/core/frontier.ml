@@ -11,143 +11,241 @@ type segment = {
   e_max : float;
 }
 
+(* The frontier owns its data as struct-of-arrays: the shared window
+   blocks (segment prefixes are slices b_*.(0..len-1)) and the
+   segments in decreasing energy order.  Unboxed storage keeps the
+   whole structure in a handful of flat arrays, so [segment_at] binary
+   searches a floatarray directly and [makespan_at] touches no boxed
+   block or segment on the query path; the public [segment] record is
+   materialized only at API boundaries. *)
 type t = {
   model : Power_model.t;
   inst : Instance.t;
-  blocks : Block.t array;  (* window blocks; segment prefixes are slices blocks.(0..len-1) *)
-  segs : segment array;  (* decreasing energy *)
+  b_len : int;
+  b_first : int array;
+  b_last : int array;
+  b_work : floatarray;
+  b_start : floatarray;
+  b_speed : floatarray;
+  s_len : int;
+  s_prefix_len : int array;
+  s_last_first : int array;
+  s_e_fixed : floatarray;
+  s_last_work : floatarray;
+  s_last_start : floatarray;
+  s_e_min : floatarray;
+  s_e_max : floatarray;
 }
+
+let block t i : Block.t =
+  {
+    Block.first = t.b_first.(i);
+    last = t.b_last.(i);
+    work = Float.Array.get t.b_work i;
+    start = Float.Array.get t.b_start i;
+    speed = Float.Array.get t.b_speed i;
+  }
+
+let seg t i =
+  {
+    prefix_len = t.s_prefix_len.(i);
+    e_fixed = Float.Array.get t.s_e_fixed i;
+    last_first = t.s_last_first.(i);
+    last_work = Float.Array.get t.s_last_work i;
+    last_start = Float.Array.get t.s_last_start i;
+    e_min = Float.Array.get t.s_e_min i;
+    e_max = Float.Array.get t.s_e_max i;
+  }
+
+let empty model inst =
+  {
+    model;
+    inst;
+    b_len = 0;
+    b_first = [||];
+    b_last = [||];
+    b_work = Float.Array.create 0;
+    b_start = Float.Array.create 0;
+    b_speed = Float.Array.create 0;
+    s_len = 0;
+    s_prefix_len = [||];
+    s_last_first = [||];
+    s_e_fixed = Float.Array.create 0;
+    s_last_work = Float.Array.create 0;
+    s_last_start = Float.Array.create 0;
+    s_e_min = Float.Array.create 0;
+    s_e_max = Float.Array.create 0;
+  }
 
 let build model inst =
   Obs.span "frontier.build" @@ fun () ->
   let n = Instance.n inst in
-  if n = 0 then { model; inst; blocks = [||]; segs = [||] }
+  if n = 0 then empty model inst
   else begin
     let release i = (Instance.job inst i).Job.release in
     let work i = (Instance.job inst i).Job.work in
     (* first configuration: window blocks for jobs 0..n-2 as the prefix,
        last job alone as the varying block; lowering the budget merges
        prefix blocks into the last block one at a time, so configuration
-       [j] has prefix blocks.(0..j-1).  Prefix sums price every split in
+       [j] has prefix blocks 0..j-1.  Prefix sums price every split in
        O(1), making the whole enumeration O(m) instead of the O(m^2) of
        re-copying the prefix per emitted segment. *)
-    let blocks = Array.of_list (Incmerge.window_blocks inst ~upto:(n - 2)) in
-    let m = Array.length blocks in
-    let cum_work, cum_energy = Incmerge.prefix_sums model blocks in
+    let soa = Incmerge.window_soa inst ~upto:(n - 2) in
+    let m = soa.Block.Soa.len in
+    (* own what outlives this call: the scratch-backed window SoA is
+       only valid until the next kernel call on this domain *)
+    let b_first = Array.sub soa.Block.Soa.first 0 m in
+    let b_last = Array.sub soa.Block.Soa.last 0 m in
+    let b_work = Float.Array.sub soa.Block.Soa.work 0 m in
+    let b_start = Float.Array.sub soa.Block.Soa.start 0 m in
+    let b_speed = Float.Array.sub soa.Block.Soa.speed 0 m in
+    let cum_work, cum_energy = Incmerge.prefix_sums_fa model soa in
     let w_last = work (n - 1) in
-    let segs = ref [] in
-    (* built low-energy-first (j descending visits decreasing e_min) *)
+    (* segment construction in scratch (slots 8..): emission order
+       j = m downto 0 is decreasing energy, the final order *)
+    let scr = Scratch.get () in
+    let t_prefix = Scratch.ints scr ~slot:8 (m + 1) in
+    let t_first = Scratch.ints scr ~slot:9 (m + 1) in
+    let t_e_fixed = Scratch.floats scr ~slot:8 (m + 1) in
+    let t_work = Scratch.floats scr ~slot:9 (m + 1) in
+    let t_start = Scratch.floats scr ~slot:10 (m + 1) in
+    let t_e_min = Scratch.floats scr ~slot:11 (m + 1) in
+    let t_e_max = Scratch.floats scr ~slot:12 (m + 1) in
+    let ns = ref 0 in
     let e_max = ref Float.infinity in
     for j = m downto 0 do
-      let last_first = if j = m then n - 1 else blocks.(j).Block.first in
-      let last_start = if j = m then release (n - 1) else blocks.(j).Block.start in
-      let last_work = cum_work.(m) -. cum_work.(j) +. w_last in
+      let last_first = if j = m then n - 1 else b_first.(j) in
+      let last_start = if j = m then release (n - 1) else Float.Array.get b_start j in
+      let last_work = Float.Array.get cum_work m -. Float.Array.get cum_work j +. w_last in
       let e_min =
         if j = 0 then 0.0
         else begin
-          let prev = blocks.(j - 1) in
           (* budget at which the last block slows to the prefix top's
              speed and the two merge; infinite-speed prefix blocks never
              yield a configuration of their own *)
-          if Float.is_finite prev.Block.speed then
-            cum_energy.(j) +. Power_model.energy_run model ~work:last_work ~speed:prev.Block.speed
+          let prev_speed = Float.Array.get b_speed (j - 1) in
+          if Float.is_finite prev_speed then
+            Float.Array.get cum_energy j
+            +. Power_model.energy_run model ~work:last_work ~speed:prev_speed
           else Float.infinity
         end
       in
       if e_min < !e_max then begin
-        segs :=
-          {
-            prefix_len = j;
-            e_fixed = cum_energy.(j);
-            last_first;
-            last_work;
-            last_start;
-            e_min;
-            e_max = !e_max;
-          }
-          :: !segs;
+        t_prefix.(!ns) <- j;
+        t_first.(!ns) <- last_first;
+        Float.Array.set t_e_fixed !ns (Float.Array.get cum_energy j);
+        Float.Array.set t_work !ns last_work;
+        Float.Array.set t_start !ns last_start;
+        Float.Array.set t_e_min !ns e_min;
+        Float.Array.set t_e_max !ns !e_max;
+        incr ns;
         e_max := e_min
       end
     done;
-    let segs = Array.of_list (List.rev !segs) in
-    Obs.add c_segments (Array.length segs);
-    { model; inst; blocks; segs }
+    let ns = !ns in
+    Obs.add c_segments ns;
+    {
+      model;
+      inst;
+      b_len = m;
+      b_first;
+      b_last;
+      b_work;
+      b_start;
+      b_speed;
+      s_len = ns;
+      s_prefix_len = Array.sub t_prefix 0 ns;
+      s_last_first = Array.sub t_first 0 ns;
+      s_e_fixed = Float.Array.sub t_e_fixed 0 ns;
+      s_last_work = Float.Array.sub t_work 0 ns;
+      s_last_start = Float.Array.sub t_start 0 ns;
+      s_e_min = Float.Array.sub t_e_min 0 ns;
+      s_e_max = Float.Array.sub t_e_max 0 ns;
+    }
   end
 
-let segments t = Array.to_list t.segs
-let prefix t s = Array.to_list (Array.sub t.blocks 0 s.prefix_len)
+let segments t = List.init t.s_len (seg t)
+let prefix t s = List.init s.prefix_len (block t)
 
 let breakpoints t =
-  Array.to_list t.segs
+  segments t
   |> List.filter_map (fun s -> if s.e_min > 0.0 && Float.is_finite s.e_min then Some s.e_min else None)
   |> List.sort compare
 
-let segment_at t e =
-  let m = Array.length t.segs in
+(* [e_min] decreases along the segment arrays, so "first segment with
+   e > e_min" is a monotone predicate: binary search directly on the
+   unboxed e_min array, O(log m) per query with no boxing *)
+let seg_index_at t e =
+  let m = t.s_len in
   if m = 0 then invalid_arg "Frontier.segment_at: empty instance";
   if e <= 0.0 then invalid_arg "Frontier.segment_at: energy must be positive";
-  (* [e_min] decreases along [segs], so "first segment with e > e_min"
-     is a monotone predicate: binary search, O(log m) per query *)
   let lo = ref 0 and hi = ref (m - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if e > t.segs.(mid).e_min then hi := mid else lo := mid + 1
+    if e > Float.Array.get t.s_e_min mid then hi := mid else lo := mid + 1
   done;
-  t.segs.(!lo)
+  !lo
 
-let last_speed t s e = Power_model.speed_for_energy t.model ~work:s.last_work ~energy:(e -. s.e_fixed)
+let segment_at t e = seg t (seg_index_at t e)
+
+let last_speed_at t i e =
+  Power_model.speed_for_energy t.model
+    ~work:(Float.Array.get t.s_last_work i)
+    ~energy:(e -. Float.Array.get t.s_e_fixed i)
 
 let makespan_at t e =
   Obs.incr c_points;
-  let s = segment_at t e in
-  s.last_start +. (s.last_work /. last_speed t s e)
+  let i = seg_index_at t e in
+  Float.Array.get t.s_last_start i
+  +. (Float.Array.get t.s_last_work i /. last_speed_at t i e)
 
 let deriv1_at t e =
-  let s = segment_at t e in
+  let i = seg_index_at t e in
   match Power_model.alpha_exponent t.model with
   | Some a ->
     let beta = 1.0 /. (a -. 1.0) in
-    let x = e -. s.e_fixed in
-    -.beta *. (s.last_work ** (1.0 +. beta)) *. (x ** (-.beta -. 1.0))
+    let x = e -. Float.Array.get t.s_e_fixed i in
+    -.beta *. (Float.Array.get t.s_last_work i ** (1.0 +. beta)) *. (x ** (-.beta -. 1.0))
   | None ->
     let h = 1e-6 *. (1.0 +. Float.abs e) in
     (makespan_at t (e +. h) -. makespan_at t (e -. h)) /. (2.0 *. h)
 
 let deriv2_at t e =
-  let s = segment_at t e in
+  let i = seg_index_at t e in
   match Power_model.alpha_exponent t.model with
   | Some a ->
     let beta = 1.0 /. (a -. 1.0) in
-    let x = e -. s.e_fixed in
-    beta *. (beta +. 1.0) *. (s.last_work ** (1.0 +. beta)) *. (x ** (-.beta -. 2.0))
+    let x = e -. Float.Array.get t.s_e_fixed i in
+    beta *. (beta +. 1.0) *. (Float.Array.get t.s_last_work i ** (1.0 +. beta)) *. (x ** (-.beta -. 2.0))
   | None ->
     let h = 1e-5 *. (1.0 +. Float.abs e) in
     (makespan_at t (e +. h) -. (2.0 *. makespan_at t e) +. makespan_at t (e -. h)) /. (h *. h)
 
-let min_makespan_limit t =
-  if Array.length t.segs = 0 then 0.0 else t.segs.(0).last_start
+let min_makespan_limit t = if t.s_len = 0 then 0.0 else Float.Array.get t.s_last_start 0
 
 exception Infeasible_target of { target : float; infimum : float }
 
 let energy_for_makespan t m =
-  let nsegs = Array.length t.segs in
+  let nsegs = t.s_len in
   if nsegs = 0 then 0.0
   else begin
     if m <= min_makespan_limit t then
       raise (Infeasible_target { target = m; infimum = min_makespan_limit t });
     (* segments in decreasing energy order = increasing makespan order *)
     let rec go k =
-      let s = t.segs.(k) in
+      let last_start = Float.Array.get t.s_last_start k in
+      let last_work = Float.Array.get t.s_last_work k in
+      let e_fixed = Float.Array.get t.s_e_fixed k in
       if k = nsegs - 1 then begin
-        let sigma = s.last_work /. (m -. s.last_start) in
-        s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
+        let sigma = last_work /. (m -. last_start) in
+        e_fixed +. Power_model.energy_run t.model ~work:last_work ~speed:sigma
       end
       else begin
         (* the segment covers makespans in [M(e_max), M(e_min)) *)
-        let m_hi = s.last_start +. (s.last_work /. last_speed t s s.e_min) in
+        let m_hi = last_start +. (last_work /. last_speed_at t k (Float.Array.get t.s_e_min k)) in
         if m < m_hi then begin
-          let sigma = s.last_work /. (m -. s.last_start) in
-          s.e_fixed +. Power_model.energy_run t.model ~work:s.last_work ~speed:sigma
+          let sigma = last_work /. (m -. last_start) in
+          e_fixed +. Power_model.energy_run t.model ~work:last_work ~speed:sigma
         end
         else go (k + 1)
       end
@@ -156,7 +254,7 @@ let energy_for_makespan t m =
   end
 
 let schedule_at t e =
-  if Array.length t.segs = 0 then Schedule.of_entries []
+  if t.s_len = 0 then Schedule.of_entries []
   else begin
     let s = segment_at t e in
     let last_block =
@@ -165,7 +263,7 @@ let schedule_at t e =
         last = Instance.n t.inst - 1;
         work = s.last_work;
         start = s.last_start;
-        speed = last_speed t s e;
+        speed = Power_model.speed_for_energy t.model ~work:s.last_work ~energy:(e -. s.e_fixed);
       }
     in
     Schedule.of_entries
@@ -173,7 +271,7 @@ let schedule_at t e =
   end
 
 let min_energy_delay ?(delay_exponent = 1.0) t =
-  if Array.length t.segs = 0 then invalid_arg "Frontier.min_energy_delay: empty instance";
+  if t.s_len = 0 then invalid_arg "Frontier.min_energy_delay: empty instance";
   if delay_exponent <= 0.0 then invalid_arg "Frontier.min_energy_delay: exponent must be positive";
   let objective ln_e =
     let e = Float.exp ln_e in

@@ -7,7 +7,13 @@
     Non-last block speeds are forced by the release window (Lemma 4/5);
     the last block's speed is chosen to exhaust the remaining budget.
     Lemma 7 shows the unique schedule with the five structural
-    properties is optimal, so no search is needed. *)
+    properties is optimal, so no search is needed.
+
+    The merge passes run on unboxed struct-of-arrays storage from the
+    per-domain {!Scratch} arena (see scratch.mli for the slot
+    conventions); the [Block.t list] results are materialized once at
+    this boundary, so the public API is unchanged while a pass itself
+    allocates nothing proportional to the instance. *)
 
 val blocks : Power_model.t -> energy:float -> Instance.t -> Block.t list
 (** The optimal block decomposition.  Runs in O(n) after sorting (the
@@ -39,3 +45,18 @@ val window_blocks : Instance.t -> upto:int -> Block.t list
     budget ignored).  The window of job [upto]'s block ends at release
     [upto + 1], which must exist.
     @raise Invalid_argument when [upto >= n - 1] or [upto < -1]. *)
+
+val window_soa : Instance.t -> upto:int -> Block.Soa.t
+(** {!window_blocks} without the boxed materialization: the block
+    structure as a scratch-backed {!Block.Soa.t}.  The store is valid
+    only until the next kernel call on the calling domain — callers
+    ({!Frontier.build}) copy what they retain.
+    @raise Invalid_argument when [upto >= n - 1] or [upto < -1]. *)
+
+val prefix_sums_fa : Power_model.t -> Block.Soa.t -> floatarray * floatarray
+(** {!prefix_sums} over a struct-of-arrays store, producing unboxed
+    [floatarray]s directly (length [len + 1], same zero-energy
+    convention for transient infinite-speed blocks).  Freshly
+    allocated — safe to retain past the scratch validity window, which
+    is how {!Frontier} keeps them for {!Frontier.segment_at} binary
+    searches without re-boxing. *)

@@ -14,26 +14,45 @@
     test suite measures the heuristics' gap against exact. *)
 
 val norm_alpha : alpha:float -> float array -> float
-(** [Σ_p L_p^α]. *)
+(** [Σ_p L_p^α] — the objective every routine below minimizes.
+    @param alpha power exponent, [> 1] (not validated: a sub-1 value
+    merely makes the norm concave and the heuristics meaningless). *)
 
 val makespan_of_loads : alpha:float -> energy:float -> float array -> float
 (** [(Σ L_p^α / E)^(1/(α−1))] — the optimal common finish time for the
-    given loads and budget. *)
+    given loads and budget.
+    @param energy energy budget, [> 0].
+    @raise Invalid_argument when [energy <= 0]. *)
 
 val lpt : m:int -> float list -> int array
 (** Largest-first greedy: place each job on the least-loaded processor —
     by convexity this also minimizes the resulting norm for every
-    [α > 1].  Returns the processor index per job (input order). *)
+    [α > 1].  Returns the processor index per job (input order).
+    @param m processor count, [>= 1].
+    @raise Invalid_argument when [m <= 0]. *)
 
 val local_search : alpha:float -> m:int -> float list -> int array -> int array
 (** Improve an assignment by single-job moves and pairwise swaps until a
-    local optimum of the norm. *)
+    local optimum of the norm.  Terminates: every accepted step strictly
+    decreases [Σ_p L_p^α] and there are finitely many assignments.  The
+    input array is not mutated; indices in it must lie in [0 .. m-1]
+    (callers pass {!lpt} output, which guarantees this). *)
 
 val exact : alpha:float -> m:int -> float list -> int array
-(** Exhaustive assignment search.  @raise Invalid_argument when [n > 12]. *)
+(** Exhaustive assignment search — the ground truth the test suite
+    measures the heuristics' gap against.  O(m^n).
+    @raise Invalid_argument when [n > 12] (the search would exceed
+    [12^12] states). *)
 
 val solve : alpha:float -> m:int -> energy:float -> Instance.t -> Schedule.t
 (** LPT + local search, then constant-speed schedules meeting the common
-    finish time.  @raise Invalid_argument unless all releases are 0. *)
+    finish time: processor [p] runs its jobs back-to-back from time 0 at
+    [L_p / M] where [M] is {!makespan_of_loads} of the final loads.
+    @param energy energy budget, [> 0]; the schedule spends all of it.
+    @raise Invalid_argument unless all releases are 0, or when
+    [energy <= 0] or [m <= 0]. *)
 
 val makespan : alpha:float -> m:int -> energy:float -> Instance.t -> float
+(** Common finish time of {!solve}'s schedule — [0] for an empty
+    instance.  Same preconditions as {!solve}.
+    @raise Invalid_argument under exactly the conditions of {!solve}. *)

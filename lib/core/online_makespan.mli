@@ -12,7 +12,9 @@
 val race : Power_model.t -> budget:float -> Online_driver.policy
 (** Spend-it-all: at every event, run the pending work at the constant
     speed that would exhaust the remaining budget if no further job
-    arrived (the optimal offline move on the known suffix). *)
+    arrived (the optimal offline move on the known suffix).
+    @param budget total energy the policy may spend, [> 0].
+    @raise Invalid_argument when [budget <= 0]. *)
 
 val hedged : Power_model.t -> budget:float -> reserve:float -> Online_driver.policy
 (** Like {!race} but at every decision only [1 − reserve] of the
@@ -20,7 +22,11 @@ val hedged : Power_model.t -> budget:float -> reserve:float -> Online_driver.pol
     The reserve decays geometrically across arrivals, so the policy is
     never starved outright — the makespan cost on quiet instances buys
     bounded slowdown on bursty ones.
-    @raise Invalid_argument unless [0 <= reserve < 1]. *)
+    @param budget total energy the policy may spend, [> 0].
+    @param reserve fraction of the unspent budget withheld at each
+    decision, in [[0, 1)]; [0] degenerates to {!race}.
+    @raise Invalid_argument unless [0 <= reserve < 1] and
+    [budget > 0]. *)
 
 val competitive_ratio :
   Power_model.t -> Online_driver.policy -> energy:float -> Instance.t -> float

@@ -69,6 +69,13 @@ val solve_many :
 
     Per-item solver failures are contained as [Error e] in the result
     slot, so one pathological instance cannot sink its batch.
+
+    Pool workers are long-lived domains, so each worker's [Scratch]
+    arena and cached flow tables persist {e across batch items and
+    across batches}: after the first item of comparable size, every
+    kernel solve on that worker runs on the warm allocation profile
+    (see scratch.mli).  This is a performance property only — arenas
+    never affect values, so results remain jobs- and pool-invariant.
     @raise Invalid_argument when any item fails the capability check
     (checked before any solve runs, naming the offending index). *)
 

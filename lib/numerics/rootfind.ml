@@ -48,12 +48,13 @@ let bisect ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
     Fault.observe_float "rootfind.bisect" mid
   end
 
-let brent ~f ~lo ~hi ?(eps = default_eps) ?(max_iter = 200) () =
+let brent ~f ~lo ~hi ?flo ?fhi ?(eps = default_eps) ?(max_iter = 200) () =
   Fault.enter "rootfind.brent";
   let eps = eps *. Fault.tol_scale () in
   let max_iter = Fault.cap_iters max_iter in
   let a = ref lo and b = ref hi in
-  let fa = ref (f !a) and fb = ref (f !b) in
+  let endpoint pre x = match pre with Some v -> v | None -> f x in
+  let fa = ref (endpoint flo !a) and fb = ref (endpoint fhi !b) in
   if not (opposite !fa !fb) then raise (No_bracket { lo; hi; f_lo = !fa; f_hi = !fb });
   if Float.abs !fa < Float.abs !fb then begin
     let t = !a in
@@ -142,6 +143,51 @@ let newton ~f ~df ~x0 ?(eps = default_eps) ?(max_iter = 100) () =
   Obs.incr c_calls;
   Obs.add c_newton !steps;
   root
+
+(* Safeguarded Newton on a bracket, for a DECREASING function whose
+   derivative falls out of the same evaluation loop as the value (the
+   Flow kernel's pinned-run windows: value and derivative share every
+   [**], so one fused evaluation costs what a plain one does).  The
+   caller guarantees f lo >= 0 >= f hi without those endpoints being
+   (re-)evaluated here; every evaluated point tightens the bracket, and
+   any Newton step that leaves it — or meets a flat or non-finite
+   derivative — is replaced by bisection, so convergence never depends
+   on the initial guess being good.  State lives in one flat all-float
+   record: an iteration allocates nothing. *)
+type newton_state = { mutable x : float; mutable blo : float; mutable bhi : float }
+
+let newton_bracketed ~f_df ~lo ~hi ?x0 ?(eps = default_eps) ?(max_iter = 200) () =
+  Fault.enter "rootfind.newton_bracketed";
+  let eps = eps *. Fault.tol_scale () in
+  let max_iter = Fault.cap_iters max_iter in
+  let st = { x = (match x0 with Some x -> x | None -> 0.5 *. (lo +. hi)); blo = lo; bhi = hi } in
+  if not (st.x > lo && st.x < hi) then st.x <- 0.5 *. (lo +. hi);
+  let iter = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !iter < max_iter do
+    Fault.tick ();
+    let fx, dx = f_df st.x in
+    if fx = 0.0 then finished := true
+    else begin
+      if fx > 0.0 then st.blo <- st.x else st.bhi <- st.x;
+      let step = fx /. dx in
+      let x' = st.x -. step in
+      let x' =
+        if Float.is_finite x' && x' > st.blo && x' < st.bhi then x'
+        else 0.5 *. (st.blo +. st.bhi)
+      in
+      if Float.abs (x' -. st.x) <= eps *. (1.0 +. Float.abs x') then begin
+        st.x <- x';
+        finished := true
+      end
+      else st.x <- x'
+    end;
+    incr iter
+  done;
+  Obs.incr c_calls;
+  Obs.add c_newton !iter;
+  if not !finished then raise (No_convergence { iters = !iter; residual = st.bhi -. st.blo });
+  Fault.observe_float "rootfind.newton_bracketed" st.x
 
 let bracket_outward ~f ~lo ~hi ?(grow = 1.6) ?(max_iter = 60) () =
   if lo >= hi then raise (No_bracket { lo; hi; f_lo = Float.nan; f_hi = Float.nan });

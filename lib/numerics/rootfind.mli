@@ -28,9 +28,25 @@ val bisect : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_it
     @raise No_convergence when [max_iter] halvings leave the interval
     wider than the tolerance (only reachable under a tightened cap). *)
 
-val brent : f:(float -> float) -> lo:float -> hi:float -> ?eps:float -> ?max_iter:int -> unit -> float
+val brent :
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  ?flo:float ->
+  ?fhi:float ->
+  ?eps:float ->
+  ?max_iter:int ->
+  unit ->
+  float
 (** Brent's method (inverse quadratic interpolation + secant + bisection);
     superlinear on smooth functions, never worse than bisection.
+
+    [flo]/[fhi] optionally pass [f lo]/[f hi] values the caller already
+    computed (typically during bracketing), saving the two endpoint
+    evaluations; the iteration sequence — hence the returned bits — is
+    identical to recomputing them.
+    @param eps interval-width tolerance relative to the iterate's
+    magnitude (default [1e-12]).
     @raise No_bracket when the endpoints do not bracket a root.
     @raise No_convergence when the iteration budget is exhausted. *)
 
@@ -39,6 +55,31 @@ val newton :
 (** Newton iteration from [x0].
     @raise No_convergence on a vanishing derivative, a non-finite
     step, or an exhausted iteration budget. *)
+
+val newton_bracketed :
+  f_df:(float -> float * float) ->
+  lo:float ->
+  hi:float ->
+  ?x0:float ->
+  ?eps:float ->
+  ?max_iter:int ->
+  unit ->
+  float
+(** Safeguarded Newton for a {e decreasing} [f] on a bracket the caller
+    has already established: [f lo >= 0 >= f hi], with neither endpoint
+    (re-)evaluated here.  [f_df x] returns [(f x, f' x)] from one fused
+    evaluation — the intended callers get the derivative for free from
+    the same loop that computes the value.  Every iterate tightens the
+    bracket; a Newton step that leaves it, or a flat/non-finite
+    derivative, falls back to bisection, so the method is never worse
+    than bisection while typically converging quadratically.
+
+    @param x0 initial iterate (clamped into [(lo, hi)]; default the
+    bracket midpoint).
+    @param eps step-size tolerance relative to the iterate's magnitude
+    (default [1e-12]).
+    @raise No_convergence when [max_iter] evaluations do not meet the
+    tolerance (only reachable under a tightened fault cap). *)
 
 val bracket_outward :
   f:(float -> float) -> lo:float -> hi:float -> ?grow:float -> ?max_iter:int -> unit -> float * float

@@ -17,6 +17,15 @@
     and warm-start chains independently of [jobs]), which is what makes
     the CLI's golden outputs byte-identical for every [--jobs] value.
 
+    Per-domain state is allowed when it cannot leak into values: the
+    kernel scratch arenas ([Scratch] in [lib/core]) live in
+    [Domain.DLS], so each worker reuses its own buffers and cached
+    tables across elements.  The tables are filled by deterministic
+    recurrences — a warm worker and a cold worker compute bitwise
+    identical results — and [test/test_kernel.ml] locks this by
+    comparing kernel outputs across interleaved instance sizes at
+    [jobs] 1, 2 and 4.
+
     {2 Exceptions}
 
     When [f] raises, the pool stops issuing new work, joins, and

@@ -2,15 +2,26 @@
 """Compare two Obs_bench JSON artifacts and flag wall-clock regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
+                     [--fail-below RATIO]
 
 Prints a Markdown table (suitable for $GITHUB_STEP_SUMMARY) of every
 section present in both files, with the relative wall-clock change and
 a flag on sections slower than the threshold (default +25%).  Sections
 present in only one file are listed but not flagged.
 
-Exit status is always 0: the diff is informational.  Bench runners are
-noisy shared machines, so a flagged regression means "look", not
-"fail" — the tier-1 tests, not this script, gate merges.
+By default exit status is always 0: the diff is informational.  Bench
+runners are noisy shared machines, so a flagged regression means
+"look", not "fail" — the tier-1 tests, not this script, gate merges.
+
+--fail-below RATIO adds the one blocking check: for every section
+whose name starts with "kernel" and that is present in both files, the
+speed ratio baseline_wall / current_wall must stay >= RATIO.  The
+kernel microbenches are single-core, allocation-free-on-warm loops
+with far less machine noise than the service sections, so a deep floor
+(CI uses 0.2, i.e. "no more than 5x slower than the committed
+baseline") is quiet on shared runners yet still fails a return to
+boxed per-call storage, which costs 5-10x.  Non-kernel sections are
+never blocking, whatever the flag says.
 """
 
 import argparse
@@ -30,6 +41,10 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="relative slowdown that gets flagged (0.25 = +25%%)")
+    ap.add_argument("--fail-below", type=float, default=None, metavar="RATIO",
+                    help="exit 1 if any kernel* section runs below this "
+                         "speed ratio vs the baseline (1.0 = as fast as "
+                         "baseline, 0.2 = allow up to 5x slower)")
     args = ap.parse_args()
 
     try:
@@ -48,6 +63,7 @@ def main():
     print("|---|---:|---:|---:|---|")
 
     flagged = 0
+    failed = []
     for name in sorted(set(base) | set(cur)):
         b = base.get(name)
         c = cur.get(name)
@@ -66,6 +82,10 @@ def main():
         if rel > args.threshold:
             mark = "⚠️ regression"
             flagged += 1
+        if (args.fail_below is not None and name.startswith("kernel")
+                and cw > 0.0 and bw / cw < args.fail_below):
+            mark = f"❌ below {args.fail_below:g}x floor"
+            failed.append((name, bw / cw))
         print(f"| {name} | {bw:.4f} | {cw:.4f} | {rel:+.1%} | {mark} |")
 
     print()
@@ -74,6 +94,14 @@ def main():
               "threshold (non-blocking; machines differ).")
     else:
         print("No section regressed past the threshold.")
+    if args.fail_below is not None:
+        if failed:
+            for name, ratio in failed:
+                print(f"FAIL: {name} runs at {ratio:.2f}x the baseline "
+                      f"(floor {args.fail_below:g}x)")
+            return 1
+        print(f"All kernel sections at or above the {args.fail_below:g}x "
+              "speed floor.")
     return 0
 
 
