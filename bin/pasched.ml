@@ -18,7 +18,8 @@ let () =
   Builtin.init ();
   Guard_chaos.register ();
   Serve_check.register ();
-  Kernel_check.register ()
+  Kernel_check.register ();
+  Sim_check.register ()
 
 (* ---------- observability flags (every subcommand) ---------- *)
 
@@ -729,6 +730,319 @@ let solve_cmd =
         $ guard_term $ list_solvers $ solver $ objective $ pareto $ target $ energy_term $ procs
         $ alpha_term $ cap $ levels $ weights $ deadlines $ points $ gantt_flag $ instance_term))
 
+(* ---------- trace-scale streaming simulation ---------- *)
+
+let sim_cmd =
+  let parse_size spec =
+    match String.split_on_char ':' (String.trim spec) with
+    | [ "fixed"; w ] -> Workload.Stream.Fixed_size (parse_float "work" w)
+    | [ "uniform"; range ] -> (
+      match String.split_on_char ',' range with
+      | [ lo; hi ] ->
+        Workload.Stream.Uniform_size { lo = parse_float "lo" lo; hi = parse_float "hi" hi }
+      | _ -> failwith "bad --size, expected uniform:LO,HI")
+    | [ "pareto"; range ] -> (
+      match String.split_on_char ',' range with
+      | [ shape; scale ] ->
+        Workload.Stream.Pareto { shape = parse_float "shape" shape; scale = parse_float "scale" scale }
+      | _ -> failwith "bad --size, expected pareto:SHAPE,SCALE")
+    | _ -> failwith (Printf.sprintf "bad --size %S, expected fixed:W | uniform:LO,HI | pareto:SHAPE,SCALE" spec)
+  in
+  let parse_policy spec =
+    match String.split_on_char ':' (String.trim spec) with
+    | [ "constant"; s ] -> Sim.constant_policy (parse_float "speed" s)
+    | [ "load"; b ] -> Sim.load_policy (parse_float "base" b)
+    | _ -> failwith (Printf.sprintf "bad --policy %S, expected constant:SPEED | load:BASE" spec)
+  in
+  let watermark_json (s : Streaming_metrics.snapshot) =
+    Obs_json.Obj
+      [
+        ("jobs", Obs_json.Int s.Streaming_metrics.jobs);
+        ("flow_mean", Obs_json.Float s.Streaming_metrics.flow_mean);
+        ("flow_stddev", Obs_json.Float s.Streaming_metrics.flow_stddev);
+        ("flow_p50", Obs_json.Float s.Streaming_metrics.flow_p50);
+        ("flow_p95", Obs_json.Float s.Streaming_metrics.flow_p95);
+        ("flow_p99", Obs_json.Float s.Streaming_metrics.flow_p99);
+        ("flow_max", Obs_json.Float s.Streaming_metrics.flow_max);
+        ("makespan", Obs_json.Float s.Streaming_metrics.makespan);
+        ("energy", Obs_json.Float s.Streaming_metrics.energy);
+        ("released_work", Obs_json.Float s.Streaming_metrics.released_work);
+      ]
+  in
+  let watermark_csv_header =
+    "jobs,flow_mean,flow_stddev,flow_p50,flow_p95,flow_p99,flow_max,makespan,energy,released_work"
+  in
+  let watermark_csv (s : Streaming_metrics.snapshot) =
+    Printf.sprintf "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g" s.Streaming_metrics.jobs
+      s.Streaming_metrics.flow_mean s.Streaming_metrics.flow_stddev s.Streaming_metrics.flow_p50
+      s.Streaming_metrics.flow_p95 s.Streaming_metrics.flow_p99 s.Streaming_metrics.flow_max
+      s.Streaming_metrics.makespan s.Streaming_metrics.energy s.Streaming_metrics.released_work
+  in
+  let run obs pjobs _stream kind n seed size_spec rate amplitude period rate_on rate_off mean_on
+      mean_off step procs levels_spec switch_time switch_energy thermal_spec policy_spec watermark
+      format seeds ratios alpha window windows emit =
+    wrap_errors @@ fun () ->
+    with_obs obs "sim" @@ fun () ->
+    apply_par_jobs pjobs;
+    if n <= 0 then failwith "--n must be positive";
+    if seeds <= 0 then failwith "--seeds must be positive";
+    let size = parse_size size_spec in
+    let process =
+      match kind with
+      | "diurnal" -> Workload.Stream.Diurnal { base = rate; amplitude; period }
+      | "mmpp" -> Workload.Stream.Mmpp { rate_on; rate_off; mean_on; mean_off }
+      | "poisson" -> Workload.Stream.Poisson_process rate
+      | "staircase" -> Workload.Stream.Staircase_process step
+      | other -> failwith (Printf.sprintf "unknown trace kind %S (diurnal|mmpp|poisson|staircase)" other)
+    in
+    let stream_of seed = Workload.Stream.make ~seed ~limit:n ~size process in
+    if ratios then begin
+      (* windowed empirical competitive ratios vs the offline optimum *)
+      let summaries =
+        Compete.measure_stream ~seed ~windows ~window ~alpha (stream_of seed)
+      in
+      Printf.printf "# %s trace, %d windows x %d jobs, alpha %g, seed %d\n" kind windows window
+        alpha seed;
+      List.iter
+        (fun s ->
+          Printf.printf "%-3s mean ratio %.4f  max %.4f  bound %.4g  windows %d\n"
+            s.Compete.algorithm s.Compete.mean_ratio s.Compete.max_ratio s.Compete.theoretical_bound
+            s.Compete.trials)
+        summaries;
+      `Ok ()
+    end
+    else
+      match emit with
+      | Some batch ->
+        (* NDJSON solve requests off the trace: the serve-daemon soak.
+           Releases are window-relative so each batch is a well-formed
+           instance on its own clock. *)
+        if batch <= 0 then failwith "--emit-requests must be positive";
+        let stream = stream_of seed in
+        let finished = ref false in
+        let req = ref 0 in
+        while not !finished do
+          let jobs = Workload.Stream.take stream batch in
+          if jobs = [] then finished := true
+          else begin
+            let r0 = (List.hd jobs).Job.release in
+            let total = List.fold_left (fun acc (j : Job.t) -> acc +. j.Job.work) 0.0 jobs in
+            let json =
+              Obs_json.Obj
+                [
+                  ("id", Obs_json.Int !req);
+                  ("op", Obs_json.String "solve");
+                  ("objective", Obs_json.String "makespan");
+                  ("alpha", Obs_json.Float alpha);
+                  ("budget", Obs_json.Float (2.0 *. total));
+                  ( "jobs",
+                    Obs_json.List
+                      (List.map
+                         (fun (j : Job.t) ->
+                           Obs_json.List
+                             [ Obs_json.Float (j.Job.release -. r0); Obs_json.Float j.Job.work ])
+                         jobs) );
+                ]
+            in
+            print_endline (Obs_json.to_string json);
+            incr req;
+            if List.length jobs < batch then finished := true
+          end
+        done;
+        `Ok ()
+      | None ->
+        let model = model_of_alpha alpha in
+        let policy = parse_policy policy_spec in
+        let levels =
+          match levels_spec with
+          | None -> None
+          | Some "athlon" -> Some Discrete_levels.athlon64
+          | Some spec ->
+            Some
+              (Discrete_levels.create
+                 (List.map (parse_float "level") (String.split_on_char ',' spec)))
+        in
+        let thermal =
+          match thermal_spec with
+          | None -> None
+          | Some spec -> (
+            match String.split_on_char ',' spec with
+            | [ h; c ] -> Some (parse_float "heating" h, parse_float "cooling" c)
+            | _ -> failwith "bad --thermal, expected HEATING,COOLING")
+        in
+        let config =
+          {
+            Sim.base = { Sim.levels; switch_time; switch_energy };
+            procs;
+            thermal;
+            watermark_every = watermark;
+          }
+        in
+        if seeds > 1 && watermark > 0 then
+          failwith "--watermark needs a single seed (watermarks interleave under --seeds)";
+        let emit_watermark =
+          match format with
+          | "ndjson" -> fun s -> print_endline (Obs_json.to_string (watermark_json s))
+          | "csv" ->
+            let header_done = ref false in
+            fun s ->
+              if not !header_done then begin
+                header_done := true;
+                print_endline watermark_csv_header
+              end;
+              print_endline (watermark_csv s)
+          | other -> failwith (Printf.sprintf "unknown --format %S (ndjson|csv)" other)
+        in
+        let run_one seed =
+          let wm = if watermark > 0 then Some emit_watermark else None in
+          Sim.run_stream ~config ?watermark:wm model policy
+            (Workload.Stream.pull_fn (stream_of seed))
+        in
+        (* fan-out over seeds via Par: reports are pure per-seed values,
+           printed in seed order afterwards, so output is identical for
+           every --par-jobs width *)
+        let seed_list = List.init seeds (fun i -> seed + i) in
+        let reports =
+          if seeds = 1 then [ run_one seed ] else Par.list_map run_one seed_list
+        in
+        List.iter2
+          (fun seed (r : Sim.stream_report) ->
+            let m = r.Sim.metrics in
+            Printf.printf
+              "seed %d: jobs %d  makespan %.6g  flow mean %.6g p50 %.6g p95 %.6g p99 %.6g max \
+               %.6g  energy %.6g  switches %d  clamps %d  backlog-max %d\n"
+              seed m.Streaming_metrics.jobs m.Streaming_metrics.makespan
+              m.Streaming_metrics.flow_mean m.Streaming_metrics.flow_p50
+              m.Streaming_metrics.flow_p95 m.Streaming_metrics.flow_p99
+              m.Streaming_metrics.flow_max m.Streaming_metrics.energy r.Sim.stream_switches
+              r.Sim.clamps r.Sim.max_backlog;
+            match r.Sim.peak_temperature with
+            | None -> ()
+            | Some t -> Printf.printf "seed %d: peak temperature %.6g\n" seed t)
+          seed_list reports;
+        (* live-memory telemetry on stderr (not goldenable: it varies
+           by compiler); the CI smoke budget-checks it *)
+        let st = Gc.quick_stat () in
+        Printf.eprintf "heap: top_heap_words %d\n%!" st.Gc.top_heap_words;
+        `Ok ()
+  in
+  let stream_flag =
+    Arg.(value & flag & info [ "stream" ] ~doc:"Streaming trace mode (the default and only mode).")
+  in
+  let kind =
+    Arg.(
+      value & opt string "diurnal"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Trace family: diurnal | mmpp | poisson | staircase.")
+  in
+  let n = Arg.(value & opt int 100_000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Trace length (jobs).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base PRNG seed.") in
+  let size =
+    Arg.(
+      value & opt string "pareto:2.2,0.5"
+      & info [ "size" ] ~docv:"SPEC"
+          ~doc:"Job-size distribution: fixed:W | uniform:LO,HI | pareto:SHAPE,SCALE.")
+  in
+  let rate =
+    Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"R" ~doc:"Base arrival rate (diurnal, poisson).")
+  in
+  let amplitude =
+    Arg.(
+      value & opt float 0.8
+      & info [ "amplitude" ] ~docv:"A" ~doc:"Diurnal modulation depth in [0, 1).")
+  in
+  let period =
+    Arg.(value & opt float 1000.0 & info [ "period" ] ~docv:"T" ~doc:"Diurnal period.")
+  in
+  let rate_on =
+    Arg.(value & opt float 4.0 & info [ "rate-on" ] ~docv:"R" ~doc:"MMPP on-phase arrival rate.")
+  in
+  let rate_off =
+    Arg.(value & opt float 0.2 & info [ "rate-off" ] ~docv:"R" ~doc:"MMPP off-phase arrival rate.")
+  in
+  let mean_on =
+    Arg.(value & opt float 20.0 & info [ "mean-on" ] ~docv:"T" ~doc:"MMPP mean on-phase sojourn.")
+  in
+  let mean_off =
+    Arg.(value & opt float 80.0 & info [ "mean-off" ] ~docv:"T" ~doc:"MMPP mean off-phase sojourn.")
+  in
+  let step =
+    Arg.(value & opt float 1.0 & info [ "step" ] ~docv:"T" ~doc:"Staircase release step.")
+  in
+  let procs =
+    Arg.(value & opt int 1 & info [ "procs" ] ~docv:"M" ~doc:"FIFO multi-server width.")
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "levels" ] ~docv:"S1,S2,.."
+          ~doc:"Discrete speed levels ('athlon' = the 0.8/1.8/2.0 Athlon64 set).")
+  in
+  let switch_time =
+    Arg.(value & opt float 0.0 & info [ "switch-time" ] ~docv:"T" ~doc:"Stall per speed change.")
+  in
+  let switch_energy =
+    Arg.(value & opt float 0.0 & info [ "switch-energy" ] ~docv:"E" ~doc:"Energy per speed change.")
+  in
+  let thermal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "thermal" ] ~docv:"H,C" ~doc:"Enable the Newton thermal model (heating, cooling).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "constant:2.0"
+      & info [ "policy" ] ~docv:"SPEC" ~doc:"Speed policy: constant:SPEED | load:BASE.")
+  in
+  let watermark =
+    Arg.(
+      value & opt int 0
+      & info [ "watermark" ] ~docv:"N" ~doc:"Emit a metrics watermark every N completions (0 = off).")
+  in
+  let format =
+    Arg.(
+      value & opt string "ndjson"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Watermark format: ndjson | csv.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K" ~doc:"Fan out over K consecutive seeds via the Par layer.")
+  in
+  let ratios =
+    Arg.(
+      value & flag
+      & info [ "ratios" ]
+          ~doc:"Competitive-ratio mode: solve windowed chunks offline (YDS) and online (AVR, OA).")
+  in
+  let window =
+    Arg.(value & opt int 64 & info [ "window" ] ~docv:"W" ~doc:"Jobs per ratio window.")
+  in
+  let windows =
+    Arg.(value & opt int 20 & info [ "windows" ] ~docv:"K" ~doc:"Number of ratio windows.")
+  in
+  let emit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "emit-requests" ] ~docv:"BATCH"
+          ~doc:
+            "Print NDJSON solve requests ($(docv) trace jobs per request) instead of simulating — \
+             pipe into a running $(b,pasched serve) as a soak workload.")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Trace-scale streaming simulation: constant-memory runs over 10^6+-job synthetic traces, \
+          empirical competitive ratios, serve-daemon soak streams.")
+    Term.(
+      ret
+        (const run $ obs_term $ par_jobs_term [ "j"; "par-jobs" ] $ stream_flag $ kind $ n $ seed
+        $ size $ rate $ amplitude $ period $ rate_on $ rate_off $ mean_on $ mean_off $ step $ procs
+        $ levels $ switch_time $ switch_energy $ thermal $ policy $ watermark $ format $ seeds
+        $ ratios $ alpha_term $ window $ windows $ emit))
+
 let fuzz_cmd =
   let run obs par_jobs seed runs props list_props replay inject =
     match apply_par_jobs par_jobs with
@@ -992,8 +1306,8 @@ let () =
   let group =
     Cmd.group info
       [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
-        workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd; thermal_cmd;
-        fuzz_cmd; serve_cmd; client_cmd ]
+        sim_cmd; workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd;
+        thermal_cmd; fuzz_cmd; serve_cmd; client_cmd ]
   in
   (* exit-code contract: 0 ok, 1 fuzz counterexample (via Stdlib.exit
      above), 2 usage / invalid input, 3 infeasible, 4 no convergence,

@@ -35,3 +35,54 @@ let measure ~seed ~trials ~n ~alpha () =
     summarize "AVR" !ratios_avr (avr_bound ~alpha);
     summarize "OA" !ratios_oa (oa_bound ~alpha);
   ]
+
+(* Windowed streaming variant: pull [window]-job chunks off a trace,
+   solve each chunk offline (YDS) and online (AVR, OA), and accumulate
+   the per-window ratios in Welford state.  Only one window is ever
+   resident, so this scales to arbitrarily long traces; ratio
+   statistics are exact (mean/max need no quantile machinery). *)
+let measure_stream ?(slack = (0.5, 4.0)) ~seed ~windows ~window ~alpha stream =
+  if windows <= 0 then invalid_arg "Compete.measure_stream: windows <= 0";
+  if window < 2 then invalid_arg "Compete.measure_stream: window < 2";
+  let model = Power_model.alpha alpha in
+  let deadlined = Workload.Stream.with_deadlines ~seed ~slack stream in
+  let avr_w = Streaming_metrics.Welford.create () in
+  let oa_w = Streaming_metrics.Welford.create () in
+  let exhausted = ref false in
+  let next_window () =
+    let rec go acc k =
+      if k = 0 then List.rev acc
+      else
+        match deadlined () with
+        | None ->
+          exhausted := true;
+          List.rev acc
+        | Some ((j : Job.t), deadline) ->
+          go (Djob.make ~id:j.Job.id ~release:j.Job.release ~deadline ~work:j.Job.work :: acc) (k - 1)
+    in
+    go [] window
+  in
+  let w = ref 0 in
+  while !w < windows && not !exhausted do
+    let jobs = next_window () in
+    (* a short trailing window is still a valid instance if it has
+       enough jobs for a ratio to mean anything *)
+    if List.length jobs >= 2 then begin
+      Streaming_metrics.Welford.add avr_w (Avr.competitive_vs_yds model jobs);
+      Streaming_metrics.Welford.add oa_w (Optimal_available.competitive_vs_yds model jobs)
+    end;
+    incr w
+  done;
+  let summarize name acc bound =
+    {
+      algorithm = name;
+      mean_ratio = Streaming_metrics.Welford.mean acc;
+      max_ratio = Streaming_metrics.Welford.maximum acc;
+      theoretical_bound = bound;
+      trials = Streaming_metrics.Welford.count acc;
+    }
+  in
+  [
+    summarize "AVR" avr_w (avr_bound ~alpha);
+    summarize "OA" oa_w (oa_bound ~alpha);
+  ]

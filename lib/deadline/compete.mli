@@ -20,3 +20,21 @@ val measure :
 (** Random instances via {!Workload.deadline_jobs}; returns summaries
     for AVR and OA.  Every measured ratio is checked against the
     theoretical bound by the caller (tests). *)
+
+val measure_stream :
+  ?slack:float * float ->
+  seed:int ->
+  windows:int ->
+  window:int ->
+  alpha:float ->
+  Workload.Stream.t ->
+  summary list
+(** Trace-scale variant: pull up to [windows] chunks of [window] jobs
+    off the stream (deadlines derived via
+    {!Workload.Stream.with_deadlines} with the given [slack] range),
+    solve each chunk offline (YDS) and online (AVR, OA), and summarize
+    the per-window ratios with constant-memory Welford accumulators.
+    [trials] in each summary is the number of windows actually
+    measured (a trailing window needs at least 2 jobs to count; the
+    stream may run dry early).
+    @raise Invalid_argument when [windows <= 0] or [window < 2]. *)

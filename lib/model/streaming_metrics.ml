@@ -1,0 +1,222 @@
+(* Constant-memory online metrics for trace-scale simulation.
+
+   Everything here is O(1) space per statistic, whatever the trace
+   length: Welford's recurrence carries exact running mean/variance,
+   and the P² algorithm (Jain & Chlamtac, CACM'85) tracks a quantile
+   with five markers.  The exact aggregates (count, sum, min, max,
+   makespan, energy) agree with [Metrics] over a materialized schedule
+   to float rounding; the P² quantiles are estimates and are exact only
+   while the observation count is at most five. *)
+
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable sum : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = Float.infinity; max = Float.neg_infinity; sum = 0.0 }
+
+  let clear w =
+    w.n <- 0;
+    w.mean <- 0.0;
+    w.m2 <- 0.0;
+    w.min <- Float.infinity;
+    w.max <- Float.neg_infinity;
+    w.sum <- 0.0
+
+  let add w x =
+    w.n <- w.n + 1;
+    let d = x -. w.mean in
+    w.mean <- w.mean +. (d /. float_of_int w.n);
+    (* d uses the pre-update mean, the second factor the post-update
+       one: that cross term is what keeps m2 non-negative *)
+    w.m2 <- w.m2 +. (d *. (x -. w.mean));
+    w.sum <- w.sum +. x;
+    if x < w.min then w.min <- x;
+    if x > w.max then w.max <- x
+
+  let count w = w.n
+  let mean w = if w.n = 0 then 0.0 else w.mean
+  let sum w = w.sum
+  let variance w = if w.n < 2 then 0.0 else w.m2 /. float_of_int (w.n - 1)
+  let stddev w = sqrt (variance w)
+  let minimum w = if w.n = 0 then 0.0 else w.min
+  let maximum w = if w.n = 0 then 0.0 else w.max
+end
+
+module P2 = struct
+  (* Five markers track (min, q/2, q, (1+q)/2, max); heights are
+     adjusted toward their ideal positions with a piecewise-parabolic
+     interpolation, falling back to linear when the parabola would
+     cross a neighbour. *)
+  type t = {
+    q : float;
+    heights : float array;  (* marker heights, 5 *)
+    pos : float array;  (* actual marker positions, 1-based *)
+    want : float array;  (* desired positions *)
+    dwant : float array;  (* desired-position increments *)
+    mutable n : int;
+  }
+
+  let create q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Streaming_metrics.P2.create: q outside [0, 1]";
+    {
+      q;
+      heights = Array.make 5 0.0;
+      pos = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      want = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+      dwant = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+      n = 0;
+    }
+
+  let parabolic t i d =
+    let h = t.heights and p = t.pos in
+    h.(i)
+    +. (d /. (p.(i + 1) -. p.(i - 1))
+       *. (((p.(i) -. p.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (p.(i + 1) -. p.(i)))
+          +. ((p.(i + 1) -. p.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (p.(i) -. p.(i - 1)))))
+
+  let linear t i d =
+    let h = t.heights and p = t.pos in
+    let j = i + int_of_float d in
+    h.(i) +. (d *. (h.(j) -. h.(i)) /. (p.(j) -. p.(i)))
+
+  let add t x =
+    t.n <- t.n + 1;
+    if t.n <= 5 then begin
+      (* bootstrap: insertion-sort the first five observations *)
+      t.heights.(t.n - 1) <- x;
+      let sub = Array.sub t.heights 0 t.n in
+      Array.sort compare sub;
+      Array.blit sub 0 t.heights 0 t.n
+    end
+    else begin
+      let h = t.heights and p = t.pos in
+      let k =
+        if x < h.(0) then begin
+          h.(0) <- x;
+          0
+        end
+        else if x >= h.(4) then begin
+          h.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 1 to 3 do
+            if x >= h.(i) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        p.(i) <- p.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.want.(i) <- t.want.(i) +. t.dwant.(i)
+      done;
+      (* move the three middle markers toward their ideal positions *)
+      for i = 1 to 3 do
+        let d = t.want.(i) -. p.(i) in
+        if
+          (d >= 1.0 && p.(i + 1) -. p.(i) > 1.0)
+          || (d <= -1.0 && p.(i - 1) -. p.(i) < -1.0)
+        then begin
+          let d = if d >= 0.0 then 1.0 else -1.0 in
+          let candidate = parabolic t i d in
+          let candidate =
+            if h.(i - 1) < candidate && candidate < h.(i + 1) then candidate else linear t i d
+          in
+          h.(i) <- candidate;
+          p.(i) <- p.(i) +. d
+        end
+      done
+    end
+
+  let count t = t.n
+
+  let quantile t =
+    if t.n = 0 then 0.0
+    else if t.n <= 5 then begin
+      (* exact quantile over the sorted bootstrap buffer *)
+      let k = t.q *. float_of_int (t.n - 1) in
+      let i = int_of_float (Float.floor k) in
+      let frac = k -. float_of_int i in
+      if i + 1 < t.n then t.heights.(i) +. (frac *. (t.heights.(i + 1) -. t.heights.(i)))
+      else t.heights.(t.n - 1)
+    end
+    else t.heights.(2)
+end
+
+type t = {
+  flow : Welford.t;
+  p50 : P2.t;
+  p95 : P2.t;
+  p99 : P2.t;
+  mutable makespan : float;
+  mutable energy : float;
+  mutable released_work : float;
+}
+
+type snapshot = {
+  jobs : int;
+  flow_mean : float;
+  flow_stddev : float;
+  flow_max : float;
+  flow_total : float;
+  flow_p50 : float;
+  flow_p95 : float;
+  flow_p99 : float;
+  makespan : float;
+  energy : float;
+  released_work : float;
+}
+
+let create () =
+  {
+    flow = Welford.create ();
+    p50 = P2.create 0.50;
+    p95 = P2.create 0.95;
+    p99 = P2.create 0.99;
+    makespan = 0.0;
+    energy = 0.0;
+    released_work = 0.0;
+  }
+
+let observe (t : t) ~release ~completion =
+  if completion < release then
+    invalid_arg "Streaming_metrics.observe: completion precedes release";
+  let flow = completion -. release in
+  Welford.add t.flow flow;
+  P2.add t.p50 flow;
+  P2.add t.p95 flow;
+  P2.add t.p99 flow;
+  if completion > t.makespan then t.makespan <- completion
+
+let add_energy (t : t) e = t.energy <- t.energy +. e
+let add_released_work (t : t) w = t.released_work <- t.released_work +. w
+
+let jobs (t : t) = Welford.count t.flow
+let total_flow (t : t) = Welford.sum t.flow
+let makespan (t : t) = t.makespan
+let energy (t : t) = t.energy
+
+let snapshot (t : t) : snapshot =
+  {
+    jobs = Welford.count t.flow;
+    flow_mean = Welford.mean t.flow;
+    flow_stddev = Welford.stddev t.flow;
+    flow_max = Welford.maximum t.flow;
+    flow_total = Welford.sum t.flow;
+    flow_p50 = P2.quantile t.p50;
+    flow_p95 = P2.quantile t.p95;
+    flow_p99 = P2.quantile t.p99;
+    makespan = t.makespan;
+    energy = t.energy;
+    released_work = t.released_work;
+  }

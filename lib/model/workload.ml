@@ -33,9 +33,185 @@ let releases ~seed arrival n =
   Array.sort compare rs;
   rs
 
+(* ---------- the pull-based job source ---------- *)
+
+module Stream = struct
+  type t = { mutable produced : int; pull : t -> Job.t option }
+
+  let next s = s.pull s
+
+  type size =
+    | Fixed_size of float
+    | Uniform_size of { lo : float; hi : float }
+    | Pareto of { shape : float; scale : float }
+
+  type process =
+    | Poisson_process of float
+    | Diurnal of { base : float; amplitude : float; period : float }
+    | Mmpp of { rate_on : float; rate_off : float; mean_on : float; mean_off : float }
+    | Staircase_process of float
+
+  let check_size = function
+    | Fixed_size w -> if w <= 0.0 then invalid_arg "Workload.Stream: fixed work <= 0"
+    | Uniform_size { lo; hi } ->
+      if lo <= 0.0 || hi < lo then invalid_arg "Workload.Stream: need 0 < lo <= hi"
+    | Pareto { shape; scale } ->
+      if shape <= 0.0 || scale <= 0.0 then
+        invalid_arg "Workload.Stream: need positive shape/scale"
+
+  let check_process = function
+    | Poisson_process rate ->
+      if rate <= 0.0 then invalid_arg "Workload.Stream: rate <= 0"
+    | Diurnal { base; amplitude; period } ->
+      if base <= 0.0 then invalid_arg "Workload.Stream: base rate <= 0";
+      if amplitude < 0.0 || amplitude >= 1.0 then
+        invalid_arg "Workload.Stream: amplitude outside [0, 1)";
+      if period <= 0.0 then invalid_arg "Workload.Stream: period <= 0"
+    | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+      if rate_on <= 0.0 then invalid_arg "Workload.Stream: rate_on <= 0";
+      if rate_off < 0.0 then invalid_arg "Workload.Stream: rate_off < 0";
+      if mean_on <= 0.0 || mean_off <= 0.0 then
+        invalid_arg "Workload.Stream: phase means must be positive"
+    | Staircase_process step ->
+      if step < 0.0 then invalid_arg "Workload.Stream: step < 0"
+
+  let draw_size rng = function
+    | Fixed_size w -> w
+    | Uniform_size { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+    | Pareto { shape; scale } ->
+      let u = 1.0 -. Rng.float rng 1.0 in
+      scale /. (u ** (1.0 /. shape))
+
+  (* exponential inter-event time; the 1-u transform keeps log's
+     argument in (0, 1] *)
+  let draw_exp rng rate = -.Float.log (1.0 -. Rng.float rng 1.0) /. rate
+
+  let make ~seed ?limit ~size process =
+    check_size size;
+    check_process process;
+    (match limit with
+    | Some n when n < 0 -> invalid_arg "Workload.Stream.make: negative limit"
+    | _ -> ());
+    (* independent sub-streams: inserting a draw into the arrival
+       process never perturbs the size sequence, and vice versa *)
+    let arr_rng = Rng.of_pair seed 0 in
+    let size_rng = Rng.of_pair seed 1 in
+    let now = ref 0.0 in
+    let next_release =
+      match process with
+      | Poisson_process rate ->
+        fun () ->
+          now := !now +. draw_exp arr_rng rate;
+          !now
+      | Diurnal { base; amplitude; period } ->
+        (* sinusoid-modulated Poisson by thinning: candidates arrive at
+           the peak rate and survive with probability rate(t)/peak *)
+        let peak = base *. (1.0 +. amplitude) in
+        let two_pi = 8.0 *. Float.atan 1.0 in
+        let rec candidate () =
+          now := !now +. draw_exp arr_rng peak;
+          let rate = base *. (1.0 +. (amplitude *. Float.sin (two_pi *. !now /. period))) in
+          if Rng.float arr_rng 1.0 *. peak <= rate then !now else candidate ()
+        in
+        candidate
+      | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+        (* two-phase Markov-modulated Poisson: exponential on/off
+           sojourns, arrivals at the phase's rate (rate_off may be 0) *)
+        let on = ref true in
+        let phase_end = ref (draw_exp arr_rng (1.0 /. mean_on)) in
+        let rec arrival () =
+          let rate = if !on then rate_on else rate_off in
+          let gap = if rate > 0.0 then draw_exp arr_rng rate else Float.infinity in
+          if !now +. gap <= !phase_end then begin
+            now := !now +. gap;
+            !now
+          end
+          else begin
+            now := !phase_end;
+            on := not !on;
+            let mean = if !on then mean_on else mean_off in
+            phase_end := !now +. draw_exp arr_rng (1.0 /. mean);
+            arrival ()
+          end
+        in
+        arrival
+      | Staircase_process step ->
+        let k = ref (-1) in
+        fun () ->
+          incr k;
+          float_of_int !k *. step
+    in
+    let pull s =
+      match limit with
+      | Some n when s.produced >= n -> None
+      | _ ->
+        let release = next_release () in
+        let work = draw_size size_rng size in
+        let j = Job.make ~id:s.produced ~release ~work in
+        s.produced <- s.produced + 1;
+        Some j
+    in
+    { produced = 0; pull }
+
+  let of_array pairs =
+    let pull s =
+      if s.produced >= Array.length pairs then None
+      else begin
+        let r, w = pairs.(s.produced) in
+        let j = Job.make ~id:s.produced ~release:r ~work:w in
+        s.produced <- s.produced + 1;
+        Some j
+      end
+    in
+    { produced = 0; pull }
+
+  let of_instance inst =
+    let jobs = Instance.jobs inst in
+    let pull s =
+      if s.produced >= Array.length jobs then None
+      else begin
+        let j = jobs.(s.produced) in
+        s.produced <- s.produced + 1;
+        Some j
+      end
+    in
+    { produced = 0; pull }
+
+  let pull_fn s () = next s
+
+  let take s n =
+    let rec go acc k = if k = 0 then List.rev acc else
+      match next s with None -> List.rev acc | Some j -> go (j :: acc) (k - 1)
+    in
+    go [] n
+
+  let fold f init s =
+    let rec go acc = match next s with None -> acc | Some j -> go (f acc j) in
+    go init
+
+  let to_instance s =
+    Instance.create (List.rev (fold (fun acc j -> j :: acc) [] s))
+
+  let with_deadlines ~seed ~slack:(slo, shi) s =
+    if slo <= 0.0 || shi < slo then invalid_arg "Workload.Stream.with_deadlines: bad slack range";
+    let rng = Rng.of_pair seed 2 in
+    fun () ->
+      match next s with
+      | None -> None
+      | Some j ->
+        let slack = slo +. Rng.float rng (shi -. slo) in
+        Some (j, j.Job.release +. (j.Job.work *. slack))
+end
+
+(* The array-returning generators draw exactly as they always have
+   (Random.State, releases first, works second) and materialize through
+   the one shared Stream path, so their output is byte-identical to the
+   pre-streaming versions while exercising the same pull machinery the
+   trace simulator consumes. *)
+
 let build ~seed arrival n work_of =
   let rs = releases ~seed arrival n in
-  Instance.of_pairs (Array.to_list (Array.mapi (fun i r -> (r, work_of i)) rs))
+  Stream.to_instance (Stream.of_array (Array.mapi (fun i r -> (r, work_of i)) rs))
 
 let equal_work ~seed ~n ~work arrival =
   if work <= 0.0 then invalid_arg "Workload.equal_work: work <= 0";
@@ -62,15 +238,28 @@ let partition_style ~seed ~n ~max_value =
   let st = Random.State.make [| seed; 0x9a47 |] in
   Instance.of_works (List.init n (fun _ -> float_of_int (1 + Random.State.int st max_value)))
 
-let deadline_jobs ~seed ~n ~work:(wlo, whi) ~slack:(slo, shi) arrival =
+type deadline_arrays = {
+  release : float array;
+  deadline : float array;
+  work : float array;
+}
+
+let deadline_jobs_arrays ~seed ~n ~work:(wlo, whi) ~slack:(slo, shi) arrival =
   if wlo <= 0.0 || whi < wlo then invalid_arg "Workload.deadline_jobs: bad work range";
   if slo <= 0.0 || shi < slo then invalid_arg "Workload.deadline_jobs: bad slack range";
   let rs = releases ~seed arrival n in
   let st = Random.State.make [| seed; 0xdead |] in
-  Array.to_list
-    (Array.map
-       (fun r ->
-         let w = wlo +. Random.State.float st (whi -. wlo) in
-         let s = slo +. Random.State.float st (shi -. slo) in
-         (r, r +. (w *. s), w))
-       rs)
+  let dl = Array.make n 0.0 in
+  let wk = Array.make n 0.0 in
+  Array.iteri
+    (fun i r ->
+      let w = wlo +. Random.State.float st (whi -. wlo) in
+      let s = slo +. Random.State.float st (shi -. slo) in
+      dl.(i) <- r +. (w *. s);
+      wk.(i) <- w)
+    rs;
+  { release = rs; deadline = dl; work = wk }
+
+let deadline_jobs ~seed ~n ~work ~slack arrival =
+  let a = deadline_jobs_arrays ~seed ~n ~work ~slack arrival in
+  List.init n (fun i -> (a.release.(i), a.deadline.(i), a.work.(i)))

@@ -1,31 +1,55 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Binary min-heap on (time, seq) with pooled entries.
 
-type 'a t = { mutable heap : 'a entry array; mutable len : int; mutable next_seq : int }
+   Entry records are mutable and recycled: a pop parks the evicted
+   record in the slot it vacates, and the next add overwrites that
+   record's fields instead of allocating.  Steady-state add/pop traffic
+   therefore allocates nothing, which is what keeps the trace simulator
+   constant-memory at 10^6+ events.  Slots [0, pooled) hold distinct
+   reusable records; slots beyond [pooled] may alias (Array.make /
+   grow filler) and are never read. *)
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+type 'a entry = { mutable time : float; mutable seq : int; mutable value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable pooled : int;
+  mutable next_seq : int;
+  init_cap : int;
+}
+
+let create () = { heap = [||]; len = 0; pooled = 0; next_seq = 0; init_cap = 8 }
+
+let of_capacity n =
+  if n < 0 then invalid_arg "Event_queue.of_capacity: negative capacity";
+  (* allocation is deferred to the first add, so an unused queue costs
+     one record whatever the hint *)
+  { heap = [||]; len = 0; pooled = 0; next_seq = 0; init_cap = Stdlib.max n 8 }
+
 let is_empty q = q.len = 0
 let size q = q.len
 
+let clear q =
+  q.len <- 0;
+  q.next_seq <- 0
+
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow q =
+(* Cold path: called only when the heap array is full (including the
+   empty-heap bootstrap, cap = 0).  Allocates the new entry itself so
+   Array.make has a filler of type ['a entry]. *)
+let grow_and_append q time seq value =
+  let e = { time; seq; value } in
   let cap = Array.length q.heap in
-  if q.len = cap then begin
-    let ncap = Stdlib.max 8 (2 * cap) in
-    let nh = Array.make ncap q.heap.(0) in
-    Array.blit q.heap 0 nh 0 q.len;
-    q.heap <- nh
-  end
+  let ncap = if cap = 0 then q.init_cap else 2 * cap in
+  let nh = Array.make ncap e in
+  Array.blit q.heap 0 nh 0 q.len;
+  q.heap <- nh;
+  (* slot [len] already holds [e] via the Array.make fill *)
+  q.pooled <- q.len + 1
 
-let add q time value =
-  let e = { time; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 8 e;
-  grow q;
-  q.heap.(q.len) <- e;
-  q.len <- q.len + 1;
-  (* sift up *)
-  let i = ref (q.len - 1) in
+let sift_up q i =
+  let i = ref i in
   while !i > 0 && before q.heap.(!i) q.heap.((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
     let t = q.heap.(p) in
@@ -34,15 +58,36 @@ let add q time value =
     i := p
   done
 
+let add q time value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  if q.len = Array.length q.heap then grow_and_append q time seq value
+  else if q.len < q.pooled then begin
+    (* hot path: recycle the parked record in place *)
+    let e = q.heap.(q.len) in
+    e.time <- time;
+    e.seq <- seq;
+    e.value <- value
+  end
+  else begin
+    q.heap.(q.len) <- { time; seq; value };
+    q.pooled <- q.pooled + 1
+  end;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
 let peek q = if q.len = 0 then None else Some (q.heap.(0).time, q.heap.(0).value)
 
 let pop q =
   if q.len = 0 then None
   else begin
     let top = q.heap.(0) in
+    let time = top.time and value = top.value in
     q.len <- q.len - 1;
     if q.len > 0 then begin
       q.heap.(0) <- q.heap.(q.len);
+      (* park the evicted record for reuse by the next add *)
+      q.heap.(q.len) <- top;
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
@@ -60,7 +105,7 @@ let pop q =
         end
       done
     end;
-    Some (top.time, top.value)
+    Some (time, value)
   end
 
 let drain q =

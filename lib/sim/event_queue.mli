@@ -1,18 +1,37 @@
 (** A mutable binary min-heap keyed by float priority (time).
 
     Ties are broken by insertion order, which makes simulator runs
-    deterministic regardless of heap layout. *)
+    deterministic regardless of heap layout.
+
+    Entry records are pooled: popping parks the record for the next
+    [add] to overwrite, so steady-state add/pop traffic allocates
+    nothing — the property the trace-scale simulator relies on.  A
+    consequence is that a popped value stays reachable from the pool
+    until its slot is recycled; payloads are expected to be small
+    (the simulator uses [int]). *)
 
 type 'a t
 
 val create : unit -> 'a t
+
+val of_capacity : int -> 'a t
+(** [of_capacity n] sizes the first allocation for [n] simultaneous
+    events (growth beyond that still doubles).  The backing array is
+    allocated lazily on the first [add].
+    @raise Invalid_argument when [n < 0]. *)
+
 val is_empty : 'a t -> bool
 val size : 'a t -> int
+
+val clear : 'a t -> unit
+(** Forget all pending events (and reset the tie-break counter) while
+    keeping the backing array and record pool for reuse. *)
 
 val add : 'a t -> float -> 'a -> unit
 (** [add q time v] schedules [v] at [time]. *)
 
 val peek : 'a t -> (float * 'a) option
+
 val pop : 'a t -> (float * 'a) option
 (** Earliest event; among equal times, the one added first. *)
 

@@ -78,6 +78,204 @@ let run ?(config = default_config) model inst plan =
   let profiles = Array.to_list (Array.mapi (fun i p -> (i, Processor.profile p)) procs) in
   { results; makespan; total_flow; energy; switches; profiles }
 
+(* ---------- trace-scale streaming mode ---------- *)
+
+type stream_config = {
+  base : config;
+  procs : int;
+  thermal : (float * float) option;
+  watermark_every : int;
+}
+
+let default_stream_config = { base = default_config; procs = 1; thermal = None; watermark_every = 0 }
+
+type stream_policy = { policy_name : string; choose : queued:int -> backlog:float -> float }
+
+let constant_policy s =
+  if s <= 0.0 then invalid_arg "Sim.constant_policy: s <= 0";
+  { policy_name = Printf.sprintf "constant-%g" s; choose = (fun ~queued:_ ~backlog:_ -> s) }
+
+let load_policy base =
+  if base <= 0.0 then invalid_arg "Sim.load_policy: base <= 0";
+  {
+    policy_name = Printf.sprintf "load-%g" base;
+    choose = (fun ~queued ~backlog:_ -> base *. Float.max 1.0 (float_of_int queued) ** (1.0 /. 3.0));
+  }
+
+type stream_report = {
+  metrics : Streaming_metrics.snapshot;
+  stream_switches : int;
+  clamps : int;
+  peak_temperature : float option;
+  horizon : float;
+  max_backlog : int;
+}
+
+(* FIFO multi-server dispatch over a pull-based job source.
+
+   Constant-memory by construction: the event queue never holds more
+   than [procs] completions plus the single stashed arrival (pooled
+   entries, so steady state allocates nothing), pending jobs live in a
+   growable float ring buffer sized by peak backlog — a property of the
+   load, not the trace length — and metrics are streamed.  No per-job
+   result is retained. *)
+let run_stream ?(config = default_stream_config) ?watermark model policy pull =
+  Obs.span "sim.run_stream" @@ fun () ->
+  let nprocs = Stdlib.max 1 config.procs in
+  let levels = config.base.levels in
+  let switch_time = config.base.switch_time and switch_energy = config.base.switch_energy in
+  let metrics = Streaming_metrics.create () in
+  let q : int Event_queue.t = Event_queue.of_capacity (nprocs + 1) in
+  (* ring buffer of released-but-undispatched (release, work) pairs *)
+  let rb_rel = ref (Array.make 64 0.0) in
+  let rb_wrk = ref (Array.make 64 0.0) in
+  let rb_head = ref 0 and rb_count = ref 0 in
+  let max_backlog = ref 0 in
+  let backlog_work = ref 0.0 in
+  let rb_push r w =
+    let cap = Array.length !rb_rel in
+    if !rb_count = cap then begin
+      let ncap = 2 * cap in
+      let nr = Array.make ncap 0.0 and nw = Array.make ncap 0.0 in
+      for i = 0 to cap - 1 do
+        let s = (!rb_head + i) mod cap in
+        nr.(i) <- !rb_rel.(s);
+        nw.(i) <- !rb_wrk.(s)
+      done;
+      rb_rel := nr;
+      rb_wrk := nw;
+      rb_head := 0
+    end;
+    let slot = (!rb_head + !rb_count) mod Array.length !rb_rel in
+    !rb_rel.(slot) <- r;
+    !rb_wrk.(slot) <- w;
+    incr rb_count;
+    if !rb_count > !max_backlog then max_backlog := !rb_count;
+    backlog_work := !backlog_work +. w
+  in
+  let rb_pop () =
+    let r = !rb_rel.(!rb_head) and w = !rb_wrk.(!rb_head) in
+    rb_head := (!rb_head + 1) mod Array.length !rb_rel;
+    decr rb_count;
+    backlog_work := !backlog_work -. w;
+    (r, w)
+  in
+  (* per-processor state; [cur_speed] persists across idle gaps like
+     Processor.last_speed (0 when never run: idle-to-work is a switch) *)
+  let busy = Array.make nprocs false in
+  let cur_rel = Array.make nprocs 0.0 in
+  let cur_speed = Array.make nprocs 0.0 in
+  let switches = ref 0 in
+  let clamps = ref 0 in
+  (* thermal: closed-form Newton segments, extremes at endpoints *)
+  let temp = Array.make nprocs 0.0 in
+  let temp_at = Array.make nprocs 0.0 in
+  let peak_temp = ref 0.0 in
+  let horizon = ref 0.0 in
+  (* the single stashed arrival: one look-ahead job keeps queue size O(procs) *)
+  let stash = ref None in
+  let pull_next () =
+    match pull () with
+    | None -> stash := None
+    | Some (j : Job.t) ->
+      stash := Some j;
+      Event_queue.add q j.Job.release (-1)
+  in
+  let dispatch_one now p =
+    let release, work = rb_pop () in
+    let requested = policy.choose ~queued:(!rb_count + 1) ~backlog:(!backlog_work +. work) in
+    if requested <= 0.0 || not (Float.is_finite requested) then
+      invalid_arg
+        (Printf.sprintf "Sim.run_stream: policy %s returned speed %g with pending work"
+           policy.policy_name requested);
+    let speed =
+      match levels with
+      | None -> requested
+      | Some lv -> (
+        match Discrete_levels.round_up lv requested with
+        | Some s -> s
+        | None ->
+          (* above the top level: forced slower than requested *)
+          Obs.incr c_clamped;
+          incr clamps;
+          Discrete_levels.max_speed lv)
+    in
+    let start =
+      if Float.abs (speed -. cur_speed.(p)) > 1e-12 then begin
+        incr switches;
+        Streaming_metrics.add_energy metrics switch_energy;
+        now +. switch_time
+      end
+      else now
+    in
+    let dur = work /. speed in
+    let completion = start +. dur in
+    (* energy is committed at dispatch, so watermarks carry a running
+       total rather than 0 until the end *)
+    Streaming_metrics.add_energy metrics (dur *. Power_model.power model speed);
+    (match config.thermal with
+    | None -> ()
+    | Some (heating, cooling) ->
+      (* cool toward 0 over the idle gap, then run the segment *)
+      let t0 = temp.(p) *. Float.exp (-.cooling *. (start -. temp_at.(p))) in
+      let target = heating *. Power_model.power model speed /. cooling in
+      let t1 = target +. ((t0 -. target) *. Float.exp (-.cooling *. dur)) in
+      temp.(p) <- t1;
+      temp_at.(p) <- completion;
+      if t1 > !peak_temp then peak_temp := t1);
+    busy.(p) <- true;
+    cur_rel.(p) <- release;
+    cur_speed.(p) <- speed;
+    Event_queue.add q completion p
+  in
+  let dispatch now =
+    let p = ref 0 in
+    while !rb_count > 0 && !p < nprocs do
+      if not busy.(!p) then dispatch_one now !p;
+      incr p
+    done
+  in
+  pull_next ();
+  let running = ref true in
+  while !running do
+    match Event_queue.pop q with
+    | None -> running := false
+    | Some (now, v) ->
+      Obs.incr c_events;
+      if now > !horizon then horizon := now;
+      if v < 0 then begin
+        (* arrival of the stashed job *)
+        (match !stash with
+        | None -> assert false
+        | Some j ->
+          rb_push j.Job.release j.Job.work;
+          Streaming_metrics.add_released_work metrics j.Job.work);
+        pull_next ();
+        dispatch now
+      end
+      else begin
+        (* completion on processor [v] *)
+        Streaming_metrics.observe metrics ~release:cur_rel.(v) ~completion:now;
+        busy.(v) <- false;
+        (match watermark with
+        | Some f
+          when config.watermark_every > 0
+               && Streaming_metrics.jobs metrics mod config.watermark_every = 0 ->
+          f (Streaming_metrics.snapshot metrics)
+        | _ -> ());
+        dispatch now
+      end
+  done;
+  Obs.add c_switches !switches;
+  {
+    metrics = Streaming_metrics.snapshot metrics;
+    stream_switches = !switches;
+    clamps = !clamps;
+    peak_temperature = (match config.thermal with None -> None | Some _ -> Some !peak_temp);
+    horizon = !horizon;
+    max_backlog = !max_backlog;
+  }
+
 let agrees_with_plan ?(tol = 1e-9) report model plan =
   let ok_energy =
     let planned = Schedule.energy model plan in

@@ -37,6 +37,73 @@ val run : ?config:config -> Power_model.t -> Instance.t -> Schedule.t -> report
     @raise Invalid_argument if the plan references jobs missing from the
     instance. *)
 
+(** {2 Trace-scale streaming mode}
+
+    [run] above replays a materialized plan and retains a
+    [job_result list] — fine at 10^3 jobs, impossible at 10^7.
+    [run_stream] consumes a pull-based job source instead and retains
+    nothing per job: metrics are streamed ({!Streaming_metrics}), the
+    event queue holds at most [procs] completions plus one stashed
+    arrival (pooled entries — steady state allocates nothing), and
+    pending jobs live in a float ring buffer sized by peak backlog.
+    Peak live memory is therefore a function of the offered load, not
+    the trace length. *)
+
+type stream_config = {
+  base : config;  (** levels / switch overhead, as for [run] *)
+  procs : int;  (** FIFO multi-server width (>= 1) *)
+  thermal : (float * float) option;
+      (** [(heating, cooling)] enables the closed-form Newton thermal
+          model per processor; idle gaps cool toward 0 *)
+  watermark_every : int;
+      (** emit a watermark every this many completions (0 = never) *)
+}
+
+val default_stream_config : stream_config
+(** One idealized processor, no thermal model, no watermarks. *)
+
+type stream_policy = {
+  policy_name : string;
+  choose : queued:int -> backlog:float -> float;
+      (** speed for the job being dispatched, given the number of
+          released-but-unfinished jobs (including it) and their total
+          remaining work; must be positive and finite *)
+}
+
+val constant_policy : float -> stream_policy
+(** Run every job at σ. *)
+
+val load_policy : float -> stream_policy
+(** [base · max(1, queued)^(1/3)] — a cube-root-power response to queue
+    depth, the natural online shape under the cube power model. *)
+
+type stream_report = {
+  metrics : Streaming_metrics.snapshot;
+  stream_switches : int;
+  clamps : int;  (** dispatches forced below the requested speed by the
+                     top discrete level *)
+  peak_temperature : float option;  (** when [thermal] was set *)
+  horizon : float;  (** time of the last event *)
+  max_backlog : int;  (** peak released-but-undispatched jobs — the
+                          quantity that bounds live memory *)
+}
+
+val run_stream :
+  ?config:stream_config ->
+  ?watermark:(Streaming_metrics.snapshot -> unit) ->
+  Power_model.t ->
+  stream_policy ->
+  (unit -> Job.t option) ->
+  stream_report
+(** Consume the source to exhaustion (jobs must arrive in
+    nondecreasing release order, as {!Workload.Stream} guarantees).
+    Each job runs to completion on one processor at the policy's speed,
+    rounded up to a discrete level when levels are configured; speed
+    changes (including idle-to-work, matching [Processor]) pay the
+    configured switch overhead.
+    @raise Invalid_argument if the policy returns a non-positive or
+    non-finite speed. *)
+
 val agrees_with_plan : ?tol:float -> report -> Power_model.t -> Schedule.t -> bool
 (** True when simulated completions and energy match the plan's analytic
     values within tolerance — the soundness check between the algebraic
