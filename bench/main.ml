@@ -678,6 +678,172 @@ let section_serve () =
   Printf.printf "replies jobs=1 equal jobs=4: %b\n" (cold1 = cold4)
 
 (* ---------------------------------------------------------------- *)
+(* SERVE_SHARD: the sharded front end (PR9).  Machine-readable
+   sections for the BENCH_PR9.json artifact:
+
+     serve_shard_{1,2,4}  the run_serve workload (4 cold passes of a
+                          64-request flow-budget batch, plus one warm
+                          repeat) through Serve_shard at 1/2/4 shards —
+                          shard routing and per-shard caches must not
+                          cost throughput on a single box
+     serve_shed           the same batches under --max-inflight 8, so
+                          most of every batch sheds with a typed busy
+                          reply — the overload path priced
+     serve_soak_100k      10^5 emitted-trace requests through 2 shards
+                          with admission control: latency percentiles,
+                          shed counts, and liveness asserted *)
+
+let run_serve_shard ~shards () =
+  let t = Serve_shard.create ~jobs:1 ~shards ~cache_capacity:(2 * serve_batchsize) () in
+  for p = 1 to serve_passes do
+    ignore (Sys.opaque_identity (Serve_shard.handle_batch t (serve_batch_lines p)))
+  done;
+  (* one warm repeat: the cache must answer regardless of shard count *)
+  ignore (Sys.opaque_identity (Serve_shard.handle_batch t (serve_batch_lines serve_passes)));
+  Serve_shard.shutdown t
+
+let run_serve_shed () =
+  let t =
+    Serve_shard.create ~jobs:1 ~shards:2 ~max_inflight:8 ~cache_capacity:(2 * serve_batchsize) ()
+  in
+  for p = 1 to serve_passes do
+    ignore (Sys.opaque_identity (Serve_shard.handle_batch t (serve_batch_lines p)))
+  done;
+  let st = Serve_shard.stats t in
+  Serve_shard.shutdown t;
+  if st.Serve_shard.shed = 0 then failwith "serve_shed: admission control never shed"
+
+(* the serve-daemon soak input, generated exactly the way
+   `pasched sim --emit-requests 5` does: window-relative releases,
+   budget = 2x the window's work *)
+let soak_request_lines =
+  lazy
+    (let s =
+       Workload.Stream.make ~seed:42 ~limit:500_000
+         ~size:(Workload.Stream.Pareto { shape = 2.2; scale = 0.5 })
+         (Workload.Stream.Diurnal { base = 1.0; amplitude = 0.8; period = 1000.0 })
+     in
+     let pair (j : Job.t) r0 =
+       Printf.sprintf "[%.17g,%.17g]" (j.Job.release -. r0) j.Job.work
+     in
+     let rec go acc i =
+       match Workload.Stream.take s 5 with
+       | [] -> List.rev acc
+       | jobs ->
+         let r0 = (List.hd jobs).Job.release in
+         let total = List.fold_left (fun a (j : Job.t) -> a +. j.Job.work) 0.0 jobs in
+         let line =
+           Printf.sprintf {|{"id":%d,"objective":"makespan","budget":%.17g,"jobs":[%s]}|} i
+             (2.0 *. total)
+             (String.concat "," (List.map (fun j -> pair j r0) jobs))
+         in
+         go (line :: acc) (i + 1)
+     in
+     go [] 0)
+
+let run_serve_soak_100k () =
+  let lines = Lazy.force soak_request_lines in
+  let n = List.length lines in
+  if n < 100_000 then failwith "serve_soak: trace emitted fewer than 10^5 requests";
+  let t = Serve_shard.create ~jobs:1 ~shards:2 ~max_inflight:24 ~cache_capacity:1024 () in
+  let metrics = Streaming_metrics.create () in
+  let ok = ref 0 and busy = ref 0 and err = ref 0 in
+  let status_of reply =
+    match Obs_json.of_string reply with
+    | Ok doc -> Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val
+    | Error _ -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  let window = 64 in
+  let rec drive = function
+    | [] -> ()
+    | rest ->
+      let rec split k acc = function
+        | l :: tl when k < window -> split (k + 1) (l :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let w, rest = split 0 [] rest in
+      let sent_at = Unix.gettimeofday () in
+      let replies = Serve_shard.handle_batch t w in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun r ->
+          (match status_of r with
+          | Some "ok" -> incr ok
+          | Some "busy" -> incr busy
+          | _ -> incr err);
+          Streaming_metrics.observe metrics ~release:(sent_at -. t0) ~completion:(now -. t0))
+        replies;
+      drive rest
+  in
+  drive lines;
+  let wall = Unix.gettimeofday () -. t0 in
+  let alive = status_of (Serve_shard.handle_line t {|{"op":"ping"}|}) = Some "ok" in
+  let st = Serve_shard.stats t in
+  Serve_shard.shutdown t;
+  let s = Streaming_metrics.snapshot metrics in
+  Printf.printf "soak: requests %d ok %d busy %d error %d shed %d\n" n !ok !busy !err
+    st.Serve_shard.shed;
+  Printf.printf "soak: latency_s p50 %.6g p95 %.6g p99 %.6g max %.6g mean %.6g\n"
+    s.Streaming_metrics.flow_p50 s.Streaming_metrics.flow_p95 s.Streaming_metrics.flow_p99
+    s.Streaming_metrics.flow_max s.Streaming_metrics.flow_mean;
+  Printf.printf "soak: wall_s %.3f throughput_rps %.1f\n" wall (float_of_int n /. wall);
+  if !ok + !busy + !err <> n then failwith "serve_soak: requests went unanswered";
+  if !err > 0 then failwith "serve_soak: error replies under clean load";
+  if !busy = 0 then failwith "serve_soak: admission control never shed at max_inflight 24";
+  if !ok = 0 then failwith "serve_soak: nothing was admitted";
+  if not (Float.is_finite s.Streaming_metrics.flow_p99) then
+    failwith "serve_soak: p99 latency is not finite";
+  if not alive then failwith "serve_soak: daemon dead after the soak"
+
+let section_serve_shard () =
+  header "SERVE_SHARD  multi-shard dispatch, admission control, soak (PR9)";
+  Builtin.init ();
+  let solves = serve_batchsize * (serve_passes + 1) in
+  Printf.printf "batch=%d passes=%d+1 warm   jump-hash routing on the canonical key\n\n"
+    serve_batchsize serve_passes;
+  Printf.printf "%-26s %-12s %-14s\n" "configuration" "seconds" "requests/sec";
+  List.iter
+    (fun shards ->
+      let t = time_best ~reps:2 (run_serve_shard ~shards) in
+      Printf.printf "%-26s %-12.4f %-14.0f\n"
+        (Printf.sprintf "shards=%d" shards)
+        t
+        (float_of_int solves /. t))
+    [ 1; 2; 4 ];
+  (* shard transparency: byte-identical replies at every shard count,
+     repeats hit the cache *)
+  let run_replies shards =
+    let t = Serve_shard.create ~jobs:1 ~shards ~cache_capacity:(2 * serve_batchsize) () in
+    let cold = Serve_shard.handle_batch t (serve_batch_lines 0) in
+    let warm = Serve_shard.handle_batch t (serve_batch_lines 0) in
+    let st = Serve_shard.stats t in
+    Serve_shard.shutdown t;
+    (cold, warm, st)
+  in
+  let c1, w1, st1 = run_replies 1 in
+  let c4, w4, st4 = run_replies 4 in
+  Printf.printf "\nreplies shards=1 equal shards=4: %b\n" (c1 = c4 && w1 = w4);
+  Printf.printf "warm pass served from cache at both counts: %b (hits %d and %d)\n"
+    (st1.Serve_shard.cache.Serve_cache.hits = serve_batchsize
+    && st4.Serve_shard.cache.Serve_cache.hits = serve_batchsize)
+    st1.Serve_shard.cache.Serve_cache.hits st4.Serve_shard.cache.Serve_cache.hits;
+  (* snapshot round-trip: persist at 1 shard, warm at 4 *)
+  let file = Filename.temp_file "pasched_bench" ".cache" in
+  let t1 = Serve_shard.create ~jobs:1 ~shards:1 ~cache_capacity:256 ~cache_file:file () in
+  ignore (Serve_shard.handle_batch t1 (serve_batch_lines 0));
+  Serve_shard.shutdown t1;
+  let t4 = Serve_shard.create ~jobs:1 ~shards:4 ~cache_capacity:256 ~cache_file:file () in
+  ignore (Serve_shard.handle_batch t4 (serve_batch_lines 0));
+  let warmed = (Serve_shard.stats t4).Serve_shard.cache.Serve_cache.hits in
+  Serve_shard.shutdown t4;
+  Sys.remove file;
+  Printf.printf "snapshot 1 shard -> warm 4 shards: %d/%d hits: %b\n" warmed serve_batchsize
+    (warmed = serve_batchsize);
+  if c1 <> c4 || w1 <> w4 then failwith "serve_shard: replies differ across shard counts";
+  if warmed <> serve_batchsize then failwith "serve_shard: snapshot failed to warm the restart"
+
+(* ---------------------------------------------------------------- *)
 (* GUARD: supervision overhead of pasched.guard.  The guard-off path
    adds one disarmed-hook load per instrumented-loop iteration plus a
    constant-size wrapper per call, so a supervised solve must time
@@ -906,6 +1072,22 @@ let section_trace () =
     "\nconstant-memory: top_heap growth 1e5 -> 1e6 diurnal jobs = %d words (budget %d): %b\n"
     delta budget (delta < budget);
   if delta >= budget then failwith "trace bench: peak heap grew with trace length";
+  (* trace-scale wall-clock budget: 10^7 jobs must stream through in
+     bounded time.  The budget (60 s) is ~10x the typical container
+     wall clock, so it only trips on a complexity regression (the sweep
+     is O(n) — superlinear behaviour blows straight through 60 s), not
+     on machine noise. *)
+  let t10m_start = Unix.gettimeofday () in
+  let r10m = run_trace ~n:10_000_000 `Diurnal () in
+  let t10m = Unix.gettimeofday () -. t10m_start in
+  let wall_budget = 60.0 in
+  Printf.printf
+    "\n10^7-job diurnal sweep: %.2f s (%.0f jobs/sec, budget %.0f s): %b  flow p99 %.4f\n" t10m
+    (10_000_000.0 /. t10m) wall_budget (t10m < wall_budget)
+    r10m.Sim.metrics.Streaming_metrics.flow_p99;
+  if r10m.Sim.metrics.Streaming_metrics.jobs <> 10_000_000 then
+    failwith "trace bench: 10^7-job sweep lost jobs";
+  if t10m >= wall_budget then failwith "trace bench: 10^7-job sweep blew the wall-clock budget";
   (* windowed competitive ratios vs the offline optimum *)
   Printf.printf "\nwindowed competitive ratios (diurnal, 20 windows x 64 jobs, alpha 3):\n";
   Printf.printf "%-6s %-12s %-12s %-12s %-8s\n" "alg" "mean ratio" "max ratio" "bound" "windows";
@@ -943,6 +1125,12 @@ let sections =
     ("serve_cold_jobs4", run_serve ~jobs:4 ~warm:false);
     ("serve_warm_jobs1", run_serve ~jobs:1 ~warm:true);
     ("serve_warm_jobs4", run_serve ~jobs:4 ~warm:true);
+    ("serve_shard", section_serve_shard);
+    ("serve_shard_1", run_serve_shard ~shards:1);
+    ("serve_shard_2", run_serve_shard ~shards:2);
+    ("serve_shard_4", run_serve_shard ~shards:4);
+    ("serve_shed", run_serve_shed);
+    ("serve_soak_100k", run_serve_soak_100k);
     ("kernel", section_kernel);
     ("kernel_flow_cold", run_kernel_flow_cold);
     ("kernel_flow_warm", run_kernel_flow_warm);

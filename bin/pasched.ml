@@ -752,7 +752,15 @@ let sim_cmd =
     match String.split_on_char ':' (String.trim spec) with
     | [ "constant"; s ] -> Sim.constant_policy (parse_float "speed" s)
     | [ "load"; b ] -> Sim.load_policy (parse_float "base" b)
-    | _ -> failwith (Printf.sprintf "bad --policy %S, expected constant:SPEED | load:BASE" spec)
+    | [ "avr" ] -> Sim.avr_policy ~base:1.0 ~window:10.0
+    | [ "avr"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ b; w ] -> Sim.avr_policy ~base:(parse_float "base" b) ~window:(parse_float "window" w)
+      | _ -> failwith "bad --policy, expected avr:BASE,WINDOW")
+    | _ ->
+      failwith
+        (Printf.sprintf "bad --policy %S, expected constant:SPEED | load:BASE | avr[:BASE,WINDOW]"
+           spec)
   in
   let watermark_json (s : Streaming_metrics.snapshot) =
     Obs_json.Obj
@@ -993,7 +1001,11 @@ let sim_cmd =
   let policy =
     Arg.(
       value & opt string "constant:2.0"
-      & info [ "policy" ] ~docv:"SPEC" ~doc:"Speed policy: constant:SPEED | load:BASE.")
+      & info [ "policy" ] ~docv:"SPEC"
+          ~doc:
+            "Speed policy: constant:SPEED | load:BASE | avr[:BASE,WINDOW] (AVR-style density \
+             tracking — drain the live backlog within WINDOW time, floored at BASE; default \
+             avr:1,10).")
   in
   let watermark =
     Arg.(
@@ -1157,20 +1169,28 @@ let fuzz_cmd =
 (* ---------- serve: the long-running solve daemon ---------- *)
 
 let serve_cmd =
-  let run obs par_jobs (policy, inject) socket cache_capacity max_batch =
+  let run obs par_jobs (policy, inject) socket cache_capacity max_batch shards max_inflight
+      cache_file backlog =
     match apply_par_jobs par_jobs with
     | exception Invalid_argument msg -> `Error (false, msg)
     | () ->
       if inject <> None then `Error (false, "serve does not support --inject")
       else if cache_capacity < 1 then `Error (false, "--cache must be >= 1")
       else if max_batch < 1 then `Error (false, "--max-batch must be >= 1")
+      else if shards < 1 then `Error (false, "--shards must be >= 1")
+      else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
+      else if backlog < 1 then `Error (false, "--backlog must be >= 1")
       else
         wrap_errors @@ fun () ->
         with_obs obs "serve" @@ fun () ->
-        let t = Serve.create ?jobs:par_jobs ~cache_capacity ~policy () in
+        let t =
+          Serve_shard.create ?jobs:par_jobs ~shards ~cache_capacity:cache_capacity ~max_inflight
+            ~policy ?cache_file ()
+        in
+        let h = Serve_shard.handler t in
         (match socket with
-        | None -> Serve.run_pipe ~max_batch t
-        | Some path -> Serve.run_socket ~max_batch ~path t);
+        | None -> Serve.run_pipe_handler ~max_batch h
+        | Some path -> Serve.run_socket_handler ~max_batch ~backlog ~path h);
         `Ok ()
   in
   let socket =
@@ -1194,16 +1214,50 @@ let serve_cmd =
       & info [ "max-batch" ] ~docv:"N"
           ~doc:"Largest request batch dispatched to the domain pool at once (default 32).")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shared-nothing shards (default 1).  Each shard owns a private LRU cache and domain-pool \
+             slice; requests route by a jump consistent hash of the canonical instance key, so \
+             repeats always land on the shard that cached them and replies are byte-identical for \
+             every shard count.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission control: bound each shard's in-flight solves per batch at $(docv); excess \
+             requests are shed with a typed busy reply (0 = unbounded, the default).")
+  in
+  let cache_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-file" ] ~docv:"PATH"
+          ~doc:
+            "Persist the LRU caches: warm from $(docv) at start (if it exists) and snapshot all \
+             shards to it on shutdown as canonical-form NDJSON.  Snapshots survive a change of \
+             $(b,--shards) — entries re-route on load.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 16
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Socket listen(2) backlog (default 16; only meaningful with $(b,--socket)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-running solve service: newline-delimited JSON requests over stdin or a Unix \
-          socket, answered from an LRU cache backed by a persistent domain pool.")
+          socket, answered from sharded LRU caches backed by persistent domain pools.")
     Term.(
       ret
         (const run $ obs_term
         $ par_jobs_term [ "jobs"; "j" ]
-        $ guard_term $ socket $ cache $ max_batch))
+        $ guard_term $ socket $ cache $ max_batch $ shards $ max_inflight $ cache_file $ backlog))
 
 let client_cmd =
   let run socket file reqs =
@@ -1265,12 +1319,14 @@ let client_cmd =
         | Ok doc -> (
           match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
           | Some "ok" -> 0
+          | Some "busy" -> 7
           | _ -> (
             match Option.bind (Obs_json.member "class" doc) Obs_json.to_string_val with
             | Some "invalid-input" -> 2
             | Some "infeasible" -> 3
             | Some "no-convergence" -> 4
             | Some "deadline" -> 5
+            | Some "busy" -> 7
             | _ -> 6))
         | Error _ -> 6
       in
@@ -1297,8 +1353,187 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send request lines to a running serve daemon and print the replies; exits with the \
-          first error reply's class code.")
+          first error reply's class code (7 = shed busy by admission control).")
     Term.(ret (const run $ socket $ file $ reqs))
+
+let soak_cmd =
+  let run obs par_jobs socket file shards max_inflight cache_capacity cache_file window =
+    match apply_par_jobs par_jobs with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | () ->
+      if window < 1 then `Error (false, "--window must be >= 1")
+      else if shards < 1 then `Error (false, "--shards must be >= 1")
+      else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
+      else
+        wrap_errors @@ fun () ->
+        with_obs obs "soak" @@ fun () ->
+        let read_lines ic =
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go []
+        in
+        let lines =
+          match file with
+          | None | Some "-" -> read_lines stdin
+          | Some path ->
+            let ic = open_in path in
+            Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
+        in
+        let lines = List.filter (fun l -> String.trim l <> "") lines in
+        if lines = [] then failwith "no requests to soak with (pipe pasched sim --emit-requests)";
+        let windows =
+          let rec chunk acc cur k = function
+            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+            | l :: rest ->
+              if k = window then chunk (List.rev cur :: acc) [ l ] 1 rest
+              else chunk acc (l :: cur) (k + 1) rest
+          in
+          chunk [] [] 0 lines
+        in
+        let metrics = Streaming_metrics.create () in
+        let ok = ref 0 and busy = ref 0 and err = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        let classify reply =
+          match Obs_json.of_string reply with
+          | Ok doc -> (
+            match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
+            | Some "ok" -> incr ok
+            | Some "busy" -> incr busy
+            | _ -> incr err)
+          | Error _ -> incr err
+        in
+        (* window-granular latency: every request in a pipelined window
+           shares the window's send -> last-reply round trip *)
+        let observe sent_at replies =
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun r ->
+              classify r;
+              Streaming_metrics.observe metrics ~release:(sent_at -. t0) ~completion:(now -. t0))
+            replies
+        in
+        (match socket with
+        | Some path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (try Unix.connect fd (Unix.ADDR_UNIX path)
+               with Unix.Unix_error (e, _, _) ->
+                 failwith (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)));
+              let buf = Buffer.create 65536 in
+              let chunk = Bytes.create 65536 in
+              List.iter
+                (fun w ->
+                  let payload = String.concat "\n" w ^ "\n" in
+                  let sent_at = Unix.gettimeofday () in
+                  let len = String.length payload in
+                  let sent = ref 0 in
+                  while !sent < len do
+                    sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
+                  done;
+                  let want = List.length w in
+                  let replies = ref [] in
+                  let got = ref 0 in
+                  while !got < want do
+                    (match String.index_opt (Buffer.contents buf) '\n' with
+                    | Some nl ->
+                      let s = Buffer.contents buf in
+                      replies := String.sub s 0 nl :: !replies;
+                      incr got;
+                      Buffer.clear buf;
+                      Buffer.add_substring buf s (nl + 1) (String.length s - nl - 1)
+                    | None ->
+                      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                      if n = 0 then failwith "server closed the connection mid-soak";
+                      Buffer.add_subbytes buf chunk 0 n)
+                  done;
+                  observe sent_at (List.rev !replies))
+                windows)
+        | None ->
+          (* in-process mode: the same sharded front end the daemon
+             runs, driven directly — no transport in the numbers *)
+          let t =
+            Serve_shard.create ?jobs:par_jobs ~shards ~cache_capacity ~max_inflight ?cache_file ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Serve_shard.shutdown t)
+            (fun () ->
+              List.iter
+                (fun w ->
+                  let sent_at = Unix.gettimeofday () in
+                  observe sent_at (Serve_shard.handle_batch t w))
+                windows));
+        let wall = Unix.gettimeofday () -. t0 in
+        let s = Streaming_metrics.snapshot metrics in
+        let n = List.length lines in
+        Printf.printf "soak: requests %d ok %d busy %d error %d\n" n !ok !busy !err;
+        Printf.printf "soak: latency_s p50 %.6g p95 %.6g p99 %.6g max %.6g mean %.6g\n"
+          s.Streaming_metrics.flow_p50 s.Streaming_metrics.flow_p95 s.Streaming_metrics.flow_p99
+          s.Streaming_metrics.flow_max s.Streaming_metrics.flow_mean;
+        Printf.printf "soak: wall_s %.3f throughput_rps %.1f\n" wall
+          (if wall > 0.0 then float_of_int n /. wall else 0.0);
+        `Ok ()
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Drive a running $(b,pasched serve) over its Unix socket.  Without this flag the soak \
+             runs an in-process sharded front end instead (see $(b,--shards)).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH"
+          ~doc:"Read request lines from $(docv) ('-' = stdin, the default).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N" ~doc:"In-process mode: shard count (default 1).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"In-process mode: per-shard admission bound (0 = unbounded).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N" ~doc:"In-process mode: per-shard LRU capacity (default 256).")
+  in
+  let cache_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-file" ] ~docv:"PATH" ~doc:"In-process mode: LRU persistence file.")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Pipelining window: requests are sent (or dispatched) $(docv) at a time and latency is \
+             measured per window (default 64).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Soak a serve daemon (or an in-process sharded front end) with emitted request traces and \
+          report p50/p95/p99 request latency, shed counts and throughput.")
+    Term.(
+      ret
+        (const run $ obs_term
+        $ par_jobs_term [ "jobs"; "j" ]
+        $ socket $ file $ shards $ max_inflight $ cache $ cache_file $ window))
 
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
@@ -1307,11 +1542,12 @@ let () =
     Cmd.group info
       [ solve_cmd; frontier_cmd; laptop_cmd; server_cmd; flow_cmd; multi_cmd; simulate_cmd;
         sim_cmd; workload_cmd; deadline_cmd; maxflow_cmd; discrete_cmd; precedence_cmd;
-        thermal_cmd; fuzz_cmd; serve_cmd; client_cmd ]
+        thermal_cmd; fuzz_cmd; serve_cmd; client_cmd; soak_cmd ]
   in
   (* exit-code contract: 0 ok, 1 fuzz counterexample (via Stdlib.exit
      above), 2 usage / invalid input, 3 infeasible, 4 no convergence,
      5 deadline, 6 solver fault (3-6 via Guard_error in wrap_errors),
+     7 shed busy by admission control (client only),
      125 unexpected exception *)
   exit
     (match Cmd.eval_value group with

@@ -116,6 +116,19 @@ let handle_line t line = match handle_batch t [ line ] with [ r ] -> r | _ -> as
 
 (* ---------------- transports ---------------- *)
 
+type handler = {
+  h_batch : string list -> string list;
+  h_stopping : unit -> bool;
+  h_close : unit -> unit;
+}
+
+let handler_of t =
+  {
+    h_batch = handle_batch t;
+    h_stopping = (fun () -> t.stop);
+    h_close = (fun () -> shutdown t);
+  }
+
 (* a carry buffer of bytes read so far; complete lines go to [queue],
    the unterminated tail stays in [carry] *)
 let split_lines carry queue data len =
@@ -139,14 +152,16 @@ let take_batch ?(max_batch = 32) queue =
   in
   go 0 []
 
-let run_pipe ?(max_batch = 32) t =
+let run_pipe_handler ?(max_batch = 32) h =
   let fd = Unix.stdin in
   let chunk = Bytes.create 65536 in
   let carry = Buffer.create 4096 in
   let queue = Queue.create () in
   let eof = ref false in
   (try
-     while not (t.stop || (!eof && Queue.is_empty queue && Buffer.length carry = 0)) do
+     while
+       not (h.h_stopping () || (!eof && Queue.is_empty queue && Buffer.length carry = 0))
+     do
        if Queue.is_empty queue && not !eof then begin
          let got = Unix.read fd chunk 0 (Bytes.length chunk) in
          if got = 0 then begin
@@ -166,68 +181,149 @@ let run_pipe ?(max_batch = 32) t =
            (fun reply ->
              print_string reply;
              print_newline ())
-           (handle_batch t batch);
+           (h.h_batch batch);
          flush stdout
      done
    with End_of_file -> ());
-  shutdown t
+  h.h_close ()
 
-let run_socket ?(max_batch = 32) ~path t =
+let run_pipe ?max_batch t = run_pipe_handler ?max_batch (handler_of t)
+
+(* per-connection state: inbound carry + line queue, outbound pending
+   bytes with a consumed-prefix cursor (flushed via the select writable
+   set, never a blocking write loop) *)
+type conn = {
+  carry : Buffer.t;
+  queue : string Queue.t;
+  out : Buffer.t;
+  mutable opos : int;  (* bytes of [out] already written *)
+}
+
+(* a client that won't drain 64 MiB of replies is dead weight: shed it
+   rather than let its buffer grow without bound *)
+let max_pending_out = 1 lsl 26
+
+let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if Sys.file_exists path then Unix.unlink path;
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
-  Unix.listen srv 16;
-  (* fd -> (carry buffer, line queue) *)
-  let clients : (Unix.file_descr, Buffer.t * string Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  Unix.listen srv backlog;
+  let clients : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
   let chunk = Bytes.create 65536 in
   let drop fd =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Hashtbl.remove clients fd
   in
-  let send fd reply =
-    let data = reply ^ "\n" in
-    try
-      let len = String.length data in
-      let sent = ref 0 in
-      while !sent < len do
-        sent := !sent + Unix.write_substring fd data !sent (len - !sent)
-      done
-    with Unix.Unix_error _ -> drop fd
+  let pending c = Buffer.length c.out - c.opos in
+  let compact c =
+    if pending c = 0 then begin
+      Buffer.clear c.out;
+      c.opos <- 0
+    end
+    else if c.opos > 1 lsl 20 then begin
+      let rest = Buffer.sub c.out c.opos (pending c) in
+      Buffer.clear c.out;
+      Buffer.add_string c.out rest;
+      c.opos <- 0
+    end
   in
-  while not t.stop do
-    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
-    match Unix.select fds [] [] (-1.0) with
+  let enqueue fd c reply =
+    if Hashtbl.mem clients fd then begin
+      Buffer.add_string c.out reply;
+      Buffer.add_char c.out '\n';
+      if pending c > max_pending_out then drop fd
+    end
+  in
+  (* write what the kernel will take right now; the rest waits for the
+     next writable event *)
+  let flush_out fd c =
+    match
+      let continue = ref true in
+      while !continue && pending c > 0 do
+        let len = Int.min 65536 (pending c) in
+        let piece = Buffer.sub c.out c.opos len in
+        let sent = Unix.write_substring fd piece 0 len in
+        c.opos <- c.opos + sent;
+        if sent < len then continue := false
+      done
+    with
+    | () -> compact c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> compact c
+    | exception Unix.Unix_error _ -> drop fd
+  in
+  while not (h.h_stopping ()) do
+    let reads = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    let writes =
+      Hashtbl.fold (fun fd c acc -> if pending c > 0 then fd :: acc else acc) clients []
+    in
+    match Unix.select reads writes [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
+    | readable, writable, _ ->
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt clients fd with
+          | Some c -> flush_out fd c
+          | None -> ())
+        writable;
       List.iter
         (fun fd ->
           if fd = srv then begin
-            let client, _ = Unix.accept srv in
-            Hashtbl.replace clients client (Buffer.create 4096, Queue.create ())
+            match Unix.accept srv with
+            | exception Unix.Unix_error _ -> ()
+            | client, _ ->
+              Unix.set_nonblock client;
+              Hashtbl.replace clients client
+                {
+                  carry = Buffer.create 4096;
+                  queue = Queue.create ();
+                  out = Buffer.create 4096;
+                  opos = 0;
+                }
           end
           else
             match Hashtbl.find_opt clients fd with
             | None -> ()
-            | Some (carry, queue) -> (
+            | Some c -> (
               match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
               | exception Unix.Unix_error _ -> drop fd
               | 0 -> drop fd
               | got ->
-                split_lines carry queue chunk got;
+                split_lines c.carry c.queue chunk got;
                 (* all complete lines this client has buffered form
                    batches — natural batching under load *)
                 let rec serve_queued () =
-                  match take_batch ~max_batch queue with
+                  match take_batch ~max_batch c.queue with
                   | [] -> ()
                   | batch ->
-                    List.iter (send fd) (handle_batch t batch);
-                    if not t.stop then serve_queued ()
+                    List.iter (enqueue fd c) (h.h_batch batch);
+                    if not (h.h_stopping ()) then serve_queued ()
                 in
-                serve_queued ()))
-        ready
+                serve_queued ();
+                if Hashtbl.mem clients fd then flush_out fd c))
+        readable
   done;
-  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (* best-effort bounded flush of pending replies (the shutdown ack
+     among them) — a stalled client can't wedge the exit *)
+  Hashtbl.iter
+    (fun fd c ->
+      (try
+         let deadline = Unix.gettimeofday () +. 1.0 in
+         while pending c > 0 && Unix.gettimeofday () < deadline do
+           match Unix.select [] [ fd ] [] 0.1 with
+           | [], [], [] -> ()
+           | _ ->
+             let len = Int.min 65536 (pending c) in
+             let piece = Buffer.sub c.out c.opos len in
+             c.opos <- c.opos + Unix.write_substring fd piece 0 len
+         done
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    clients;
   (try Unix.close srv with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
-  shutdown t
+  h.h_close ()
+
+let run_socket ?max_batch ?backlog ~path t =
+  run_socket_handler ?max_batch ?backlog ~path (handler_of t)

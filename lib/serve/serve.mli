@@ -43,17 +43,38 @@ val shutdown : t -> unit
 (** Stop the resident pool workers.  Idempotent; the transports call it
     on exit. *)
 
-val run_pipe : ?max_batch:int -> t -> unit
+type handler = {
+  h_batch : string list -> string list;  (** one reply line per request line *)
+  h_stopping : unit -> bool;  (** transports exit their loop when true *)
+  h_close : unit -> unit;  (** called once by the transport on exit *)
+}
+(** What a transport needs from a request processor.  {!handler_of}
+    packages a {!t}; {!Serve_shard.handler} packages a sharded front
+    end — the transports below are generic over either. *)
+
+val handler_of : t -> handler
+
+val run_pipe_handler : ?max_batch:int -> handler -> unit
 (** Serve newline-delimited requests from stdin to stdout until EOF or
-    a ["shutdown"] op.  Reads are drained greedily, so lines already
-    buffered by the kernel form one batch (up to [max_batch], default
-    32) — a client that writes [k] requests at once gets them
+    the handler reports stopping.  Reads are drained greedily, so lines
+    already buffered by the kernel form one batch (up to [max_batch],
+    default 32) — a client that writes [k] requests at once gets them
     deduplicated and pool-dispatched together. *)
 
-val run_socket : ?max_batch:int -> path:string -> t -> unit
+val run_socket_handler : ?max_batch:int -> ?backlog:int -> path:string -> handler -> unit
 (** Serve over a Unix domain socket at [path] (created at start,
-    unlinked on exit; an existing stale socket file is replaced).
-    Multiplexes clients with [select]; each client's buffered complete
-    lines form one batch, and replies go back on that client's
-    connection.  A ["shutdown"] from any client stops the daemon after
-    its reply is written. *)
+    unlinked on exit; an existing stale socket file is replaced;
+    [backlog], default 16, is the [listen] queue depth).  Multiplexes
+    clients with [select]; each client's buffered complete lines form
+    one batch, and replies go back on that client's connection.
+    Replies are buffered per client and flushed through the [select]
+    writable set — a slow reader never stalls the event loop, and a
+    client holding more than 64 MiB of undrained replies is dropped.
+    A ["shutdown"] from any client stops the daemon; its pending
+    replies get a bounded best-effort flush before the fds close. *)
+
+val run_pipe : ?max_batch:int -> t -> unit
+(** [run_pipe_handler] of {!handler_of}. *)
+
+val run_socket : ?max_batch:int -> ?backlog:int -> path:string -> t -> unit
+(** [run_socket_handler] of {!handler_of}. *)

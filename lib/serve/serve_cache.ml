@@ -92,6 +92,15 @@ let insert t ~hash ~canon payload =
     Hashtbl.replace t.table hash fresh;
     push_front t fresh)
 
+let to_list t =
+  (* LRU -> MRU, so replaying the list through [insert] reproduces the
+     recency order exactly (each insert lands at the front) *)
+  let rec walk acc = function
+    | None -> acc
+    | Some n -> walk ((n.canon, n.payload) :: acc) n.prev
+  in
+  walk [] t.lru |> List.rev
+
 let stats t =
   {
     hits = t.hits;

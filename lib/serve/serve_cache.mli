@@ -30,4 +30,10 @@ val insert : t -> hash:int64 -> canon:string -> (string * Obs_json.t) list -> un
 (** Insert or overwrite, evicting the least-recently-used entry when
     the bound is reached. *)
 
+val to_list : t -> (string * (string * Obs_json.t) list) list
+(** [(canon, payload)] snapshot of every live entry, least-recently
+    used first — replaying it through {!insert} (hash recomputed with
+    {!Serve_key.hash}) reproduces both contents and recency order,
+    which is how cache persistence warms a restarted daemon. *)
+
 val stats : t -> stats

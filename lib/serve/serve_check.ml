@@ -113,6 +113,54 @@ let transparency c =
           if String.equal (Obs_json.to_string doc) cold then Oracle.Pass
           else Oracle.Fail "reply JSON does not round-trip through the parser"))
 
+let shard_transparency c =
+  let c = prepare c in
+  let p =
+    Problem.make ~objective:Problem.Makespan ~mode:(Problem.Budget c.Oracle.energy)
+      ~alpha:c.Oracle.alpha ()
+  in
+  match Engine.supporting p c.Oracle.inst with
+  | [] -> Oracle.Skip "no supporting solver"
+  | _ :: _ ->
+    (* a deduped set: distinct budgets make distinct canonical keys *)
+    let lines =
+      List.init 4 (fun i ->
+          let open Obs_json in
+          match request_json c with
+          | Obj fields ->
+            to_string
+              (Obj
+                 (List.map
+                    (function
+                      | "budget", _ ->
+                        ("budget", Float (c.Oracle.energy *. (1.0 +. (0.25 *. float_of_int i))))
+                      | kv -> kv)
+                    fields))
+          | _ -> assert false)
+    in
+    let run shards =
+      let t = Serve_shard.create ~jobs:1 ~shards ~cache_capacity:8 ~policy:Guard.off () in
+      let replies = Serve_shard.handle_batch t lines in
+      let repeat = Serve_shard.handle_batch t lines in
+      let st = Serve_shard.stats t in
+      Serve_shard.shutdown t;
+      (replies, repeat, st)
+    in
+    let one, one_rep, st1 = run 1 in
+    let many, many_rep, st3 = run 3 in
+    if not (List.equal String.equal one many) then
+      Oracle.Fail "replies differ between 1 shard and 3 shards"
+    else if not (List.equal String.equal one_rep many_rep) then
+      Oracle.Fail "repeat replies differ between 1 shard and 3 shards"
+    else if not (List.equal String.equal one one_rep) then
+      Oracle.Fail "repeated batch not answered byte-identically"
+    else if
+      List.exists (fun r -> status_of r = Some "ok") one
+      && (st1.Serve_shard.cache.Serve_cache.hits < 1
+         || st3.Serve_shard.cache.Serve_cache.hits < 1)
+    then Oracle.Fail "repeated batch recorded no cache hit at some shard count"
+    else Oracle.Pass
+
 let props =
   [
     ( "serve:roundtrip",
@@ -125,6 +173,10 @@ let props =
     ( "serve:cache-transparent",
       "a repeated request is answered byte-identically from cache",
       transparency );
+    ( "serve:shard-transparent",
+      "a deduped request set is answered byte-identically at any shard count, with cache \
+       hits on repeats",
+      shard_transparency );
   ]
 
 let names () = List.map (fun (n, _, _) -> n) props

@@ -279,4 +279,18 @@ let error_payload e =
     ("message", String (Guard_error.to_string e));
   ]
 
+(* admission-control shed: its own status (never "ok", so it can never
+   be cached; never "error", so callers can tell overload from request
+   faults) and a fixed message — the reply must not depend on which
+   shard shed it, or shard-count transparency would leak through the
+   overload path *)
+let busy_payload ~shard =
+  let open Obs_json in
+  [
+    ("status", String "busy");
+    ("class", String "busy");
+    ("shard", Int shard);
+    ("message", String "server at admission limit; retry");
+  ]
+
 let reply_string ~id payload = Obs_json.to_string (Obs_json.Obj (("id", id) :: payload))

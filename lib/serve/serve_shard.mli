@@ -1,0 +1,88 @@
+(** Shared-nothing sharded front end for the solve service.
+
+    A {!t} owns [N] shards, each a private {!Serve_cache} LRU plus a
+    resident {!Par.Pool} slice (≈ 1/N of the requested width).  The
+    router dispatches every solve by the Lamping–Veach jump consistent
+    hash of its {!Serve_key} canonical key, so a repeated request
+    always lands on the shard that cached it, and cache lookups,
+    deduplication and pool dispatch all proceed with zero cross-shard
+    synchronization.  Because each request's reply depends only on its
+    own canonical problem (the {!Serve_batch} determinism contract),
+    replies are byte-identical across shard counts — the
+    [serve:shard-transparent] fuzz property.
+
+    Admission control bounds each shard's per-batch inflight depth
+    ([max_inflight]); excess requests are shed with a typed
+    {!Serve_protocol.busy_payload} reply rather than queued unboundedly
+    ([serve.shed] counter, [serve.inflight] gauge).
+
+    With [cache_file], {!shutdown} snapshots every shard's cache as
+    canonical-form NDJSON (LRU→MRU, so recency survives) and {!create}
+    warms from it — entries are re-routed by the {e current} shard
+    count, so a snapshot taken at one [--shards] value warms any
+    other. *)
+
+type t
+
+type stats = {
+  cache : Serve_cache.stats;  (** summed over shards *)
+  per_shard : Serve_cache.stats array;
+  jobs : int;  (** total pool width over shards *)
+  shards : int;
+  requests : int;
+  batches : int;
+  shed : int;  (** requests refused by admission control *)
+  max_inflight : int;  (** 0 = unbounded *)
+}
+
+val create :
+  ?jobs:int ->
+  ?shards:int ->
+  ?cache_capacity:int ->
+  ?max_inflight:int ->
+  ?policy:Guard.policy ->
+  ?cache_file:string ->
+  unit ->
+  t
+(** [jobs] is the total pool width to slice across [shards] (default
+    {!Par.default_jobs}; each shard gets at least 1); [cache_capacity]
+    bounds each shard's LRU (default 256); [max_inflight] bounds each
+    shard's per-batch solve depth (default 0 = unbounded);
+    [cache_file], when it exists, is loaded immediately ({!save_caches}
+    writes it back on {!shutdown}).  Malformed snapshot lines are
+    skipped, never fatal.
+    @raise Invalid_argument when [shards < 1], [jobs < 1] or
+    [max_inflight < 0]. *)
+
+val route : hash:int64 -> shards:int -> int
+(** The jump consistent hash: deterministic in [(hash, shards)] alone
+    and monotone in [shards] — growing the count only moves keys onto
+    the new shard.  In [\[0, shards)].
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_of : t -> hash:int64 -> int
+(** [route] at this daemon's shard count. *)
+
+val handle_batch : t -> string list -> string list
+(** One reply line per request line, in order: decode, route, admit or
+    shed, per-shard batch dispatch, ops answered after solves.  Never
+    raises on request content. *)
+
+val handle_line : t -> string -> string
+(** [handle_batch] of a singleton. *)
+
+val stats : t -> stats
+
+val stopping : t -> bool
+(** Set by a ["shutdown"] request. *)
+
+val save_caches : t -> unit
+(** Snapshot all shard caches to [cache_file] (atomic rename; no-op
+    without [cache_file]). *)
+
+val shutdown : t -> unit
+(** [save_caches], then stop every shard's pool workers.  Idempotent;
+    the transports call it on exit. *)
+
+val handler : t -> Serve.handler
+(** Package for {!Serve.run_pipe_handler} / {!Serve.run_socket_handler}. *)

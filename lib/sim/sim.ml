@@ -102,6 +102,20 @@ let load_policy base =
     choose = (fun ~queued ~backlog:_ -> base *. Float.max 1.0 (float_of_int queued) ** (1.0 /. 3.0));
   }
 
+let avr_policy ~base ~window =
+  if base <= 0.0 then invalid_arg "Sim.avr_policy: base <= 0";
+  if window <= 0.0 then invalid_arg "Sim.avr_policy: window <= 0";
+  {
+    policy_name = Printf.sprintf "avr-%g-%g" base window;
+    (* AVR-style density tracking on the live backlog: run fast enough
+       to drain all remaining released work within [window] time, never
+       below [base].  Yao–Demers–Shenker's AVR sums per-job densities
+       work/(deadline-release); with no per-job deadlines the stream
+       analogue gives every released job the same soft deadline
+       [window] ahead, so the summed density is backlog/window. *)
+    choose = (fun ~queued:_ ~backlog -> Float.max base (backlog /. window));
+  }
+
 type stream_report = {
   metrics : Streaming_metrics.snapshot;
   stream_switches : int;

@@ -77,6 +77,14 @@ val load_policy : float -> stream_policy
 (** [base · max(1, queued)^(1/3)] — a cube-root-power response to queue
     depth, the natural online shape under the cube power model. *)
 
+val avr_policy : base:float -> window:float -> stream_policy
+(** [max(base, backlog / window)] — AVR-style density tracking on the
+    live backlog: the speed that drains all remaining released work
+    within [window] time, floored at [base].  The streaming analogue of
+    Yao–Demers–Shenker average-rate, with every released job given the
+    same soft deadline [window] ahead in place of per-job deadlines.
+    @raise Invalid_argument when [base <= 0] or [window <= 0]. *)
+
 type stream_report = {
   metrics : Streaming_metrics.snapshot;
   stream_switches : int;

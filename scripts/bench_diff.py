@@ -2,7 +2,7 @@
 """Compare two Obs_bench JSON artifacts and flag wall-clock regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
-                     [--fail-below RATIO]
+                     [--fail-below RATIO] [--gate-prefix PREFIX ...]
 
 Prints a Markdown table (suitable for $GITHUB_STEP_SUMMARY) of every
 section present in both files, with the relative wall-clock change and
@@ -13,15 +13,18 @@ By default exit status is always 0: the diff is informational.  Bench
 runners are noisy shared machines, so a flagged regression means
 "look", not "fail" — the tier-1 tests, not this script, gate merges.
 
---fail-below RATIO adds the one blocking check: for every section
-whose name starts with "kernel" and that is present in both files, the
-speed ratio baseline_wall / current_wall must stay >= RATIO.  The
+--fail-below RATIO adds the blocking check: for every section whose
+name starts with one of the --gate-prefix values (default: just
+"kernel") and that is present in both files, the speed ratio
+baseline_wall / current_wall must stay >= RATIO.  The
 kernel microbenches are single-core, allocation-free-on-warm loops
 with far less machine noise than the service sections, so a deep floor
 (CI uses 0.2, i.e. "no more than 5x slower than the committed
 baseline") is quiet on shared runners yet still fails a return to
-boxed per-call storage, which costs 5-10x.  Non-kernel sections are
-never blocking, whatever the flag says.
+boxed per-call storage, which costs 5-10x.  The serve_shard sections
+are gated separately (CI uses 0.1 for them — service sections see more
+noise than kernels, so their floor is deeper).  Sections matching no
+gate prefix are never blocking, whatever the flags say.
 """
 
 import argparse
@@ -42,10 +45,15 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="relative slowdown that gets flagged (0.25 = +25%%)")
     ap.add_argument("--fail-below", type=float, default=None, metavar="RATIO",
-                    help="exit 1 if any kernel* section runs below this "
+                    help="exit 1 if any gated section runs below this "
                          "speed ratio vs the baseline (1.0 = as fast as "
                          "baseline, 0.2 = allow up to 5x slower)")
+    ap.add_argument("--gate-prefix", action="append", default=None,
+                    metavar="PREFIX",
+                    help="section-name prefix gated by --fail-below; "
+                         "repeatable (default: kernel)")
     args = ap.parse_args()
+    gate_prefixes = tuple(args.gate_prefix or ["kernel"])
 
     try:
         base = load(args.baseline)
@@ -82,7 +90,7 @@ def main():
         if rel > args.threshold:
             mark = "⚠️ regression"
             flagged += 1
-        if (args.fail_below is not None and name.startswith("kernel")
+        if (args.fail_below is not None and name.startswith(gate_prefixes)
                 and cw > 0.0 and bw / cw < args.fail_below):
             mark = f"❌ below {args.fail_below:g}x floor"
             failed.append((name, bw / cw))
@@ -100,8 +108,8 @@ def main():
                 print(f"FAIL: {name} runs at {ratio:.2f}x the baseline "
                       f"(floor {args.fail_below:g}x)")
             return 1
-        print(f"All kernel sections at or above the {args.fail_below:g}x "
-              "speed floor.")
+        print(f"All {'/'.join(gate_prefixes)} sections at or above the "
+              f"{args.fail_below:g}x speed floor.")
     return 0
 
 

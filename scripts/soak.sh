@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Soak a sharded serve daemon with an emitted trace and report latency
+# percentiles.  The whole loop is the EXPERIMENTS.md SOAK drill:
+#
+#   scripts/soak.sh [REQUESTS] [SHARDS] [MAX_INFLIGHT]
+#
+# defaults: 100000 trace jobs -> 20000 requests, 2 shards, unbounded
+# admission.  Pass a small MAX_INFLIGHT (e.g. 16) to watch admission
+# control shed with typed busy replies while the daemon stays up.
+set -euo pipefail
+
+jobs=${1:-100000}
+shards=${2:-2}
+max_inflight=${3:-0}
+
+workdir=$(mktemp -d)
+sock="$workdir/pasched.sock"
+reqs="$workdir/requests.ndjson"
+cache="$workdir/serve.cache"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+dune build bin/pasched.exe
+pasched=_build/default/bin/pasched.exe
+
+# 1. a realistic diurnal request trace off the streaming simulator
+"$pasched" sim --count "$jobs" --emit-requests 5 > "$reqs"
+echo "emitted $(wc -l < "$reqs") requests from a $jobs-job diurnal trace"
+
+# 2. the sharded daemon: jump-hash routing, per-shard LRU + pool,
+#    admission control, cache persistence
+"$pasched" serve --socket "$sock" --shards "$shards" \
+  --max-inflight "$max_inflight" --cache-file "$cache" &
+daemon_pid=$!
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "daemon never bound $sock"; exit 1; }
+
+# 3. the measured soak: windowed pipelining, p50/p95/p99 via the
+#    streaming quantile estimator
+"$pasched" soak --socket "$sock" --file "$reqs" --window 64
+
+# 4. clean shutdown persists every shard's cache
+"$pasched" client --socket "$sock" '{"op":"shutdown"}' > /dev/null
+wait "$daemon_pid" 2>/dev/null || true
+echo "persisted cache: $(wc -l < "$cache") entries at $cache"

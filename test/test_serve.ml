@@ -375,6 +375,127 @@ let test_pool_shutdown_degrades () =
   check_bool "post-shutdown init runs sequentially" true
     (Par.Pool.init pool 8 (fun i -> i + 1) = Array.init 8 (fun i -> i + 1))
 
+(* ---------------- sharded front end ---------------- *)
+
+let with_shards ?(jobs = 1) ?(shards = 1) ?(cache_capacity = 32) ?max_inflight ?cache_file f =
+  let t = Serve_shard.create ~jobs ~shards ~cache_capacity ?max_inflight ?cache_file () in
+  Fun.protect ~finally:(fun () -> Serve_shard.shutdown t) (fun () -> f t)
+
+let test_route_determinism () =
+  let hashes =
+    List.init 64 (fun i -> Serve_key.hash (Printf.sprintf "probe-%d" (i * 7919)))
+  in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun shards ->
+          let s = Serve_shard.route ~hash:h ~shards in
+          check_bool "route lands in [0, shards)" true (s >= 0 && s < shards);
+          check_int "route is a pure function of (hash, shards)" s
+            (Serve_shard.route ~hash:h ~shards))
+        [ 1; 2; 3; 4; 7 ];
+      check_int "one shard routes everything to 0" 0 (Serve_shard.route ~hash:h ~shards:1))
+    hashes
+
+let test_route_monotone () =
+  (* jump-hash contract: growing n -> n+1 only moves keys onto the new
+     shard, never between old ones *)
+  let hashes = List.init 256 (fun i -> Serve_key.hash (string_of_int i)) in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun h ->
+          let before = Serve_shard.route ~hash:h ~shards in
+          let after = Serve_shard.route ~hash:h ~shards:(shards + 1) in
+          check_bool "key stays put or moves to the new shard" true
+            (after = before || after = shards))
+        hashes)
+    [ 1; 2; 3; 4 ]
+
+let test_shard_transparency () =
+  let lines = List.init 6 (fun i -> req ~id:i ~budget:(8.0 +. float_of_int i) jobs3) in
+  let run shards =
+    with_shards ~shards @@ fun t ->
+    let cold = Serve_shard.handle_batch t lines in
+    let warm = Serve_shard.handle_batch t lines in
+    let st = Serve_shard.stats t in
+    (cold, warm, st)
+  in
+  let cold1, warm1, st1 = run 1 in
+  let cold3, warm3, st3 = run 3 in
+  check_bool "cold replies byte-identical 1 vs 3 shards" true
+    (List.equal String.equal cold1 cold3);
+  check_bool "warm replies byte-identical 1 vs 3 shards" true
+    (List.equal String.equal warm1 warm3);
+  check_bool "repeats answered from cache" true (List.equal String.equal cold1 warm1);
+  check_int "every repeat hits at 1 shard" 6 st1.Serve_shard.cache.Serve_cache.hits;
+  check_int "every repeat hits at 3 shards" 6 st3.Serve_shard.cache.Serve_cache.hits;
+  check_bool "3 shards spread the working set" true
+    (Array.exists (fun (s : Serve_cache.stats) -> s.Serve_cache.size > 0)
+       st3.Serve_shard.per_shard
+    && Array.length st3.Serve_shard.per_shard = 3)
+
+let test_busy_shed () =
+  with_shards ~shards:1 ~max_inflight:1 @@ fun t ->
+  let lines = List.init 3 (fun i -> req ~id:i ~budget:(8.0 +. float_of_int i) jobs3) in
+  (match Serve_shard.handle_batch t lines with
+  | [ r1; r2; r3 ] ->
+    check_bool "first request admitted" true (status_of r1 = Some "ok");
+    check_bool "second shed busy" true (status_of r2 = Some "busy");
+    check_bool "third shed busy" true (status_of r3 = Some "busy");
+    check_bool "busy reply carries the busy class" true (class_of r2 = Some "busy");
+    check_bool "busy reply echoes its id" true
+      (match Obs_json.of_string r2 with
+      | Ok doc -> Obs_json.member "id" doc = Some (Obs_json.Int 1)
+      | Error _ -> false)
+  | _ -> Alcotest.fail "expected three replies");
+  let st = Serve_shard.stats t in
+  check_int "shed counted" 2 st.Serve_shard.shed;
+  check_int "admission bound reported" 1 st.Serve_shard.max_inflight;
+  (* the daemon never dies: the shed key solves fine on retry *)
+  check_bool "retry of a shed request succeeds" true
+    (status_of (Serve_shard.handle_line t (List.nth lines 1)) = Some "ok")
+
+let snapshot_file = Filename.temp_file "pasched_serve" ".cache"
+
+let test_snapshot_roundtrip () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let c_root = Obs.counter "rootfind.calls" in
+  let line = req ~budget:10.0 jobs3 in
+  let cold =
+    with_shards ~shards:1 ~cache_file:snapshot_file @@ fun t ->
+    Serve_shard.handle_line t line
+  in
+  (* shutdown (via with_shards) snapshotted the cache; a fresh daemon
+     at a different shard count warms from it *)
+  check_bool "snapshot file written" true (Sys.file_exists snapshot_file);
+  let roots_after_cold = Obs_metrics.value c_root in
+  let warm, hits =
+    with_shards ~shards:3 ~cache_file:snapshot_file @@ fun t ->
+    let w = Serve_shard.handle_line t line in
+    (w, (Serve_shard.stats t).Serve_shard.cache.Serve_cache.hits)
+  in
+  check_string "warm reply byte-identical across restart and reshard" cold warm;
+  check_int "no solver re-entry on the warmed path" roots_after_cold
+    (Obs_metrics.value c_root);
+  check_int "restart answered from the persisted cache" 1 hits;
+  Sys.remove snapshot_file
+
+let test_snapshot_tolerant () =
+  let file = Filename.temp_file "pasched_serve_garbage" ".cache" in
+  let oc = open_out file in
+  output_string oc "this is not json\n{\"canon\": 42}\n{\"payload\": {}}\n";
+  close_out oc;
+  (* malformed snapshot lines are skipped, never fatal *)
+  (with_shards ~shards:2 ~cache_file:file @@ fun t ->
+   check_int "garbage snapshot loads nothing" 0
+     (Serve_shard.stats t).Serve_shard.cache.Serve_cache.size;
+   check_bool "daemon still serves" true
+     (status_of (Serve_shard.handle_line t (req ~budget:10.0 jobs3)) = Some "ok"));
+  Sys.remove file
+
 let () =
   Alcotest.run "serve"
     [
@@ -408,6 +529,15 @@ let () =
           Alcotest.test_case "ops" `Quick test_ops;
           Alcotest.test_case "unknown-solver" `Quick test_unknown_solver_reply;
           Alcotest.test_case "pareto" `Quick test_pareto_reply;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "route-determinism" `Quick test_route_determinism;
+          Alcotest.test_case "route-monotone" `Quick test_route_monotone;
+          Alcotest.test_case "transparency" `Quick test_shard_transparency;
+          Alcotest.test_case "busy-shed" `Quick test_busy_shed;
+          Alcotest.test_case "snapshot-roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "snapshot-tolerant" `Quick test_snapshot_tolerant;
         ] );
       ( "engine-pool",
         [

@@ -396,6 +396,34 @@ let test_run_stream_jobs_invariant () =
   let parallel = Par.list_map ~jobs:4 run_one seeds in
   check_bool "jobs-invariant" true (sequential = parallel)
 
+let test_avr_policy () =
+  (* the floor: an idle-ish backlog never drops the speed below base *)
+  let p = Sim.avr_policy ~base:1.5 ~window:10.0 in
+  checkf "floored at base" 1.5 (p.Sim.choose ~queued:1 ~backlog:0.5);
+  (* density tracking: speed is exactly backlog/window above the floor,
+     independent of the queue count *)
+  checkf "tracks density" 5.0 (p.Sim.choose ~queued:3 ~backlog:50.0);
+  checkf "queue count is ignored" 5.0 (p.Sim.choose ~queued:1000 ~backlog:50.0);
+  (match Sim.avr_policy ~base:0.0 ~window:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "base 0 must be rejected");
+  (match Sim.avr_policy ~base:1.0 ~window:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window 0 must be rejected");
+  (* a full streaming run completes every job under the avr policy *)
+  let s =
+    Workload.Stream.make ~seed:7 ~limit:400
+      ~size:(Workload.Stream.Pareto { shape = 2.2; scale = 0.5 })
+      (Workload.Stream.Diurnal { base = 1.0; amplitude = 0.8; period = 100.0 })
+  in
+  let r =
+    Sim.run_stream Power_model.cube
+      (Sim.avr_policy ~base:1.0 ~window:10.0)
+      (Workload.Stream.pull_fn s)
+  in
+  check_int "all jobs complete" 400 r.Sim.metrics.Streaming_metrics.jobs;
+  check_bool "finite flow tail" true (Float.is_finite r.Sim.metrics.Streaming_metrics.flow_p99)
+
 let test_compete_measure_stream () =
   let s =
     Workload.Stream.make ~seed:6 ~limit:240
@@ -449,6 +477,7 @@ let () =
           Alcotest.test_case "levels, switches, thermal" `Quick test_run_stream_levels_and_switches;
           Alcotest.test_case "watermarks" `Quick test_run_stream_watermarks;
           Alcotest.test_case "seed fan-out jobs-invariant" `Quick test_run_stream_jobs_invariant;
+          Alcotest.test_case "avr policy" `Quick test_avr_policy;
           Alcotest.test_case "compete measure_stream" `Quick test_compete_measure_stream;
         ] );
     ]
