@@ -844,6 +844,101 @@ let section_serve_shard () =
   if warmed <> serve_batchsize then failwith "serve_shard: snapshot failed to warm the restart"
 
 (* ---------------------------------------------------------------- *)
+(* SERVE_RECOVERY: crash-safe persistence (PR10).  Machine-readable
+   sections for the BENCH_PR10.json artifact:
+
+     serve_recovery_replay  append 10^4 entries to a journal, then
+                            replay them into a fresh LRU — the write
+                            path and the startup cost of warm recovery
+                            in one deterministic loop
+     serve_recovery_cold    the run_serve workload through a journaled
+                            Serve_shard, ended by abort (no
+                            compaction) — prices the per-batch
+                            append+flush overhead against the
+                            unjournaled serve_shard sections
+     serve_recovery_warm    restart over exactly that crash debris:
+                            replay the journal, serve the same batch —
+                            every request must hit the recovered cache,
+                            with zero solver re-entry *)
+
+let recovery_entries = 10_000
+
+let with_recovery_store f =
+  let path = Filename.temp_file "pasched_bench_recovery" ".cache" in
+  Sys.remove path;
+  let cleanup () =
+    List.iter
+      (fun file -> try Sys.remove file with Sys_error _ -> ())
+      [ path; path ^ ".journal"; path ^ ".tmp" ]
+  in
+  Fun.protect ~finally:cleanup (fun () -> f path)
+
+let run_serve_recovery_replay () =
+  with_recovery_store @@ fun path ->
+  let payload i =
+    [ ("status", Obs_json.String "ok"); ("value", Obs_json.Float (float_of_int i)) ]
+  in
+  let j = Serve_journal.open_ ~compact_every:0 ~path () in
+  for i = 0 to recovery_entries - 1 do
+    Serve_journal.append j ~canon:(Printf.sprintf "bench-key-%d" i) (payload i)
+  done;
+  (* close without compaction: the on-disk state a SIGKILL leaves *)
+  Serve_journal.close j;
+  let j2 = Serve_journal.open_ ~compact_every:0 ~path () in
+  let cache = Serve_cache.create ~capacity:recovery_entries in
+  Serve_journal.replay j2 (fun ~canon payload ->
+      Serve_cache.insert cache ~hash:(Serve_key.hash canon) ~canon payload);
+  let st = Serve_journal.stats j2 in
+  Serve_journal.close j2;
+  if st.Serve_journal.replayed <> recovery_entries then
+    failwith "serve_recovery_replay: journal lost entries";
+  if st.Serve_journal.skipped_corrupt <> 0 then
+    failwith "serve_recovery_replay: clean journal read as corrupt";
+  if (Serve_cache.stats cache).Serve_cache.size <> recovery_entries then
+    failwith "serve_recovery_replay: replay did not fill the cache"
+
+let run_serve_recovery_cold () =
+  with_recovery_store @@ fun path ->
+  let t =
+    Serve_shard.create ~jobs:1 ~shards:2 ~cache_capacity:(2 * serve_batchsize)
+      ~cache_file:path ()
+  in
+  for p = 1 to serve_passes do
+    ignore (Sys.opaque_identity (Serve_shard.handle_batch t (serve_batch_lines p)))
+  done;
+  Serve_shard.abort t
+
+let run_serve_recovery_warm () =
+  with_recovery_store @@ fun path ->
+  let t =
+    Serve_shard.create ~jobs:1 ~shards:2 ~cache_capacity:(2 * serve_batchsize)
+      ~cache_file:path ()
+  in
+  ignore (Serve_shard.handle_batch t (serve_batch_lines 0));
+  Serve_shard.abort t;
+  (* the restart: journal-only recovery (abort never checkpoints) *)
+  let t2 =
+    Serve_shard.create ~jobs:1 ~shards:2 ~cache_capacity:(2 * serve_batchsize)
+      ~cache_file:path ()
+  in
+  (match Serve_shard.journal_stats t2 with
+  | Some js when js.Serve_journal.replayed = serve_batchsize -> ()
+  | Some js ->
+    Serve_shard.shutdown t2;
+    failwith
+      (Printf.sprintf "serve_recovery_warm: replayed %d of %d entries"
+         js.Serve_journal.replayed serve_batchsize)
+  | None ->
+    Serve_shard.shutdown t2;
+    failwith "serve_recovery_warm: no journal stats");
+  ignore (Sys.opaque_identity (Serve_shard.handle_batch t2 (serve_batch_lines 0)));
+  let hits = (Serve_shard.stats t2).Serve_shard.cache.Serve_cache.hits in
+  Serve_shard.shutdown t2;
+  if hits <> serve_batchsize then
+    failwith
+      (Printf.sprintf "serve_recovery_warm: %d/%d post-crash hits" hits serve_batchsize)
+
+(* ---------------------------------------------------------------- *)
 (* GUARD: supervision overhead of pasched.guard.  The guard-off path
    adds one disarmed-hook load per instrumented-loop iteration plus a
    constant-size wrapper per call, so a supervised solve must time
@@ -1131,6 +1226,9 @@ let sections =
     ("serve_shard_4", run_serve_shard ~shards:4);
     ("serve_shed", run_serve_shed);
     ("serve_soak_100k", run_serve_soak_100k);
+    ("serve_recovery_replay", run_serve_recovery_replay);
+    ("serve_recovery_cold", run_serve_recovery_cold);
+    ("serve_recovery_warm", run_serve_recovery_warm);
     ("kernel", section_kernel);
     ("kernel_flow_cold", run_kernel_flow_cold);
     ("kernel_flow_warm", run_kernel_flow_warm);

@@ -1170,7 +1170,7 @@ let fuzz_cmd =
 
 let serve_cmd =
   let run obs par_jobs (policy, inject) socket cache_capacity max_batch shards max_inflight
-      cache_file backlog =
+      cache_file fsync compact_every breaker_threshold breaker_cooldown backlog =
     match apply_par_jobs par_jobs with
     | exception Invalid_argument msg -> `Error (false, msg)
     | () ->
@@ -1179,13 +1179,22 @@ let serve_cmd =
       else if max_batch < 1 then `Error (false, "--max-batch must be >= 1")
       else if shards < 1 then `Error (false, "--shards must be >= 1")
       else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
+      else if compact_every < 0 then `Error (false, "--compact-every must be >= 0")
+      else if breaker_threshold < 0 then `Error (false, "--breaker-threshold must be >= 0")
+      else if breaker_cooldown < 0.0 then `Error (false, "--breaker-cooldown must be >= 0")
       else if backlog < 1 then `Error (false, "--backlog must be >= 1")
       else
         wrap_errors @@ fun () ->
         with_obs obs "serve" @@ fun () ->
+        let breaker =
+          if breaker_threshold = 0 then None
+          else
+            Some
+              { Guard_breaker.threshold = breaker_threshold; cooldown_s = breaker_cooldown }
+        in
         let t =
           Serve_shard.create ?jobs:par_jobs ~shards ~cache_capacity:cache_capacity ~max_inflight
-            ~policy ?cache_file ()
+            ~policy ?cache_file ~fsync ~compact_every ~breaker ()
         in
         let h = Serve_shard.handler t in
         (match socket with
@@ -1238,9 +1247,44 @@ let serve_cmd =
       & opt (some string) None
       & info [ "cache-file" ] ~docv:"PATH"
           ~doc:
-            "Persist the LRU caches: warm from $(docv) at start (if it exists) and snapshot all \
-             shards to it on shutdown as canonical-form NDJSON.  Snapshots survive a change of \
+            "Crash-safe cache persistence rooted at $(docv): every insert is appended to a \
+             CRC-framed write-ahead journal ($(docv).journal, flushed once per batch), replayed \
+             over the checkpoint at startup (torn or corrupt lines skipped), and periodically \
+             compacted into an atomically rewritten checkpoint.  The store survives a change of \
              $(b,--shards) — entries re-route on load.")
+  in
+  let fsync =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the journal once per served batch, upgrading crash durability from \
+             kill-safe (OS page cache) to power-loss-safe, at a per-batch fsync cost.")
+  in
+  let compact_every =
+    Arg.(
+      value & opt int 1024
+      & info [ "compact-every" ] ~docv:"N"
+          ~doc:
+            "Fold the journal into the checkpoint after $(docv) appended entries (default 1024; \
+             0 = only compact on shutdown).")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt int 5
+      & info [ "breaker-threshold" ] ~docv:"K"
+          ~doc:
+            "Open a solver's circuit breaker after $(docv) consecutive hard failures \
+             (solver-fault / no-convergence); requests degrade to the next healthy capable \
+             solver, or answer a typed degraded reply.  0 disables the breakers (default 5).")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 5.0
+      & info [ "breaker-cooldown" ] ~docv:"SEC"
+          ~doc:
+            "How long an open breaker refuses work before letting one half-open probe through \
+             (default 5).")
   in
   let backlog =
     Arg.(
@@ -1252,88 +1296,133 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Long-running solve service: newline-delimited JSON requests over stdin or a Unix \
-          socket, answered from sharded LRU caches backed by persistent domain pools.")
+          socket, answered from sharded LRU caches backed by persistent domain pools; \
+          crash-safe via a write-ahead cache journal and self-healing via per-solver circuit \
+          breakers.")
     Term.(
       ret
         (const run $ obs_term
         $ par_jobs_term [ "jobs"; "j" ]
-        $ guard_term $ socket $ cache $ max_batch $ shards $ max_inflight $ cache_file $ backlog))
+        $ guard_term $ socket $ cache $ max_batch $ shards $ max_inflight $ cache_file $ fsync
+        $ compact_every $ breaker_threshold $ breaker_cooldown $ backlog))
+
+(* one connect / send-all / read-all round over a Unix socket; raises
+   Failure on connect refusal or a mid-reply close *)
+let socket_exchange ~socket lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with Unix.Unix_error (err, _, _) ->
+         failwith (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err)));
+      let payload = String.concat "\n" lines ^ "\n" in
+      let len = String.length payload in
+      let sent = ref 0 in
+      while !sent < len do
+        sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
+      done;
+      (* one reply line per request line, in order *)
+      let want = List.length lines in
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let count s = String.fold_left (fun k c -> if c = '\n' then k + 1 else k) 0 s in
+      while count (Buffer.contents buf) < want do
+        let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if got = 0 then failwith "server closed the connection mid-reply";
+        Buffer.add_subbytes buf chunk 0 got
+      done;
+      List.filteri (fun i _ -> i < want) (String.split_on_char '\n' (Buffer.contents buf)))
+
+(* merge a retry round's replies back over the transient slots they
+   were resent for *)
+let merge_retries replies retried transient_idx =
+  let slot = Hashtbl.create 8 in
+  List.iter2 (fun i r -> Hashtbl.replace slot i r) transient_idx retried;
+  List.mapi (fun i r -> match Hashtbl.find_opt slot i with Some r' -> r' | None -> r) replies
+
+(* retry loop shared by client and soak: transport failures retry the
+   whole set, transient replies (busy/degraded — conditions that clear
+   on their own) retry just those lines; solve requests are idempotent
+   by canonical key, so resending is always safe *)
+let exchange_with_retry ~exchange ~sched ~retries lines =
+  let rec go lines budget =
+    match exchange lines with
+    | exception ((Failure _ | Unix.Unix_error _) as e) ->
+      if budget > 0 then begin
+        Unix.sleepf (Serve_retry.next_ms sched /. 1000.0);
+        go lines (budget - 1)
+      end
+      else raise e
+    | replies ->
+      let transient_idx =
+        List.concat
+          (List.mapi (fun i r -> if Serve_retry.is_transient_reply r then [ i ] else []) replies)
+      in
+      if transient_idx = [] || budget <= 0 then replies
+      else begin
+        Unix.sleepf (Serve_retry.next_ms sched /. 1000.0);
+        let resend = List.map (List.nth lines) transient_idx in
+        let retried = go resend (budget - 1) in
+        merge_retries replies retried transient_idx
+      end
+  in
+  go lines retries
 
 let client_cmd =
-  let run socket file reqs =
-    wrap_errors @@ fun () ->
-    let read_lines ic =
-      let rec go acc = match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
+  let run socket file reqs retries backoff_ms =
+    if retries < 0 then `Error (false, "--retries must be >= 0")
+    else if backoff_ms <= 0.0 then `Error (false, "--backoff-ms must be > 0")
+    else
+      wrap_errors @@ fun () ->
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+      let read_lines ic =
+        let rec go acc = match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go []
       in
-      go []
-    in
-    let lines =
-      match (reqs, file) with
-      | [], None -> read_lines stdin
-      | [], Some "-" -> read_lines stdin
-      | [], Some path ->
-        let ic = open_in path in
-        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
-      | rs, None -> rs
-      | _ :: _, Some _ -> failwith "give positional requests or --file, not both"
-    in
-    let lines = List.filter (fun l -> String.trim l <> "") lines in
-    if lines = [] then `Ok ()
-    else begin
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let replies =
-        Fun.protect
-          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            (try Unix.connect fd (Unix.ADDR_UNIX socket)
-             with Unix.Unix_error (err, _, _) ->
-               failwith
-                 (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err)));
-            let payload = String.concat "\n" lines ^ "\n" in
-            let len = String.length payload in
-            let sent = ref 0 in
-            while !sent < len do
-              sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
-            done;
-            (* one reply line per request line, in order *)
-            let want = List.length lines in
-            let buf = Buffer.create 4096 in
-            let chunk = Bytes.create 65536 in
-            let count s = String.fold_left (fun k c -> if c = '\n' then k + 1 else k) 0 s in
-            while count (Buffer.contents buf) < want do
-              let got = Unix.read fd chunk 0 (Bytes.length chunk) in
-              if got = 0 then failwith "server closed the connection mid-reply";
-              Buffer.add_subbytes buf chunk 0 got
-            done;
-            List.filteri
-              (fun i _ -> i < want)
-              (String.split_on_char '\n' (Buffer.contents buf)))
+      let lines =
+        match (reqs, file) with
+        | [], None -> read_lines stdin
+        | [], Some "-" -> read_lines stdin
+        | [], Some path ->
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
+        | rs, None -> rs
+        | _ :: _, Some _ -> failwith "give positional requests or --file, not both"
       in
-      List.iter print_endline replies;
-      (* exit-code contract: first error reply's class decides, same
-         codes as the one-shot subcommands *)
-      let code_of reply =
-        match Obs_json.of_string reply with
-        | Ok doc -> (
-          match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
-          | Some "ok" -> 0
-          | Some "busy" -> 7
-          | _ -> (
-            match Option.bind (Obs_json.member "class" doc) Obs_json.to_string_val with
-            | Some "invalid-input" -> 2
-            | Some "infeasible" -> 3
-            | Some "no-convergence" -> 4
-            | Some "deadline" -> 5
-            | Some "busy" -> 7
-            | _ -> 6))
-        | Error _ -> 6
-      in
-      match List.find_opt (fun r -> code_of r <> 0) replies with
-      | None -> `Ok ()
-      | Some bad -> Stdlib.exit (code_of bad)
-    end
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      if lines = [] then `Ok ()
+      else begin
+        let sched = Serve_retry.create ~base_ms:backoff_ms ~seed:(Unix.getpid ()) () in
+        let replies =
+          exchange_with_retry ~exchange:(socket_exchange ~socket) ~sched ~retries lines
+        in
+        List.iter print_endline replies;
+        (* exit-code contract: first error reply's class decides, same
+           codes as the one-shot subcommands *)
+        let code_of reply =
+          match Obs_json.of_string reply with
+          | Ok doc -> (
+            match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
+            | Some "ok" -> 0
+            | Some "busy" | Some "degraded" -> 7
+            | _ -> (
+              match Option.bind (Obs_json.member "class" doc) Obs_json.to_string_val with
+              | Some "invalid-input" -> 2
+              | Some "infeasible" -> 3
+              | Some "no-convergence" -> 4
+              | Some "deadline" -> 5
+              | Some "busy" | Some "breaker-open" -> 7
+              | _ -> 6))
+          | Error _ -> 6
+        in
+        match List.find_opt (fun r -> code_of r <> 0) replies with
+        | None -> `Ok ()
+        | Some bad -> Stdlib.exit (code_of bad)
+      end
   in
   let socket =
     Arg.(
@@ -1349,21 +1438,48 @@ let client_cmd =
           ~doc:"Read request lines from $(docv) ('-' = stdin) instead of the command line.")
   in
   let reqs = Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc:"Request lines (JSON).") in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget: transport failures (connect refused, connection closed mid-reply) \
+             resend the unanswered lines and transient replies (busy admission sheds, degraded \
+             breaker refusals) resend just those lines, with capped exponential backoff and \
+             decorrelated jitter between attempts.  Safe because requests are idempotent by \
+             canonical key.  Default 0 = fail fast.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 100.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff before the first retry (default 100; sleeps are uniform in \
+                [base, 3x previous], capped at 10s).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines to a running serve daemon and print the replies; exits with the \
-          first error reply's class code (7 = shed busy by admission control).")
-    Term.(ret (const run $ socket $ file $ reqs))
+          first error reply's class code (7 = transient: shed busy or breaker degraded).")
+    Term.(ret (const run $ socket $ file $ reqs $ retries $ backoff_ms))
 
 let soak_cmd =
-  let run obs par_jobs socket file shards max_inflight cache_capacity cache_file window =
+  let run obs par_jobs socket file shards max_inflight cache_capacity cache_file window retries
+      backoff_ms chaos kill_at =
     match apply_par_jobs par_jobs with
     | exception Invalid_argument msg -> `Error (false, msg)
     | () ->
       if window < 1 then `Error (false, "--window must be >= 1")
       else if shards < 1 then `Error (false, "--shards must be >= 1")
       else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
+      else if retries < 0 then `Error (false, "--retries must be >= 0")
+      else if backoff_ms <= 0.0 then `Error (false, "--backoff-ms must be > 0")
+      else if kill_at < 0.0 || kill_at > 1.0 then `Error (false, "--kill-at must be in [0, 1]")
+      else if chaos && socket = None then `Error (false, "--chaos requires --socket")
+      else if chaos && cache_file = None then
+        `Error (false, "--chaos requires --cache-file (the journal is what recovers the cache)")
+      else if chaos && retries < 1 then
+        `Error (false, "--chaos requires --retries >= 1 (retry is what masks the outage)")
       else
         wrap_errors @@ fun () ->
         with_obs obs "soak" @@ fun () ->
@@ -1401,9 +1517,15 @@ let soak_cmd =
           | Ok doc -> (
             match Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val with
             | Some "ok" -> incr ok
-            | Some "busy" -> incr busy
+            | Some "busy" | Some "degraded" -> incr busy
             | _ -> incr err)
           | Error _ -> incr err
+        in
+        let status_ok reply =
+          match Obs_json.of_string reply with
+          | Ok doc ->
+            Option.bind (Obs_json.member "status" doc) Obs_json.to_string_val = Some "ok"
+          | Error _ -> false
         in
         (* window-granular latency: every request in a pipelined window
            shares the window's send -> last-reply round trip *)
@@ -1417,42 +1539,198 @@ let soak_cmd =
         in
         (match socket with
         | Some path ->
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          Fun.protect
-            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () ->
-              (try Unix.connect fd (Unix.ADDR_UNIX path)
-               with Unix.Unix_error (e, _, _) ->
-                 failwith (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)));
-              let buf = Buffer.create 65536 in
-              let chunk = Bytes.create 65536 in
-              List.iter
-                (fun w ->
-                  let payload = String.concat "\n" w ^ "\n" in
-                  let sent_at = Unix.gettimeofday () in
-                  let len = String.length payload in
-                  let sent = ref 0 in
-                  while !sent < len do
-                    sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
-                  done;
-                  let want = List.length w in
-                  let replies = ref [] in
-                  let got = ref 0 in
-                  while !got < want do
-                    (match String.index_opt (Buffer.contents buf) '\n' with
-                    | Some nl ->
-                      let s = Buffer.contents buf in
-                      replies := String.sub s 0 nl :: !replies;
-                      incr got;
-                      Buffer.clear buf;
-                      Buffer.add_substring buf s (nl + 1) (String.length s - nl - 1)
-                    | None ->
-                      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-                      if n = 0 then failwith "server closed the connection mid-soak";
-                      Buffer.add_subbytes buf chunk 0 n)
-                  done;
-                  observe sent_at (List.rev !replies))
-                windows)
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+          (* one persistent pipelined connection, re-established by the
+             retry loop whenever the daemon goes away under us *)
+          let sched = Serve_retry.create ~base_ms:backoff_ms ~seed:(Unix.getpid ()) () in
+          let conn : Unix.file_descr option ref = ref None in
+          let buf = Buffer.create 65536 in
+          let chunk = Bytes.create 65536 in
+          let close_conn () =
+            match !conn with
+            | Some fd ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              conn := None
+            | None -> ()
+          in
+          let get_conn () =
+            match !conn with
+            | Some fd -> fd
+            | None ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              (match Unix.connect fd (Unix.ADDR_UNIX path) with
+              | () ->
+                Buffer.clear buf;
+                conn := Some fd;
+                fd
+              | exception e ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                raise e)
+          in
+          let send_recv w =
+            match
+              let fd = get_conn () in
+              let payload = String.concat "\n" w ^ "\n" in
+              let len = String.length payload in
+              let sent = ref 0 in
+              while !sent < len do
+                sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
+              done;
+              let want = List.length w in
+              let replies = ref [] in
+              let got = ref 0 in
+              while !got < want do
+                (match String.index_opt (Buffer.contents buf) '\n' with
+                | Some nl ->
+                  let s = Buffer.contents buf in
+                  replies := String.sub s 0 nl :: !replies;
+                  incr got;
+                  Buffer.clear buf;
+                  Buffer.add_substring buf s (nl + 1) (String.length s - nl - 1)
+                | None ->
+                  let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                  if n = 0 then failwith "server closed the connection mid-soak";
+                  Buffer.add_subbytes buf chunk 0 n)
+              done;
+              List.rev !replies
+            with
+            | replies -> replies
+            | exception e ->
+              (* a half-read window is garbage: drop the connection so
+                 the retry resends the whole window on a fresh one
+                 (idempotent by canonical key) *)
+              close_conn ();
+              raise e
+          in
+          let exchange_window w = exchange_with_retry ~exchange:send_recv ~sched ~retries w in
+          (* ---- chaos drill: the soak owns the daemon's lifecycle ---- *)
+          let daemon_pid = ref None in
+          let spawn_daemon () =
+            let cf = Option.get cache_file in
+            let args =
+              [ Sys.executable_name; "serve"; "--socket"; path; "--cache-file"; cf;
+                "--shards"; string_of_int shards; "--cache"; string_of_int cache_capacity ]
+              @ (if max_inflight > 0 then [ "--max-inflight"; string_of_int max_inflight ]
+                 else [])
+            in
+            let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+            let pid =
+              Unix.create_process Sys.executable_name (Array.of_list args) devnull devnull
+                Unix.stderr
+            in
+            Unix.close devnull;
+            daemon_pid := Some pid
+          in
+          let wait_ready () =
+            let rec go k =
+              if k = 0 then failwith (Printf.sprintf "daemon never answered on %s" path)
+              else
+                match socket_exchange ~socket:path [ {|{"op":"ping"}|} ] with
+                | _ -> ()
+                | exception (Failure _ | Unix.Unix_error _) ->
+                  Unix.sleepf 0.05;
+                  go (k - 1)
+            in
+            go 200
+          in
+          (* (cache size, journal replayed, journal skipped_corrupt)
+             off a fresh health connection *)
+          let health () =
+            match socket_exchange ~socket:path [ {|{"op":"health"}|} ] with
+            | [ reply ] -> (
+              match Obs_json.of_string reply with
+              | Error _ -> failwith "unparseable health reply"
+              | Ok doc ->
+                let h = Obs_json.member "health" doc in
+                let get path =
+                  List.fold_left (fun acc k -> Option.bind acc (Obs_json.member k)) h path
+                in
+                let int_at path = Option.value ~default:0 (Option.bind (get path) Obs_json.to_int) in
+                ( int_at [ "cache"; "size" ],
+                  int_at [ "journal"; "replayed" ],
+                  int_at [ "journal"; "skipped_corrupt" ] ))
+            | _ -> failwith "health: expected one reply"
+          in
+          if chaos then begin
+            spawn_daemon ();
+            wait_ready ()
+          end;
+          let windows = Array.of_list windows in
+          let nwin = Array.length windows in
+          let kill_idx =
+            if chaos then Int.max 0 (Int.min (nwin - 1) (int_of_float (kill_at *. float_of_int nwin)))
+            else -1
+          in
+          (* first ok reply per pre-crash request line: the byte-identity
+             oracle for post-recovery answers *)
+          let first_ok : (string, string) Hashtbl.t = Hashtbl.create 4096 in
+          let pre = ref (0, 0, 0) and post = ref (0, 0, 0) in
+          let killed = ref false in
+          Array.iteri
+            (fun wi w ->
+              if chaos && wi = kill_idx then begin
+                pre := health ();
+                (match !daemon_pid with
+                | Some pid ->
+                  Unix.kill pid Sys.sigkill;
+                  ignore (Unix.waitpid [] pid);
+                  daemon_pid := None
+                | None -> ());
+                (* the soak's own connection is now dead — deliberately
+                   left open so the next window exercises the retry
+                   path, exactly like a production client *)
+                spawn_daemon ();
+                wait_ready ();
+                post := health ();
+                killed := true
+              end;
+              let sent_at = Unix.gettimeofday () in
+              let replies = exchange_window w in
+              if chaos && not !killed then
+                List.iter2
+                  (fun line reply ->
+                    if status_ok reply && not (Hashtbl.mem first_ok line) then
+                      Hashtbl.replace first_ok line reply)
+                  w replies;
+              observe sent_at replies)
+            windows;
+          if chaos then begin
+            let pre_size, _, _ = !pre in
+            let post_size, replayed, skipped = !post in
+            let warm =
+              if pre_size = 0 then 1.0 else float_of_int post_size /. float_of_int pre_size
+            in
+            (* resend a sample of pre-crash requests: recovered answers
+               must be byte-identical to the ones the dead daemon gave *)
+            let sample =
+              let all = Hashtbl.fold (fun l r acc -> (l, r) :: acc) first_ok [] in
+              List.filteri (fun i _ -> i < 512) all
+            in
+            let mismatches = ref 0 in
+            List.iter
+              (fun (line, expect) ->
+                match exchange_window [ line ] with
+                | [ got ] -> if got <> expect then incr mismatches
+                | _ -> incr mismatches)
+              sample;
+            Printf.printf
+              "chaos: killed_window %d pre_cache %d post_cache %d replayed %d skipped_corrupt %d \
+               warm_fraction %.3f\n"
+              kill_idx pre_size post_size replayed skipped warm;
+            Printf.printf "chaos: recheck %d mismatches %d\n" (List.length sample) !mismatches;
+            (try ignore (socket_exchange ~socket:path [ {|{"op":"shutdown"}|} ])
+             with Failure _ | Unix.Unix_error _ -> ());
+            (match !daemon_pid with
+            | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            | None -> ());
+            if warm < 0.9 then
+              failwith (Printf.sprintf "chaos: warm recovery %.3f below the 0.9 threshold" warm);
+            if !mismatches > 0 then
+              failwith
+                (Printf.sprintf "chaos: %d post-crash replies diverged from pre-crash answers"
+                   !mismatches)
+          end;
+          close_conn ()
         | None ->
           (* in-process mode: the same sharded front end the daemon
              runs, driven directly — no transport in the numbers *)
@@ -1524,16 +1802,49 @@ let soak_cmd =
             "Pipelining window: requests are sent (or dispatched) $(docv) at a time and latency is \
              measured per window (default 64).")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Socket mode: retry transient failures (connection loss, busy, degraded) up to $(docv) \
+             times per window with capped exponential backoff (default 0 = fail fast).")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 100.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff in milliseconds; sleeps jitter up from here (default 100).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Kill-chaos drill: the soak spawns its own daemon, SIGKILLs it mid-run at \
+             $(b,--kill-at), restarts it, and asserts warm recovery — >= 90% of the pre-crash \
+             cache entries back, byte-identical replies for pre-crash requests, and the outage \
+             masked by $(b,--retries).  Requires $(b,--socket), $(b,--cache-file) and \
+             $(b,--retries) >= 1.")
+  in
+  let kill_at =
+    Arg.(
+      value & opt float 0.5
+      & info [ "kill-at" ] ~docv:"F"
+          ~doc:"Chaos mode: kill the daemon at fraction $(docv) of the windows (default 0.5).")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
          "Soak a serve daemon (or an in-process sharded front end) with emitted request traces and \
-          report p50/p95/p99 request latency, shed counts and throughput.")
+          report p50/p95/p99 request latency, shed counts and throughput.  With $(b,--chaos), run \
+          a kill-recovery drill against the crash-safe journal.")
     Term.(
       ret
         (const run $ obs_term
         $ par_jobs_term [ "jobs"; "j" ]
-        $ socket $ file $ shards $ max_inflight $ cache $ cache_file $ window))
+        $ socket $ file $ shards $ max_inflight $ cache $ cache_file $ window $ retries
+        $ backoff_ms $ chaos $ kill_at))
 
 let () =
   let doc = "power-aware speed-scaling schedulers (Bunde, SPAA 2006)" in
@@ -1547,7 +1858,8 @@ let () =
   (* exit-code contract: 0 ok, 1 fuzz counterexample (via Stdlib.exit
      above), 2 usage / invalid input, 3 infeasible, 4 no convergence,
      5 deadline, 6 solver fault (3-6 via Guard_error in wrap_errors),
-     7 shed busy by admission control (client only),
+     7 transient — shed busy by admission control or degraded by an
+     open circuit breaker (client only; retryable),
      125 unexpected exception *)
   exit
     (match Cmd.eval_value group with

@@ -1,0 +1,79 @@
+type config = { threshold : int; cooldown_s : float }
+type state = Closed | Open | Half_open
+
+(* per-name record: [failures] is the current consecutive run;
+   [open_until] is the wall-clock end of the cooldown when open;
+   [probing] marks a claimed half-open probe slot *)
+type entry = { mutable failures : int; mutable open_until : float option; mutable probing : bool }
+
+type t = { config : config; now : unit -> float; entries : (string, entry) Hashtbl.t }
+
+let c_trips = Obs.counter "guard.breaker.trips"
+let c_probes = Obs.counter "guard.breaker.probes"
+let c_rejections = Obs.counter "guard.breaker.rejections"
+
+let default_config = { threshold = 5; cooldown_s = 5.0 }
+
+let create ?(now = Unix.gettimeofday) config =
+  if config.threshold < 1 then invalid_arg "Guard_breaker.create: threshold must be >= 1";
+  if config.cooldown_s < 0.0 then invalid_arg "Guard_breaker.create: cooldown_s must be >= 0";
+  { config; now; entries = Hashtbl.create 8 }
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+    let e = { failures = 0; open_until = None; probing = false } in
+    Hashtbl.add t.entries name e;
+    e
+
+let state_of t (e : entry) =
+  match e.open_until with
+  | None -> Closed
+  | Some until -> if t.now () < until then Open else Half_open
+
+let admit t name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> true
+  | Some e -> (
+    match state_of t e with
+    | Closed -> true
+    | Open ->
+      Obs.incr c_rejections;
+      false
+    | Half_open ->
+      if e.probing then begin
+        (* someone already holds the probe slot this window *)
+        Obs.incr c_rejections;
+        false
+      end
+      else begin
+        e.probing <- true;
+        Obs.incr c_probes;
+        true
+      end)
+
+let record_ok t name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> ()
+  | Some e ->
+    e.failures <- 0;
+    e.open_until <- None;
+    e.probing <- false
+
+let record_fail t name =
+  let e = entry t name in
+  e.failures <- e.failures + 1;
+  let was_probe = e.probing in
+  e.probing <- false;
+  if was_probe || e.failures >= t.config.threshold then begin
+    (match state_of t e with Open -> () | Closed | Half_open -> Obs.incr c_trips);
+    e.open_until <- Some (t.now () +. t.config.cooldown_s)
+  end
+
+let state t name =
+  match Hashtbl.find_opt t.entries name with None -> Closed | Some e -> state_of t e
+
+let snapshot t =
+  Hashtbl.fold (fun name e acc -> (name, state_of t e, e.failures) :: acc) t.entries []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

@@ -2,6 +2,8 @@ type t = {
   pool : Par.Pool.t;
   cache : Serve_cache.t;
   policy : Guard.policy;
+  state : Serve_batch.state;
+  mutable last_inflight : int;
   mutable requests : int;
   mutable batches : int;
   mutable stop : bool;
@@ -12,11 +14,13 @@ type stats = { cache : Serve_cache.stats; jobs : int; requests : int; batches : 
 let c_requests = Obs.counter "serve.requests"
 let c_batches = Obs.counter "serve.batches"
 
-let create ?jobs ?(cache_capacity = 256) ?(policy = Guard.default) () =
+let create ?jobs ?(cache_capacity = 256) ?(policy = Guard.default) ?breaker () =
   {
     pool = Par.Pool.create ?jobs ();
     cache = Serve_cache.create ~capacity:cache_capacity;
     policy;
+    state = Serve_batch.create_state ?breaker ();
+    last_inflight = 0;
     requests = 0;
     batches = 0;
     stop = false;
@@ -52,6 +56,44 @@ let stats_payload t =
         ] );
   ]
 
+(* same shape as the sharded daemon's health reply (one shard, no
+   journal), so clients poll either uniformly *)
+let health_payload t =
+  let open Obs_json in
+  let breaker_rows =
+    match Serve_batch.breaker_of t.state with
+    | None -> []
+    | Some br ->
+      List.map
+        (fun (name, st, failures) ->
+          Obj
+            [
+              ("solver", String name);
+              ( "state",
+                String
+                  (match st with
+                  | Guard_breaker.Closed -> "closed"
+                  | Guard_breaker.Open -> "open"
+                  | Guard_breaker.Half_open -> "half-open") );
+              ("failures", Int failures);
+            ])
+        (Guard_breaker.snapshot br)
+  in
+  let s = stats t in
+  [
+    ("status", String "ok");
+    ( "health",
+      Obj
+        [
+          ("shards", Int 1);
+          ("inflight", List [ Int t.last_inflight ]);
+          ( "cache",
+            Obj [ ("size", Int s.cache.Serve_cache.size); ("capacity", Int s.cache.Serve_cache.capacity) ] );
+          ("journal", Null);
+          ("breakers", List breaker_rows);
+        ] );
+  ]
+
 let handle_batch (t : t) lines =
   let lines = Array.of_list lines in
   let n = Array.length lines in
@@ -77,19 +119,23 @@ let handle_batch (t : t) lines =
       | Ok _ -> ())
     decoded;
   let solves = Array.of_list (List.rev !solves) in
+  t.last_inflight <- Array.length solves;
   if Array.length solves > 0 then begin
     let answers =
-      Serve_batch.run ~pool:t.pool ~cache:t.cache ~policy:t.policy (Array.map snd solves)
+      Serve_batch.run ~pool:t.pool ~cache:t.cache ~policy:t.policy ~state:t.state
+        (Array.map snd solves)
     in
     Array.iteri (fun k (i, _) -> payloads.(i) <- Some answers.(k)) solves
   end;
-  (* ops answer after the batch's solves, so an in-batch "stats"
-     observes them *)
+  (* ops answer after the batch's solves, so an in-batch "stats" (or
+     "health") observes them *)
   Array.iteri
     (fun i d ->
       match d with
       | Ok { Serve_protocol.op = Serve_protocol.Stats; _ } ->
         payloads.(i) <- Some (stats_payload t)
+      | Ok { Serve_protocol.op = Serve_protocol.Health; _ } ->
+        payloads.(i) <- Some (health_payload t)
       | Ok { Serve_protocol.op = Serve_protocol.Ping; _ } ->
         payloads.(i) <- Some [ ("status", Obs_json.String "ok"); ("pong", Obs_json.Bool true) ]
       | Ok { Serve_protocol.op = Serve_protocol.Shutdown; _ } ->
@@ -129,6 +175,20 @@ let handler_of t =
     h_close = (fun () -> shutdown t);
   }
 
+(* a signal landing mid-syscall must not kill the daemon or drop a
+   connection: EINTR means "nothing happened, go again" for every call
+   we make (no partial transfer is reported with it) *)
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(* a vanishing client turns our next write into SIGPIPE; ignoring it
+   surfaces the EPIPE error instead, which the per-connection handlers
+   treat as a drop *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ()
+
 (* a carry buffer of bytes read so far; complete lines go to [queue],
    the unterminated tail stays in [carry] *)
 let split_lines carry queue data len =
@@ -153,6 +213,7 @@ let take_batch ?(max_batch = 32) queue =
   go 0 []
 
 let run_pipe_handler ?(max_batch = 32) h =
+  ignore_sigpipe ();
   let fd = Unix.stdin in
   let chunk = Bytes.create 65536 in
   let carry = Buffer.create 4096 in
@@ -163,7 +224,7 @@ let run_pipe_handler ?(max_batch = 32) h =
        not (h.h_stopping () || (!eof && Queue.is_empty queue && Buffer.length carry = 0))
      do
        if Queue.is_empty queue && not !eof then begin
-         let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+         let got = retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) in
          if got = 0 then begin
            eof := true;
            (* an unterminated final line still gets served *)
@@ -204,7 +265,7 @@ type conn = {
 let max_pending_out = 1 lsl 26
 
 let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  ignore_sigpipe ();
   if Sys.file_exists path then Unix.unlink path;
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
@@ -243,7 +304,7 @@ let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
       while !continue && pending c > 0 do
         let len = Int.min 65536 (pending c) in
         let piece = Buffer.sub c.out c.opos len in
-        let sent = Unix.write_substring fd piece 0 len in
+        let sent = retry_eintr (fun () -> Unix.write_substring fd piece 0 len) in
         c.opos <- c.opos + sent;
         if sent < len then continue := false
       done
@@ -269,7 +330,7 @@ let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
       List.iter
         (fun fd ->
           if fd = srv then begin
-            match Unix.accept srv with
+            match retry_eintr (fun () -> Unix.accept srv) with
             | exception Unix.Unix_error _ -> ()
             | client, _ ->
               Unix.set_nonblock client;
@@ -285,7 +346,7 @@ let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
             match Hashtbl.find_opt clients fd with
             | None -> ()
             | Some c -> (
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              match retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
               | exception Unix.Unix_error _ -> drop fd
               | 0 -> drop fd
@@ -312,11 +373,12 @@ let run_socket_handler ?(max_batch = 32) ?(backlog = 16) ~path h =
          let deadline = Unix.gettimeofday () +. 1.0 in
          while pending c > 0 && Unix.gettimeofday () < deadline do
            match Unix.select [] [ fd ] [] 0.1 with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
            | [], [], [] -> ()
            | _ ->
              let len = Int.min 65536 (pending c) in
              let piece = Buffer.sub c.out c.opos len in
-             c.opos <- c.opos + Unix.write_substring fd piece 0 len
+             c.opos <- c.opos + retry_eintr (fun () -> Unix.write_substring fd piece 0 len)
          done
        with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ())

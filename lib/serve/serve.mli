@@ -17,11 +17,19 @@ type t
 
 type stats = { cache : Serve_cache.stats; jobs : int; requests : int; batches : int }
 
-val create : ?jobs:int -> ?cache_capacity:int -> ?policy:Guard.policy -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?policy:Guard.policy ->
+  ?breaker:Guard_breaker.config option ->
+  unit ->
+  t
 (** [jobs] sizes the resident pool (default {!Par.default_jobs},
     clamped per the [Par] contract); [cache_capacity] bounds the LRU
     (default 256); [policy] supervises every solve (default
-    {!Guard.default} — no deadline unless a request carries one).
+    {!Guard.default} — no deadline unless a request carries one);
+    [breaker] configures the per-solver circuit breakers (default
+    {!Guard_breaker.default_config}; [None] disables).
     @raise Invalid_argument when [jobs < 1] or [cache_capacity < 1]. *)
 
 val handle_batch : t -> string list -> string list
@@ -67,6 +75,10 @@ val run_socket_handler : ?max_batch:int -> ?backlog:int -> path:string -> handle
     [backlog], default 16, is the [listen] queue depth).  Multiplexes
     clients with [select]; each client's buffered complete lines form
     one batch, and replies go back on that client's connection.
+    Hardened against client death: SIGPIPE is ignored and every
+    [select]/[read]/[write]/[accept] retries EINTR, so a client that
+    disconnects mid-reply (or a stray signal) costs one connection,
+    never the daemon.
     Replies are buffered per client and flushed through the [select]
     writable set — a slow reader never stalls the event loop, and a
     client holding more than 64 MiB of undrained replies is dropped.

@@ -42,9 +42,81 @@ let encode (sr : Serve_protocol.solve_request) r =
 
 let is_ok_payload = function ("status", Obs_json.String "ok") :: _ -> true | _ -> false
 
-let run ~pool ~cache ~policy (reqs : Serve_protocol.solve_request array) =
+(* ---------------- circuit-breaker supervision ---------------- *)
+
+type state = { breaker : Guard_breaker.t option }
+
+let create_state ?now ?(breaker = Some Guard_breaker.default_config) () =
+  { breaker = Option.map (fun cfg -> Guard_breaker.create ?now cfg) breaker }
+
+let no_state = { breaker = None }
+let breaker_of state = state.breaker
+
+let c_degraded = Obs.counter "serve.breaker.degraded"
+let c_rejected = Obs.counter "serve.breaker.rejected"
+
+(* which solve outcomes indict the solver: a clean answer closes the
+   breaker; Guard having had to abandon the solver for its fallback
+   chain, or a terminal hard-failure class, extends the failure run;
+   request-indicting classes (invalid input, infeasible, deadline) are
+   neutral — a stream of bad requests must not open a healthy solver *)
+let outcome_of_result = function
+  | Ok (r : Solve_result.t) ->
+    if List.exists (fun (k, v) -> k = "guard.degraded" && v > 0.0) r.Solve_result.diagnostics
+    then `Fail
+    else `Ok
+  | Error e -> (
+    match Guard_error.class_string e with
+    | "solver-fault" | "no-convergence" -> `Fail
+    | _ -> `Neutral)
+
+let note state name outcome =
+  match state.breaker with
+  | None -> ()
+  | Some br -> (
+    match outcome with
+    | `Ok -> Guard_breaker.record_ok br name
+    | `Fail -> Guard_breaker.record_fail br name
+    | `Neutral -> ())
+
+(* an answer produced by a breaker reroute still reports honestly: the
+   diagnostic marks it, and it is never cached (a warm reply must stay
+   byte-identical to the healthy cold solve) *)
+let tag_degraded (r : Solve_result.t) =
+  { r with Solve_result.diagnostics = r.Solve_result.diagnostics @ [ ("breaker.degraded", 1.0) ] }
+
+(* when the resolved solver's breaker refuses work, walk the same
+   capability order Guard's fallback uses for the first healthy
+   alternative; with none, answer a typed degraded refusal rather than
+   burning the pool on a solver that just failed [threshold] times *)
+let pick_solver state (sr : Serve_protocol.solve_request) s =
+  match state.breaker with
+  | None -> `Use (s, false)
+  | Some br ->
+    let name = Engine.name_of s in
+    if Guard_breaker.admit br name then `Use (s, false)
+    else begin
+      match
+        List.find_opt
+          (fun s' ->
+            Engine.name_of s' <> name && Guard_breaker.admit br (Engine.name_of s'))
+          (Engine.supporting sr.Serve_protocol.problem sr.Serve_protocol.inst)
+      with
+      | Some s' ->
+        Obs.incr c_degraded;
+        `Use (s', true)
+      | None ->
+        Obs.incr c_rejected;
+        `Reject (Serve_protocol.degraded_payload ~solver:name)
+    end
+
+let run ~pool ~cache ~policy ?(state = no_state)
+    ?(on_insert = fun ~canon:_ (_ : (string * Obs_json.t) list) -> ())
+    (reqs : Serve_protocol.solve_request array) =
   let n = Array.length reqs in
   let payloads : (string * Obs_json.t) list option array = Array.make n None in
+  (* degraded (breaker-rerouted) answers must not enter the cache *)
+  let no_cache = Array.make n false in
   (* 1. cache probe, every request *)
   Array.iteri
     (fun i (sr : Serve_protocol.solve_request) ->
@@ -71,69 +143,94 @@ let run ~pool ~cache ~policy (reqs : Serve_protocol.solve_request array) =
       let sr = reqs.(i) in
       match resolve_solver sr with
       | Error e -> payloads.(i) <- Some (Serve_protocol.error_payload e)
-      | Ok s ->
-        let eff = effective_policy policy sr in
-        if eff.Guard.deadline_s = None && eff.Guard.iter_cap = None then
-          fast := (i, s) :: !fast
-        else slow := (i, s, eff) :: !slow)
+      | Ok s -> (
+        match pick_solver state sr s with
+        | `Reject payload ->
+          no_cache.(i) <- true;
+          payloads.(i) <- Some payload
+        | `Use (s, degraded) ->
+          if degraded then no_cache.(i) <- true;
+          let eff = effective_policy policy sr in
+          if eff.Guard.deadline_s = None && eff.Guard.iter_cap = None then
+            fast := (i, s, degraded) :: !fast
+          else slow := (i, s, eff, degraded) :: !slow))
     uniq;
   (* 4a. fast path: group by solver, one Engine.solve_many per group *)
   let groups = Hashtbl.create 8 in
   List.iter
-    (fun (i, s) ->
+    (fun (i, s, degraded) ->
       let name = Engine.name_of s in
       match Hashtbl.find_opt groups name with
-      | Some (_, r) -> r := i :: !r
-      | None -> Hashtbl.add groups name (s, ref [ i ]))
+      | Some (_, r) -> r := (i, degraded) :: !r
+      | None -> Hashtbl.add groups name (s, ref [ (i, degraded) ]))
     (List.rev !fast);
   Hashtbl.iter
-    (fun _ (s, indices) ->
+    (fun name (s, indices) ->
       let indices = Array.of_list (List.rev !indices) in
       let items =
         Array.map
-          (fun i -> (reqs.(i).Serve_protocol.problem, reqs.(i).Serve_protocol.inst))
+          (fun (i, _) -> (reqs.(i).Serve_protocol.problem, reqs.(i).Serve_protocol.inst))
           indices
       in
       let results = Engine.solve_many ~pool s items in
       Array.iteri
-        (fun k i ->
+        (fun k (i, degraded) ->
           let sr = reqs.(i) in
           match results.(k) with
-          | Ok r when acceptable sr r -> payloads.(i) <- Some (encode sr r)
+          | Ok r when acceptable sr r ->
+            note state name `Ok;
+            let r = if degraded then tag_degraded r else r in
+            payloads.(i) <- Some (encode sr r)
           | Ok _ | Error _ ->
             (* escalate to full supervision: retries, fallback chain *)
+            let result =
+              Guard.solve_with ~policy:(effective_policy policy sr) s
+                sr.Serve_protocol.problem sr.Serve_protocol.inst
+            in
+            note state name (outcome_of_result result);
             let payload =
-              match
-                Guard.solve_with ~policy:(effective_policy policy sr) s
-                  sr.Serve_protocol.problem sr.Serve_protocol.inst
-              with
-              | Ok r -> encode sr r
+              match result with
+              | Ok r -> encode sr (if degraded then tag_degraded r else r)
               | Error e -> Serve_protocol.error_payload e
             in
             payloads.(i) <- Some payload)
         indices)
     groups;
-  (* 4b. supervised path: per-item Guard calls across the pool *)
+  (* 4b. supervised path: per-item Guard calls across the pool; breaker
+     bookkeeping happens back on the router thread, in index order *)
   let slow = Array.of_list (List.rev !slow) in
   if Array.length slow > 0 then begin
     let answers =
       Par.Pool.init pool (Array.length slow) (fun k ->
-          let i, s, eff = slow.(k) in
+          let i, s, eff, degraded = slow.(k) in
           let sr = reqs.(i) in
-          match Guard.solve_with ~policy:eff s sr.Serve_protocol.problem sr.Serve_protocol.inst with
-          | Ok r -> encode sr r
-          | Error e -> Serve_protocol.error_payload e)
+          let result =
+            Guard.solve_with ~policy:eff s sr.Serve_protocol.problem sr.Serve_protocol.inst
+          in
+          let payload =
+            match result with
+            | Ok r -> encode sr (if degraded then tag_degraded r else r)
+            | Error e -> Serve_protocol.error_payload e
+          in
+          (payload, outcome_of_result result))
     in
-    Array.iteri (fun k (i, _, _) -> payloads.(i) <- Some answers.(k)) slow
+    Array.iteri
+      (fun k (i, s, _, _) ->
+        let payload, outcome = answers.(k) in
+        note state (Engine.name_of s) outcome;
+        payloads.(i) <- Some payload)
+      slow
   end;
-  (* 5. fill successful unique answers into the cache, then share
-     payloads out to the duplicate requests *)
+  (* 5. fill successful unique answers into the cache (journaling each
+     insert through [on_insert]), then share payloads out to the
+     duplicate requests *)
   Array.iter
     (fun i ->
       let sr = reqs.(i) in
       match payloads.(i) with
-      | Some payload when is_ok_payload payload ->
-        Serve_cache.insert cache ~hash:sr.Serve_protocol.hash ~canon:sr.Serve_protocol.canon payload
+      | Some payload when is_ok_payload payload && not no_cache.(i) ->
+        Serve_cache.insert cache ~hash:sr.Serve_protocol.hash ~canon:sr.Serve_protocol.canon payload;
+        on_insert ~canon:sr.Serve_protocol.canon payload
       | _ -> ())
     uniq;
   Array.mapi

@@ -161,6 +161,87 @@ let shard_transparency c =
     then Oracle.Fail "repeated batch recorded no cache hit at some shard count"
     else Oracle.Pass
 
+(* journal recovery under randomized crash debris: whatever the
+   corruption — torn tail, bit flip, duplicated line, zero-length file
+   — replay recovers exactly the intact prefix-closed set and counts
+   the rest, never raising *)
+let journal_recovery (c : Oracle.case) =
+  let seed = abs c.Oracle.seed in
+  let k = 4 + (seed mod 5) in
+  let payload i = [ ("status", Obs_json.String "ok"); ("n", Obs_json.Int i) ] in
+  let path = Filename.temp_file "pasched_jrnl_fuzz" ".cache" in
+  Sys.remove path;
+  let jf = path ^ ".journal" in
+  let cleanup () =
+    List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ path; jf; path ^ ".tmp" ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let j = Serve_journal.open_ ~compact_every:0 ~path () in
+  for i = 0 to k - 1 do
+    Serve_journal.append j ~canon:(Printf.sprintf "k%d-%d" seed i) (payload i)
+  done;
+  Serve_journal.close j;
+  let read_all () =
+    let ic = open_in_bin jf in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let write_all s =
+    let oc = open_out_bin jf in
+    output_string oc s;
+    close_out oc
+  in
+  let expect_replayed, expect_skipped =
+    match seed mod 4 with
+    | 0 ->
+      (* torn tail: the crash cut the last line mid-write *)
+      let s = read_all () in
+      let cut = 2 + (seed / 4 mod 6) in
+      write_all (String.sub s 0 (String.length s - cut));
+      (k - 1, 1)
+    | 1 ->
+      (* single bit flip inside one line's entry bytes *)
+      let s = read_all () in
+      let line = seed / 4 mod k in
+      let start = ref 0 in
+      for _ = 1 to line do
+        start := String.index_from s !start '\n' + 1
+      done;
+      let stop = String.index_from s !start '\n' in
+      let pos = !start + 26 + (seed / 16 mod (stop - !start - 27)) in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+      write_all (Bytes.to_string b);
+      (k - 1, 1)
+    | 2 ->
+      (* duplicated line: replays twice, insert idempotence absorbs it *)
+      let s = read_all () in
+      write_all (s ^ String.sub s 0 (String.index s '\n' + 1));
+      (k + 1, 0)
+    | _ ->
+      (* zero-length journal: a crash before any flush *)
+      write_all "";
+      (0, 0)
+  in
+  let j2 = Serve_journal.open_ ~compact_every:0 ~path () in
+  let n = ref 0 in
+  let outcome =
+    match Serve_journal.replay j2 (fun ~canon:_ _ -> incr n) with
+    | () ->
+      let st = Serve_journal.stats j2 in
+      if !n <> expect_replayed then
+        Oracle.Fail (Printf.sprintf "replayed %d entries, expected %d" !n expect_replayed)
+      else if st.Serve_journal.skipped_corrupt <> expect_skipped then
+        Oracle.Fail
+          (Printf.sprintf "skipped_corrupt %d, expected %d" st.Serve_journal.skipped_corrupt
+             expect_skipped)
+      else Oracle.Pass
+    | exception e -> Oracle.Fail ("replay raised: " ^ Printexc.to_string e)
+  in
+  Serve_journal.close j2;
+  outcome
+
 let props =
   [
     ( "serve:roundtrip",
@@ -177,6 +258,10 @@ let props =
       "a deduped request set is answered byte-identically at any shard count, with cache \
        hits on repeats",
       shard_transparency );
+    ( "serve:journal-recovery",
+      "journal replay recovers every intact entry and skips crash debris (torn tail, bit \
+       flip, duplicate, empty) without raising",
+      journal_recovery );
   ]
 
 let names () = List.map (fun (n, _, _) -> n) props

@@ -8,7 +8,7 @@ type solve_request = {
   hash : int64;
 }
 
-type op = Solve of solve_request | Stats | Ping | Shutdown
+type op = Solve of solve_request | Stats | Health | Ping | Shutdown
 
 type request = { id : Obs_json.t; op : op }
 
@@ -177,9 +177,10 @@ let decode line =
             match Obs_json.to_string_val j with
             | Some "solve" -> Solve (parse_solve doc)
             | Some "stats" -> Stats
+            | Some "health" -> Health
             | Some "ping" -> Ping
             | Some "shutdown" -> Shutdown
-            | Some s -> bad "unknown op %S (solve|stats|ping|shutdown)" s
+            | Some s -> bad "unknown op %S (solve|stats|health|ping|shutdown)" s
             | None -> bad "\"op\" must be a string")
         in
         Ok { id = !id; op }
@@ -291,6 +292,20 @@ let busy_payload ~shard =
     ("class", String "busy");
     ("shard", Int shard);
     ("message", String "server at admission limit; retry");
+  ]
+
+(* circuit-breaker refusal: the named solver's breaker is open and no
+   healthy registered solver accepts the instance.  Its own status —
+   like "busy" it is transient (the cooldown will elapse) and must
+   never be cached, and like "busy" the reply text is independent of
+   serving topology *)
+let degraded_payload ~solver =
+  let open Obs_json in
+  [
+    ("status", String "degraded");
+    ("class", String "breaker-open");
+    ("solver", String solver);
+    ("message", String "circuit breaker open and no healthy fallback; retry after cooldown");
   ]
 
 let reply_string ~id payload = Obs_json.to_string (Obs_json.Obj (("id", id) :: payload))

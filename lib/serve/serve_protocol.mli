@@ -10,7 +10,8 @@
 
     - ["id"]: any JSON value, echoed verbatim in the reply ([null] when
       omitted).
-    - ["op"]: ["solve"] (default), ["stats"], ["ping"] or ["shutdown"].
+    - ["op"]: ["solve"] (default), ["stats"], ["health"], ["ping"] or
+      ["shutdown"].
     - solve fields: ["objective"] (["makespan"|"flow"|"maxflow"|"wflow"|
       "deadline"], required), ["jobs"] (non-empty list of
       [[release, work]] pairs, required), ["alpha"] (default 3),
@@ -46,7 +47,7 @@ type solve_request = {
   hash : int64;  (** {!Serve_key.hash} of [canon] *)
 }
 
-type op = Solve of solve_request | Stats | Ping | Shutdown
+type op = Solve of solve_request | Stats | Health | Ping | Shutdown
 
 type request = { id : Obs_json.t; op : op }
 
@@ -81,6 +82,13 @@ val busy_payload : shard:int -> (string * Obs_json.t) list
     index and a fixed retry message.  Distinct from ["error"] (the
     request itself was fine) and from ["ok"] (it was never solved, so
     it is never cached). *)
+
+val degraded_payload : solver:string -> (string * Obs_json.t) list
+(** The reply fields (sans ["id"]) of a solve refused because [solver]'s
+    circuit breaker is open and no healthy registered fallback accepts
+    the instance: status ["degraded"], class ["breaker-open"].  Like
+    ["busy"] it is transient — the breaker's cooldown will elapse — so
+    clients treat it as retryable and it is never cached. *)
 
 val reply_string : id:Obs_json.t -> (string * Obs_json.t) list -> string
 (** One reply line: the payload with ["id"] prepended, serialized

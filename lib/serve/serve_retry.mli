@@ -1,0 +1,40 @@
+(** Client-side retry policy: capped exponential backoff with
+    decorrelated jitter, and the transient-reply classifier.
+
+    Retrying against the serve daemon is safe by construction — solve
+    requests are idempotent by canonical key ({!Serve_key}), so a
+    resent request can only hit the cache entry its first attempt
+    created.  What needs care is {e when} to resend: a thundering herd
+    of synchronized retries re-creates the overload that shed the
+    requests in the first place.  The schedule here is the
+    "decorrelated jitter" variant: each sleep is uniform in
+    [[base, 3 × previous_sleep]], clamped to [cap] — it spreads a fleet
+    of clients apart (full-range jitter) while still backing off
+    exponentially in expectation.
+
+    Seeded {!Rng} keeps the schedule reproducible for tests; production
+    callers seed from the pid/time. *)
+
+type t
+
+val create : ?cap_ms:float -> ?seed:int -> base_ms:float -> unit -> t
+(** A fresh schedule.  [base_ms] is the first sleep's lower bound (and
+    initial scale); [cap_ms] (default [10_000.]) clamps every sleep;
+    [seed] (default 0) drives the jitter stream.
+    @raise Invalid_argument when [base_ms <= 0] or [cap_ms < base_ms]. *)
+
+val next_ms : t -> float
+(** The next sleep in milliseconds: uniform in
+    [[base_ms, 3 × previous]], clamped to [cap_ms].  Advances the
+    schedule. *)
+
+val reset : t -> unit
+(** Forget the backoff history (after a success): the next sleep starts
+    from [base_ms] again. *)
+
+val is_transient_reply : string -> bool
+(** Should this reply line be retried?  True exactly for the transient
+    statuses — ["busy"] (admission shed) and ["degraded"] (breaker
+    cooldown) — whose conditions clear on their own.  Error replies are
+    deterministic verdicts about the request and malformed lines are
+    not the protocol; neither retries. *)

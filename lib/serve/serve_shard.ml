@@ -4,7 +4,9 @@ type t = {
   shards : shard array;
   policy : Guard.policy;
   max_inflight : int;  (* 0 = unbounded *)
-  cache_file : string option;
+  journal : Serve_journal.t option;
+  state : Serve_batch.state;
+  last_inflight : int array;  (* per-shard solve depth of the last batch *)
   mutable requests : int;
   mutable batches : int;
   mutable shed : int;
@@ -51,59 +53,16 @@ let route ~hash ~shards =
 
 let shard_of (t : t) ~hash = route ~hash ~shards:(Array.length t.shards)
 
-let load_caches (t : t) file =
-  match open_in file with
-  | exception Sys_error _ -> ()
-  | ic ->
-    let shards = Array.length t.shards in
-    (try
-       while true do
-         let line = input_line ic in
-         (* tolerant: a truncated or corrupt line costs that entry, not
-            the daemon *)
-         match Obs_json.of_string line with
-         | Error _ -> ()
-         | Ok doc -> (
-           match
-             ( Option.bind (Obs_json.member "canon" doc) Obs_json.to_string_val,
-               Obs_json.member "payload" doc )
-           with
-           | Some canon, Some (Obs_json.Obj payload) ->
-             let hash = Serve_key.hash canon in
-             (* routed by the *current* shard count: a snapshot taken
-                at --shards 1 still warms a --shards 4 daemon *)
-             let sh = t.shards.(route ~hash ~shards) in
-             Serve_cache.insert sh.cache ~hash ~canon payload
-           | _ -> ())
-       done
-     with End_of_file -> ());
-    close_in_noerr ic
-
-let save_caches (t : t) =
-  match t.cache_file with
-  | None -> ()
-  | Some file -> (
-    let tmp = file ^ ".tmp" in
-    match open_out tmp with
-    | exception Sys_error _ -> ()
-    | oc ->
-      (try
-         Array.iter
-           (fun (sh : shard) ->
-             List.iter
-               (fun (canon, payload) ->
-                 let open Obs_json in
-                 output_string oc
-                   (to_string (Obj [ ("canon", String canon); ("payload", Obj payload) ]));
-                 output_char oc '\n')
-               (Serve_cache.to_list sh.cache))
-           t.shards;
-         close_out oc;
-         Sys.rename tmp file
-       with Sys_error _ -> close_out_noerr oc))
+(* every live entry, shard order then LRU→MRU within a shard, so a
+   checkpoint replays recency faithfully *)
+let entries (t : t) =
+  Array.fold_left
+    (fun acc (sh : shard) -> acc @ Serve_cache.to_list sh.cache)
+    [] t.shards
 
 let create ?jobs ?(shards = 1) ?(cache_capacity = 256) ?(max_inflight = 0)
-    ?(policy = Guard.default) ?cache_file () =
+    ?(policy = Guard.default) ?cache_file ?(fsync = false) ?(compact_every = 1024)
+    ?breaker ?breaker_now () =
   if shards < 1 then invalid_arg "Serve_shard.create: shards must be >= 1";
   if max_inflight < 0 then invalid_arg "Serve_shard.create: max_inflight must be >= 0";
   (* shared-nothing slices of one machine: each shard's resident pool
@@ -111,6 +70,9 @@ let create ?jobs ?(shards = 1) ?(cache_capacity = 256) ?(max_inflight = 0)
   let total = match jobs with Some j -> j | None -> Par.default_jobs () in
   if total < 1 then invalid_arg "Serve_shard.create: jobs must be >= 1";
   let per_shard = Int.max 1 (total / shards) in
+  let journal =
+    Option.map (fun path -> Serve_journal.open_ ~fsync ~compact_every ~path ()) cache_file
+  in
   let t =
     {
       shards =
@@ -121,14 +83,25 @@ let create ?jobs ?(shards = 1) ?(cache_capacity = 256) ?(max_inflight = 0)
             });
       policy;
       max_inflight;
-      cache_file;
+      journal;
+      state = Serve_batch.create_state ?now:breaker_now ?breaker ();
+      last_inflight = Array.make shards 0;
       requests = 0;
       batches = 0;
       shed = 0;
       stop = false;
     }
   in
-  (match cache_file with Some f when Sys.file_exists f -> load_caches t f | _ -> ());
+  (* recover checkpoint ∪ journal, routed by the *current* shard count:
+     a store written at --shards 1 still warms a --shards 4 daemon.
+     Torn or corrupt lines are skipped, never fatal. *)
+  (match journal with
+  | None -> ()
+  | Some j ->
+    Serve_journal.replay j (fun ~canon payload ->
+        let hash = Serve_key.hash canon in
+        let sh = t.shards.(route ~hash ~shards) in
+        Serve_cache.insert sh.cache ~hash ~canon payload));
   t
 
 let stats (t : t) =
@@ -157,10 +130,22 @@ let stats (t : t) =
     max_inflight = t.max_inflight;
   }
 
+let journal_stats (t : t) = Option.map Serve_journal.stats t.journal
+
 let stopping (t : t) = t.stop
+
+let save_caches (t : t) =
+  match t.journal with
+  | None -> ()
+  | Some j -> ( try Serve_journal.compact j ~entries:(entries t) with Sys_error _ -> ())
 
 let shutdown (t : t) =
   save_caches t;
+  (match t.journal with None -> () | Some j -> Serve_journal.close j);
+  Array.iter (fun (sh : shard) -> Par.Pool.shutdown sh.pool) t.shards
+
+let abort (t : t) =
+  (match t.journal with None -> () | Some j -> Serve_journal.close j);
   Array.iter (fun (sh : shard) -> Par.Pool.shutdown sh.pool) t.shards
 
 let stats_payload t =
@@ -182,6 +167,59 @@ let stats_payload t =
           ("shards", Int s.shards);
           ("shed", Int s.shed);
           ("max_inflight", Int s.max_inflight);
+        ] );
+  ]
+
+(* the supervision view: per-shard load and cache occupancy, journal
+   durability counters, breaker states — what an operator (or the
+   kill-chaos drill) polls to decide the daemon is healthy *)
+let health_payload t =
+  let open Obs_json in
+  let breaker_rows =
+    match Serve_batch.breaker_of t.state with
+    | None -> []
+    | Some br ->
+      List.map
+        (fun (name, st, failures) ->
+          Obj
+            [
+              ("solver", String name);
+              ( "state",
+                String
+                  (match st with
+                  | Guard_breaker.Closed -> "closed"
+                  | Guard_breaker.Open -> "open"
+                  | Guard_breaker.Half_open -> "half-open") );
+              ("failures", Int failures);
+            ])
+        (Guard_breaker.snapshot br)
+  in
+  let journal =
+    match journal_stats t with
+    | None -> Null
+    | Some js ->
+      Obj
+        [
+          ("appends", Int js.Serve_journal.appends);
+          ("replayed", Int js.Serve_journal.replayed);
+          ("skipped_corrupt", Int js.Serve_journal.skipped_corrupt);
+          ("compactions", Int js.Serve_journal.compactions);
+          ("lag", Int js.Serve_journal.lag);
+        ]
+  in
+  let s = stats t in
+  [
+    ("status", String "ok");
+    ( "health",
+      Obj
+        [
+          ("shards", Int (Array.length t.shards));
+          ( "inflight",
+            List (Array.to_list (Array.map (fun d -> Int d) t.last_inflight)) );
+          ( "cache",
+            Obj [ ("size", Int s.cache.Serve_cache.size); ("capacity", Int s.cache.Serve_cache.capacity) ] );
+          ("journal", journal);
+          ("breakers", List breaker_rows);
         ] );
   ]
 
@@ -223,9 +261,15 @@ let handle_batch (t : t) lines =
         end
       | Ok _ -> ())
     decoded;
+  Array.blit depth 0 t.last_inflight 0 shards;
   Obs.set g_inflight (float_of_int (Array.fold_left Int.max 0 depth));
   (* the router drives each shard's batch in turn: cache, dedupe and
      pool dispatch are all shard-local, so there is nothing to lock *)
+  let on_insert =
+    match t.journal with
+    | None -> None
+    | Some j -> Some (fun ~canon payload -> Serve_journal.append j ~canon payload)
+  in
   Array.iteri
     (fun s work ->
       match List.rev work with
@@ -234,19 +278,31 @@ let handle_batch (t : t) lines =
         let work = Array.of_list work in
         let sh = t.shards.(s) in
         let answers =
-          Serve_batch.run ~pool:sh.pool ~cache:sh.cache ~policy:t.policy
-            (Array.map snd work)
+          Serve_batch.run ~pool:sh.pool ~cache:sh.cache ~policy:t.policy ~state:t.state
+            ?on_insert (Array.map snd work)
         in
         Array.iteri (fun k (i, _) -> payloads.(i) <- Some answers.(k)) work)
     assigned;
   Obs.set g_inflight 0.0;
-  (* ops answer after the batch's solves, so an in-batch "stats"
-     observes them *)
+  (* write-ahead durability boundary: one flush per served batch puts
+     every insert in the OS page cache (SIGKILL-safe; power-loss-safe
+     too under --fsync), and lag-triggered compaction keeps replay
+     bounded *)
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+    (try Serve_journal.flush j with Sys_error _ -> ());
+    if Serve_journal.needs_compact j then
+      try Serve_journal.compact j ~entries:(entries t) with Sys_error _ -> ());
+  (* ops answer after the batch's solves, so an in-batch "stats" (or
+     "health") observes them *)
   Array.iteri
     (fun i d ->
       match d with
       | Ok { Serve_protocol.op = Serve_protocol.Stats; _ } ->
         payloads.(i) <- Some (stats_payload t)
+      | Ok { Serve_protocol.op = Serve_protocol.Health; _ } ->
+        payloads.(i) <- Some (health_payload t)
       | Ok { Serve_protocol.op = Serve_protocol.Ping; _ } ->
         payloads.(i) <- Some [ ("status", Obs_json.String "ok"); ("pong", Obs_json.Bool true) ]
       | Ok { Serve_protocol.op = Serve_protocol.Shutdown; _ } ->

@@ -16,11 +16,21 @@
     {!Serve_protocol.busy_payload} reply rather than queued unboundedly
     ([serve.shed] counter, [serve.inflight] gauge).
 
-    With [cache_file], {!shutdown} snapshots every shard's cache as
-    canonical-form NDJSON (LRU→MRU, so recency survives) and {!create}
-    warms from it — entries are re-routed by the {e current} shard
-    count, so a snapshot taken at one [--shards] value warms any
-    other. *)
+    With [cache_file], persistence is crash-safe ({!Serve_journal}):
+    every cache insert is appended to a CRC-framed write-ahead journal
+    (flushed once per batch; fsynced under [fsync]), {!create} replays
+    checkpoint ∪ journal — re-routed by the {e current} shard count, so
+    a store written at one [--shards] value warms any other — and
+    lag-triggered compaction (plus {!shutdown}) folds the journal into
+    an atomically rewritten checkpoint.  A SIGKILL loses at most the
+    in-flight batch; torn or corrupt lines are skipped on replay, never
+    fatal.
+
+    One {!Serve_batch} supervision state (circuit breakers) is shared
+    across shards — the router drives every shard from one loop, so a
+    solver that melts down trips a single breaker for the whole
+    daemon; the ["health"] op reports per-shard inflight, cache
+    occupancy, journal counters and breaker states. *)
 
 type t
 
@@ -42,15 +52,24 @@ val create :
   ?max_inflight:int ->
   ?policy:Guard.policy ->
   ?cache_file:string ->
+  ?fsync:bool ->
+  ?compact_every:int ->
+  ?breaker:Guard_breaker.config option ->
+  ?breaker_now:(unit -> float) ->
   unit ->
   t
 (** [jobs] is the total pool width to slice across [shards] (default
     {!Par.default_jobs}; each shard gets at least 1); [cache_capacity]
     bounds each shard's LRU (default 256); [max_inflight] bounds each
-    shard's per-batch solve depth (default 0 = unbounded);
-    [cache_file], when it exists, is loaded immediately ({!save_caches}
-    writes it back on {!shutdown}).  Malformed snapshot lines are
-    skipped, never fatal.
+    shard's per-batch solve depth (default 0 = unbounded).
+    [cache_file] roots the {!Serve_journal} store: the checkpoint lives
+    there, the journal beside it at [.journal], and both are replayed
+    immediately (corrupt lines skipped).  [fsync] (default false) makes
+    the per-batch journal flush power-loss durable; [compact_every]
+    (default 1024) is the journal lag that triggers compaction.
+    [breaker] configures the shared circuit breakers
+    (default {!Guard_breaker.default_config}; [None] disables);
+    [breaker_now] injects the breaker clock for tests.
     @raise Invalid_argument when [shards < 1], [jobs < 1] or
     [max_inflight < 0]. *)
 
@@ -65,24 +84,33 @@ val shard_of : t -> hash:int64 -> int
 
 val handle_batch : t -> string list -> string list
 (** One reply line per request line, in order: decode, route, admit or
-    shed, per-shard batch dispatch, ops answered after solves.  Never
-    raises on request content. *)
+    shed, per-shard batch dispatch, journal flush, ops answered after
+    solves.  Never raises on request content. *)
 
 val handle_line : t -> string -> string
 (** [handle_batch] of a singleton. *)
 
 val stats : t -> stats
 
+val journal_stats : t -> Serve_journal.stats option
+(** Durability counters ([None] without [cache_file]). *)
+
 val stopping : t -> bool
 (** Set by a ["shutdown"] request. *)
 
 val save_caches : t -> unit
-(** Snapshot all shard caches to [cache_file] (atomic rename; no-op
-    without [cache_file]). *)
+(** Compact now: fold all live entries into the checkpoint (atomic
+    rename + fsync) and truncate the journal.  No-op without
+    [cache_file]. *)
 
 val shutdown : t -> unit
-(** [save_caches], then stop every shard's pool workers.  Idempotent;
-    the transports call it on exit. *)
+(** [save_caches], close the journal, then stop every shard's pool
+    workers.  Idempotent; the transports call it on exit. *)
+
+val abort : t -> unit
+(** Stop the pools {e without} compacting — on-disk state is left
+    exactly as the last batch flushed it, as a SIGKILL would.  For
+    crash-recovery tests and benchmarks. *)
 
 val handler : t -> Serve.handler
 (** Package for {!Serve.run_pipe_handler} / {!Serve.run_socket_handler}. *)

@@ -496,6 +496,545 @@ let test_snapshot_tolerant () =
      (status_of (Serve_shard.handle_line t (req ~budget:10.0 jobs3)) = Some "ok"));
   Sys.remove file
 
+(* ---------------- write-ahead journal ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+let with_store f =
+  let path = Filename.temp_file "pasched_journal" ".cache" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_f path;
+      rm_f (path ^ ".journal");
+      rm_f (path ^ ".tmp"))
+    (fun () -> f path)
+
+let jpayload i = [ ("status", Obs_json.String "ok"); ("n", Obs_json.Int i) ]
+
+let build_journal path k =
+  let j = Serve_journal.open_ ~compact_every:0 ~path () in
+  for i = 0 to k - 1 do
+    Serve_journal.append j ~canon:(Printf.sprintf "key-%d" i) (jpayload i)
+  done;
+  (* close without compacting: on-disk state is exactly what a SIGKILL
+     after the last flush would leave *)
+  Serve_journal.close j
+
+let replay_counts path =
+  let j = Serve_journal.open_ ~compact_every:0 ~path () in
+  let seen = ref [] in
+  Serve_journal.replay j (fun ~canon payload -> seen := (canon, payload) :: !seen);
+  let st = Serve_journal.stats j in
+  Serve_journal.close j;
+  (List.rev !seen, st)
+
+let test_crc_vector () =
+  check_int "IEEE CRC-32 check vector" 0xCBF43926 (Serve_journal.crc32 "123456789");
+  check_int "empty string" 0 (Serve_journal.crc32 "")
+
+let test_frame_roundtrip () =
+  let payload = jpayload 7 in
+  let line = Serve_journal.encode_line ~canon:"some key; with=punct" payload in
+  (match Serve_journal.decode_line line with
+  | Some (canon, p) ->
+    check_string "canon survives the frame" "some key; with=punct" canon;
+    check_bool "payload survives the frame" true (p = payload)
+  | None -> Alcotest.fail "intact frame rejected");
+  (* single-character corruption anywhere must be caught *)
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string line in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      match Serve_journal.decode_line (Bytes.to_string b) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "bit flip at %d went undetected" i)
+    line;
+  check_bool "truncation detected" true
+    (Serve_journal.decode_line (String.sub line 0 (String.length line - 3)) = None);
+  check_bool "garbage detected" true (Serve_journal.decode_line "not a frame" = None);
+  check_bool "empty rejected" true (Serve_journal.decode_line "" = None)
+
+let test_journal_replay_roundtrip () =
+  with_store @@ fun path ->
+  build_journal path 5;
+  let seen, st = replay_counts path in
+  check_int "all five entries replay" 5 (List.length seen);
+  check_int "stats.replayed" 5 st.Serve_journal.replayed;
+  check_int "stats.skipped_corrupt" 0 st.Serve_journal.skipped_corrupt;
+  check_bool "entries replay in append order with payloads intact" true
+    (List.mapi (fun i (c, p) -> c = Printf.sprintf "key-%d" i && p = jpayload i) seen
+    |> List.for_all Fun.id)
+
+let test_journal_torn_tail () =
+  with_store @@ fun path ->
+  build_journal path 4;
+  let jf = path ^ ".journal" in
+  let s = read_file jf in
+  (* crash mid-write: the last line loses its tail (and newline) *)
+  write_file jf (String.sub s 0 (String.length s - 9));
+  let seen, st = replay_counts path in
+  check_int "intact prefix replays" 3 (List.length seen);
+  check_int "torn tail counted as corrupt" 1 st.Serve_journal.skipped_corrupt
+
+let test_journal_bitflip () =
+  with_store @@ fun path ->
+  build_journal path 4;
+  let jf = path ^ ".journal" in
+  let s = read_file jf in
+  (* flip one payload bit in the second line: CRC catches it, the
+     other three lines still load *)
+  let nl1 = String.index s '\n' in
+  let b = Bytes.of_string s in
+  Bytes.set b (nl1 + 30) (Char.chr (Char.code (Bytes.get b (nl1 + 30)) lxor 1));
+  write_file jf (Bytes.to_string b);
+  let seen, st = replay_counts path in
+  check_int "three of four entries replay" 3 (List.length seen);
+  check_int "flipped line counted" 1 st.Serve_journal.skipped_corrupt
+
+let test_journal_duplicate_line () =
+  with_store @@ fun path ->
+  build_journal path 3;
+  let jf = path ^ ".journal" in
+  let s = read_file jf in
+  let nl1 = String.index s '\n' in
+  write_file jf (s ^ String.sub s 0 (nl1 + 1));
+  let seen, st = replay_counts path in
+  check_int "duplicated line replays twice (idempotent insert)" 4 (List.length seen);
+  check_int "a duplicate is not corruption" 0 st.Serve_journal.skipped_corrupt;
+  check_string "the re-replayed entry is the first key" "key-0"
+    (fst (List.nth seen 3))
+
+let test_journal_zero_length () =
+  with_store @@ fun path ->
+  write_file (path ^ ".journal") "";
+  let seen, st = replay_counts path in
+  check_int "nothing to replay" 0 (List.length seen);
+  check_int "nothing corrupt" 0 st.Serve_journal.skipped_corrupt;
+  check_int "no checkpoint is fine too" 0 st.Serve_journal.replayed
+
+let test_journal_layering () =
+  with_store @@ fun path ->
+  (* checkpoint says v1, journal says v2: the journal wins by replaying
+     last, exactly like the LRU insert it records *)
+  Serve_journal.write_checkpoint ~path
+    ~entries:[ ("shared", jpayload 1); ("only-ckpt", jpayload 10) ];
+  let j = Serve_journal.open_ ~compact_every:0 ~path () in
+  Serve_journal.append j ~canon:"shared" (jpayload 2);
+  Serve_journal.close j;
+  let seen, st = replay_counts path in
+  check_int "checkpoint plus journal" 3 (List.length seen);
+  check_int "replayed counts both layers" 3 st.Serve_journal.replayed;
+  (match List.rev seen with
+  | ("shared", p) :: _ -> check_bool "journal entry replays last and wins" true (p = jpayload 2)
+  | _ -> Alcotest.fail "journal entry did not replay last")
+
+let test_journal_compaction () =
+  with_store @@ fun path ->
+  let j = Serve_journal.open_ ~compact_every:3 ~path () in
+  Serve_journal.append j ~canon:"a" (jpayload 1);
+  Serve_journal.append j ~canon:"b" (jpayload 2);
+  check_bool "below the lag threshold" false (Serve_journal.needs_compact j);
+  Serve_journal.append j ~canon:"c" (jpayload 3);
+  check_bool "lag threshold reached" true (Serve_journal.needs_compact j);
+  Serve_journal.compact j ~entries:[ ("a", jpayload 1); ("c", jpayload 3) ];
+  let st = Serve_journal.stats j in
+  check_int "compaction counted" 1 st.Serve_journal.compactions;
+  check_int "lag folded away" 0 st.Serve_journal.lag;
+  (* appends after a compaction land in the truncated journal *)
+  Serve_journal.append j ~canon:"d" (jpayload 4);
+  Serve_journal.close j;
+  let seen, st2 = replay_counts path in
+  check_int "checkpoint entries plus post-compaction append" 3 (List.length seen);
+  check_int "nothing corrupt after truncate-and-append" 0 st2.Serve_journal.skipped_corrupt;
+  check_bool "replay order is checkpoint then journal" true
+    (List.map fst seen = [ "a"; "c"; "d" ])
+
+(* ---------------- circuit breaker (unit) ---------------- *)
+
+let breaker_state_pp = function
+  | Guard_breaker.Closed -> "closed"
+  | Guard_breaker.Open -> "open"
+  | Guard_breaker.Half_open -> "half-open"
+
+let check_state what expected got =
+  Alcotest.(check string) what (breaker_state_pp expected) (breaker_state_pp got)
+
+let test_breaker_lifecycle () =
+  let now = ref 0.0 in
+  let br =
+    Guard_breaker.create ~now:(fun () -> !now)
+      { Guard_breaker.threshold = 2; cooldown_s = 10.0 }
+  in
+  check_bool "unknown solver admitted" true (Guard_breaker.admit br "s");
+  check_state "starts closed" Guard_breaker.Closed (Guard_breaker.state br "s");
+  Guard_breaker.record_fail br "s";
+  check_state "one failure stays closed" Guard_breaker.Closed (Guard_breaker.state br "s");
+  check_bool "still admitted below threshold" true (Guard_breaker.admit br "s");
+  Guard_breaker.record_fail br "s";
+  check_state "threshold trips it open" Guard_breaker.Open (Guard_breaker.state br "s");
+  check_bool "open refuses work" false (Guard_breaker.admit br "s");
+  now := 5.0;
+  check_bool "still open inside the cooldown" false (Guard_breaker.admit br "s");
+  now := 10.0;
+  check_state "cooldown elapsed: half-open" Guard_breaker.Half_open (Guard_breaker.state br "s");
+  check_bool "half-open admits one probe" true (Guard_breaker.admit br "s");
+  Guard_breaker.record_ok br "s";
+  check_state "successful probe closes it" Guard_breaker.Closed (Guard_breaker.state br "s");
+  check_bool "closed admits again" true (Guard_breaker.admit br "s");
+  (* a failed probe re-opens immediately, without a fresh failure run *)
+  Guard_breaker.record_fail br "s";
+  Guard_breaker.record_fail br "s";
+  now := 20.0;
+  check_bool "probe admitted" true (Guard_breaker.admit br "s");
+  Guard_breaker.record_fail br "s";
+  check_state "failed probe re-opens" Guard_breaker.Open (Guard_breaker.state br "s");
+  check_bool "re-opened refuses" false (Guard_breaker.admit br "s")
+
+let test_breaker_probe_slot () =
+  let now = ref 0.0 in
+  let br =
+    Guard_breaker.create ~now:(fun () -> !now)
+      { Guard_breaker.threshold = 1; cooldown_s = 1.0 }
+  in
+  Guard_breaker.record_fail br "s";
+  now := 1.0;
+  check_bool "first half-open caller gets the probe" true (Guard_breaker.admit br "s");
+  check_bool "second caller is refused while the probe is out" false
+    (Guard_breaker.admit br "s");
+  (* other solvers are independent *)
+  check_bool "an unrelated solver is unaffected" true (Guard_breaker.admit br "other")
+
+let test_breaker_snapshot () =
+  let now = ref 0.0 in
+  let br =
+    Guard_breaker.create ~now:(fun () -> !now)
+      { Guard_breaker.threshold = 1; cooldown_s = 60.0 }
+  in
+  Guard_breaker.record_fail br "bad";
+  (* an entry only exists once a failure was seen: recovered solvers
+     show closed/0, never-failed solvers stay out of the listing *)
+  Guard_breaker.record_fail br "good";
+  Guard_breaker.record_ok br "good";
+  check_bool "never-failed solvers are not listed" true
+    (List.for_all (fun (n, _, _) -> n <> "unseen") (Guard_breaker.snapshot br));
+  match Guard_breaker.snapshot br with
+  | [ ("bad", Guard_breaker.Open, 1); ("good", Guard_breaker.Closed, 0) ] -> ()
+  | rows ->
+    Alcotest.failf "unexpected snapshot: %s"
+      (String.concat "; "
+         (List.map
+            (fun (n, s, f) -> Printf.sprintf "%s=%s/%d" n (breaker_state_pp s) f)
+            rows))
+
+(* ---------------- breaker supervision through the daemon ---------------- *)
+
+(* an always-raising solver: non-exact, so auto-selection and the
+   differential oracles never pick it up on their own *)
+let () =
+  let module Flaky = struct
+    let name = "test-flaky"
+    let doc = "always-raising solver for circuit-breaker tests"
+
+    let capability =
+      {
+        Capability.objective = Problem.Makespan;
+        settings = Capability.Any_procs;
+        modes = [ Capability.Budget_mode ];
+        exact = false;
+        requires = [];
+      }
+
+    let solve _ _ = failwith "flaky by design"
+  end in
+  Engine.register (module Flaky)
+
+let health_of t =
+  match Obs_json.of_string (Serve_shard.handle_line t {|{"id":0,"op":"health"}|}) with
+  | Ok doc -> (
+    match Obs_json.member "health" doc with
+    | Some h -> h
+    | None -> Alcotest.fail "health reply carries no health object")
+  | Error m -> Alcotest.failf "health reply unparseable: %s" m
+
+let breaker_row_state h solver =
+  match Option.bind (Obs_json.member "breakers" h) Obs_json.to_list with
+  | None -> Alcotest.fail "health carries no breakers list"
+  | Some rows -> (
+    match
+      List.find_opt
+        (fun row -> Obs_json.member "solver" row = Some (Obs_json.String solver))
+        rows
+    with
+    | Some row -> Option.bind (Obs_json.member "state" row) Obs_json.to_string_val
+    | None -> None)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_breaker_degrade_path () =
+  let now = ref 0.0 in
+  let t =
+    Serve_shard.create ~jobs:1 ~shards:1 ~cache_capacity:32
+      ~breaker:(Some { Guard_breaker.threshold = 2; cooldown_s = 100.0 })
+      ~breaker_now:(fun () -> !now)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Serve_shard.shutdown t) @@ fun () ->
+  let flaky budget = req ~budget ~solver:"test-flaky" jobs3 in
+  (* two supervised failures: Guard's fallback still answers, but each
+     counts against the named solver *)
+  check_bool "first flaky request answered by the fallback chain" true
+    (status_of (Serve_shard.handle_line t (flaky 10.0)) = Some "ok");
+  check_bool "still closed below the threshold" true
+    (breaker_row_state (health_of t) "test-flaky" = Some "closed");
+  ignore (Serve_shard.handle_line t (flaky 11.0));
+  check_bool "two consecutive failures open the breaker" true
+    (breaker_row_state (health_of t) "test-flaky" = Some "open");
+  (* open: the request degrades along Engine.supporting without ever
+     running the sick solver, and the answer is never cached *)
+  let size_before = (Serve_shard.stats t).Serve_shard.cache.Serve_cache.size in
+  let hits_before = (Serve_shard.stats t).Serve_shard.cache.Serve_cache.hits in
+  let d1 = Serve_shard.handle_line t (flaky 20.0) in
+  check_bool "degraded reroute still answers ok" true (status_of d1 = Some "ok");
+  check_bool "reply carries the breaker.degraded diagnostic" true
+    (contains ~sub:"breaker.degraded" d1);
+  let d2 = Serve_shard.handle_line t (flaky 20.0) in
+  check_string "degraded repeats stay byte-identical (deterministic fallback)" d1 d2;
+  let st = (Serve_shard.stats t).Serve_shard.cache in
+  check_int "degraded answers never enter the cache" size_before st.Serve_cache.size;
+  check_int "so the repeat cannot be a cache hit" hits_before st.Serve_cache.hits;
+  (* cooldown over: one probe goes through, fails, re-opens *)
+  now := 150.0;
+  check_bool "half-open after the cooldown" true
+    (breaker_row_state (health_of t) "test-flaky" = Some "half-open");
+  ignore (Serve_shard.handle_line t (flaky 30.0));
+  check_bool "failed probe re-opens the breaker" true
+    (breaker_row_state (health_of t) "test-flaky" = Some "open");
+  (* a healthy solver is never collateral damage *)
+  check_bool "auto requests unaffected throughout" true
+    (status_of (Serve_shard.handle_line t (req ~budget:10.0 jobs3)) = Some "ok")
+
+let test_breaker_reject_when_no_fallback () =
+  let now = ref 0.0 in
+  let state =
+    Serve_batch.create_state
+      ~now:(fun () -> !now)
+      ~breaker:(Some { Guard_breaker.threshold = 1; cooldown_s = 100.0 })
+      ()
+  in
+  let br = Option.get (Serve_batch.breaker_of state) in
+  (* every registered solver has just melted down: nowhere to degrade *)
+  List.iter (fun name -> Guard_breaker.record_fail br name) (Engine.names ());
+  let pool = Par.Pool.create ~jobs:1 () in
+  let cache = Serve_cache.create ~capacity:8 in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  let sr = decode_solve (req ~budget:10.0 jobs3) in
+  match Serve_batch.run ~pool ~cache ~policy:Guard.default ~state [| sr |] with
+  | [| payload |] ->
+    let doc = Obs_json.Obj payload in
+    check_bool "refusal is the typed degraded reply" true
+      (Obs_json.member "status" doc = Some (Obs_json.String "degraded"));
+    check_bool "classified breaker-open" true
+      (Obs_json.member "class" doc = Some (Obs_json.String "breaker-open"));
+    check_int "nothing cached" 0 (Serve_cache.stats cache).Serve_cache.size
+  | _ -> Alcotest.fail "expected exactly one payload"
+
+(* ---------------- health op ---------------- *)
+
+let test_health_op () =
+  with_store @@ fun path ->
+  let t = Serve_shard.create ~jobs:1 ~shards:2 ~cache_capacity:16 ~cache_file:path () in
+  Fun.protect ~finally:(fun () -> Serve_shard.shutdown t) @@ fun () ->
+  check_bool "a solve lands first" true
+    (status_of (Serve_shard.handle_line t (req ~budget:10.0 jobs3)) = Some "ok");
+  let h = health_of t in
+  let int_at keys =
+    match
+      List.fold_left (fun acc k -> Option.bind acc (Obs_json.member k)) (Some h) keys
+    with
+    | Some (Obs_json.Int n) -> n
+    | _ -> Alcotest.failf "health field %s missing" (String.concat "." keys)
+  in
+  check_int "shard count reported" 2 (int_at [ "shards" ]);
+  check_int "cache occupancy reported" 1 (int_at [ "cache"; "size" ]);
+  check_int "cache capacity summed over shards" 32 (int_at [ "cache"; "capacity" ]);
+  check_int "journal append counted" 1 (int_at [ "journal"; "appends" ]);
+  check_int "nothing replayed on a fresh store" 0 (int_at [ "journal"; "replayed" ]);
+  (match Option.bind (Obs_json.member "inflight" h) Obs_json.to_list with
+  | Some ds -> check_int "per-shard inflight row per shard" 2 (List.length ds)
+  | None -> Alcotest.fail "health carries no inflight list");
+  check_bool "breakers listed (default config on)" true
+    (Obs_json.member "breakers" h <> None)
+
+(* ---------------- crash recovery (SIGKILL simulated by abort) ---------------- *)
+
+let test_crash_warm_recovery () =
+  with_store @@ fun path ->
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let c_root = Obs.counter "rootfind.calls" in
+  let lines = List.init 3 (fun i -> req ~id:i ~budget:(9.0 +. float_of_int i) jobs3) in
+  let t1 = Serve_shard.create ~jobs:1 ~shards:1 ~cache_capacity:32 ~cache_file:path () in
+  let cold = Serve_shard.handle_batch t1 lines in
+  (* crash: no compaction, no checkpoint — the journal alone recovers *)
+  Serve_shard.abort t1;
+  check_bool "no checkpoint was written by the crash" true (not (Sys.file_exists path));
+  let roots_cold = Obs_metrics.value c_root in
+  let t2 = Serve_shard.create ~jobs:1 ~shards:2 ~cache_capacity:32 ~cache_file:path () in
+  Fun.protect ~finally:(fun () -> Serve_shard.shutdown t2) @@ fun () ->
+  (match Serve_shard.journal_stats t2 with
+  | Some js ->
+    check_int "all three inserts replayed from the journal" 3 js.Serve_journal.replayed;
+    check_int "nothing corrupt in a flushed journal" 0 js.Serve_journal.skipped_corrupt
+  | None -> Alcotest.fail "journaled daemon reports no journal stats");
+  let warm = Serve_shard.handle_batch t2 lines in
+  List.iter2
+    (fun c w -> check_string "post-crash reply byte-identical to pre-crash" c w)
+    cold warm;
+  check_int "no solver re-entry after recovery" roots_cold (Obs_metrics.value c_root);
+  check_int "every post-crash request was a cache hit" 3
+    (Serve_shard.stats t2).Serve_shard.cache.Serve_cache.hits
+
+let test_shutdown_then_journal_replays () =
+  with_store @@ fun path ->
+  let line = req ~budget:10.0 jobs3 in
+  (* clean shutdown compacts: checkpoint present, journal empty *)
+  (with_shards ~shards:1 ~cache_file:path @@ fun t ->
+   ignore (Serve_shard.handle_line t line));
+  check_bool "checkpoint written on shutdown" true (Sys.file_exists path);
+  check_int "journal truncated by the shutdown compaction" 0
+    (String.length (read_file (path ^ ".journal")));
+  let t = Serve_shard.create ~jobs:1 ~shards:1 ~cache_capacity:32 ~cache_file:path () in
+  Fun.protect ~finally:(fun () -> Serve_shard.shutdown t) @@ fun () ->
+  match Serve_shard.journal_stats t with
+  | Some js -> check_int "checkpoint replays after a clean shutdown" 1 js.Serve_journal.replayed
+  | None -> Alcotest.fail "no journal stats"
+
+(* ---------------- client retry schedule ---------------- *)
+
+let test_retry_bounds () =
+  let sched = Serve_retry.create ~base_ms:50.0 ~cap_ms:400.0 ~seed:7 () in
+  let first = Serve_retry.next_ms sched in
+  check_bool "first sleep within [base, 3*base]" true (first >= 50.0 && first <= 150.0);
+  for _ = 1 to 100 do
+    let s = Serve_retry.next_ms sched in
+    check_bool "every sleep within [base, cap]" true (s >= 50.0 && s <= 400.0)
+  done;
+  Serve_retry.reset sched;
+  let after_reset = Serve_retry.next_ms sched in
+  check_bool "reset restarts the schedule at base scale" true
+    (after_reset >= 50.0 && after_reset <= 150.0);
+  (* same seed, same schedule: reproducible for tests *)
+  let a = Serve_retry.create ~base_ms:50.0 ~cap_ms:400.0 ~seed:11 () in
+  let b = Serve_retry.create ~base_ms:50.0 ~cap_ms:400.0 ~seed:11 () in
+  for _ = 1 to 20 do
+    check_bool "deterministic per seed" true (Serve_retry.next_ms a = Serve_retry.next_ms b)
+  done;
+  check_bool "invalid base rejected" true
+    (match Serve_retry.create ~base_ms:0.0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_retry_transient_classifier () =
+  check_bool "busy retries" true
+    (Serve_retry.is_transient_reply {|{"id":1,"status":"busy","class":"busy"}|});
+  check_bool "degraded retries" true
+    (Serve_retry.is_transient_reply {|{"id":1,"status":"degraded","class":"breaker-open"}|});
+  check_bool "ok does not retry" false (Serve_retry.is_transient_reply {|{"status":"ok"}|});
+  check_bool "hard errors do not retry" false
+    (Serve_retry.is_transient_reply {|{"status":"error","class":"infeasible"}|});
+  check_bool "garbage does not retry" false (Serve_retry.is_transient_reply "not json")
+
+(* ---------------- socket hardening: client death mid-reply ---------------- *)
+
+let sock_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pasched_test_%d.sock" (Unix.getpid ()))
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let rec wait_ready path k =
+  if k = 0 then Alcotest.fail "daemon socket never came up"
+  else
+    match connect path with
+    | fd -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.05;
+      wait_ready path (k - 1)
+
+let send_line fd line =
+  let payload = line ^ "\n" in
+  let len = String.length payload in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write_substring fd payload !sent (len - !sent)
+  done
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let fin = ref false in
+  while not !fin do
+    match Unix.read fd b 0 1 with
+    | 0 -> Alcotest.fail "daemon closed the connection mid-reply"
+    | _ -> if Bytes.get b 0 = '\n' then fin := true else Buffer.add_bytes buf b
+  done;
+  Buffer.contents buf
+
+let test_disconnect_mid_reply () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let path = sock_path () in
+  (try Sys.remove path with Sys_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (* the daemon process: must outlive a client that hangs up rudely *)
+    (try
+       let t = Serve.create ~jobs:1 ~cache_capacity:8 () in
+       Serve.run_socket ~path t;
+       Unix._exit 0
+     with _ -> Unix._exit 1)
+  | pid ->
+    Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    @@ fun () ->
+    wait_ready path 200;
+    (* rude client: submit real work, vanish before the reply *)
+    let rude = connect path in
+    send_line rude (req ~budget:10.0 jobs3);
+    Unix.close rude;
+    (* polite client: the daemon must still answer, then stop cleanly *)
+    let fd = connect path in
+    send_line fd {|{"id":1,"op":"ping"}|};
+    check_bool "daemon survives the disconnect and still answers" true
+      (status_of (recv_line fd) = Some "ok");
+    send_line fd {|{"id":2,"op":"shutdown"}|};
+    check_bool "shutdown acknowledged" true (status_of (recv_line fd) = Some "ok");
+    Unix.close fd;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED n -> Alcotest.failf "daemon exited with %d" n
+    | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Alcotest.failf "daemon killed by signal %d" s)
+
 let () =
   Alcotest.run "serve"
     [
@@ -538,6 +1077,35 @@ let () =
           Alcotest.test_case "busy-shed" `Quick test_busy_shed;
           Alcotest.test_case "snapshot-roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "snapshot-tolerant" `Quick test_snapshot_tolerant;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "crc-vector" `Quick test_crc_vector;
+          Alcotest.test_case "frame-roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "replay-roundtrip" `Quick test_journal_replay_roundtrip;
+          Alcotest.test_case "torn-tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "bit-flip" `Quick test_journal_bitflip;
+          Alcotest.test_case "duplicate-line" `Quick test_journal_duplicate_line;
+          Alcotest.test_case "zero-length" `Quick test_journal_zero_length;
+          Alcotest.test_case "layering" `Quick test_journal_layering;
+          Alcotest.test_case "compaction" `Quick test_journal_compaction;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "probe-slot" `Quick test_breaker_probe_slot;
+          Alcotest.test_case "snapshot" `Quick test_breaker_snapshot;
+          Alcotest.test_case "degrade-path" `Quick test_breaker_degrade_path;
+          Alcotest.test_case "reject-no-fallback" `Quick test_breaker_reject_when_no_fallback;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health-op" `Quick test_health_op;
+          Alcotest.test_case "crash-warm-recovery" `Quick test_crash_warm_recovery;
+          Alcotest.test_case "shutdown-checkpoint" `Quick test_shutdown_then_journal_replays;
+          Alcotest.test_case "retry-bounds" `Quick test_retry_bounds;
+          Alcotest.test_case "retry-transient" `Quick test_retry_transient_classifier;
+          Alcotest.test_case "disconnect-mid-reply" `Quick test_disconnect_mid_reply;
         ] );
       ( "engine-pool",
         [
